@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro"
+)
+
+// Ablations exercise the design choices DESIGN.md calls out: the DCSA
+// δ parameter, the EWMA α weight, the out-of-order chunk bound, and the
+// fast-path head start.
+
+// AblationDelta sweeps Alg. 1's throughput-variation parameter δ and
+// reports 40-second pre-buffer times with the Harmonic scheduler.
+func AblationDelta(w io.Writer, opt Options) []Series {
+	opt = opt.withDefaults()
+	header(w, "Ablation: DCSA delta sweep (Harmonic, 256KB, 40s pre-buffer)")
+	var out []Series
+	for _, delta := range []float64{0.01, 0.05, 0.10, 0.20} {
+		delta := delta
+		samples := repeat(w, opt, func(rep int) (float64, error) {
+			p := msplayer.TestbedProfile(opt.Seed + int64(rep)*13)
+			return preBufferTime(p, msplayer.BothPaths,
+				msplayer.NewHarmonicScheduler(256<<10, delta), 40*time.Second)
+		})
+		s := newSeries(fmt.Sprintf("delta=%.2f", delta), samples)
+		fmtRow(w, s)
+		out = append(out, s)
+	}
+	return out
+}
+
+// AblationAlpha sweeps the EWMA weight α of Eq. 1.
+func AblationAlpha(w io.Writer, opt Options) []Series {
+	opt = opt.withDefaults()
+	header(w, "Ablation: EWMA alpha sweep (256KB, 40s pre-buffer)")
+	var out []Series
+	for _, alpha := range []float64{0.5, 0.7, 0.9, 0.99} {
+		alpha := alpha
+		samples := repeat(w, opt, func(rep int) (float64, error) {
+			p := msplayer.TestbedProfile(opt.Seed + int64(rep)*13)
+			return preBufferTime(p, msplayer.BothPaths,
+				msplayer.NewEWMAScheduler(256<<10, msplayer.DefaultDelta, alpha), 40*time.Second)
+		})
+		s := newSeries(fmt.Sprintf("alpha=%.2f", alpha), samples)
+		fmtRow(w, s)
+		out = append(out, s)
+	}
+	return out
+}
+
+// AblationOutOfOrder compares the paper's one-chunk out-of-order bound
+// with looser windows: the bound trades a little pre-buffer time for a
+// hard cap on reassembly memory.
+func AblationOutOfOrder(w io.Writer, opt Options) []Series {
+	opt = opt.withDefaults()
+	header(w, "Ablation: out-of-order chunk bound (Harmonic, 256KB, 40s pre-buffer)")
+	var out []Series
+	for _, window := range []int{1, 4, 16} {
+		window := window
+		samples := repeat(w, opt, func(rep int) (float64, error) {
+			p := msplayer.TestbedProfile(opt.Seed + int64(rep)*13)
+			tb, err := msplayer.NewTestbed(p)
+			if err != nil {
+				return 0, err
+			}
+			defer tb.Close()
+			m, err := tb.Stream(context.Background(), msplayer.SessionConfig{
+				Scheduler:          msplayer.NewHarmonicScheduler(256<<10, msplayer.DefaultDelta),
+				Paths:              msplayer.BothPaths,
+				Buffer:             msplayer.BufferConfig{PreBufferTarget: 40 * time.Second},
+				StopAfterPreBuffer: true,
+				MaxOutOfOrder:      window,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return m.PreBufferTime.Seconds(), nil
+		})
+		s := newSeries(fmt.Sprintf("ooo-window=%d", window), samples)
+		fmtRow(w, s)
+		out = append(out, s)
+	}
+	return out
+}
+
+// AblationEnergy estimates the radio energy of a 40-second pre-buffer
+// for MSPlayer and the single-path baselines using the two-component
+// radio model (active power + per-transfer tail) — the paper's stated
+// future-work dimension. MSPlayer finishes sooner but keeps two radios
+// active; the LTE tail energy makes the trade-off visible.
+func AblationEnergy(w io.Writer, opt Options) []Series {
+	opt = opt.withDefaults()
+	header(w, "Ablation: radio energy of a 40s pre-buffer (joules)")
+	configs := []struct {
+		label string
+		sel   msplayer.PathSelection
+		mk    func() msplayer.Scheduler
+	}{
+		{"MSPlayer", msplayer.BothPaths, func() msplayer.Scheduler {
+			return msplayer.NewHarmonicScheduler(256<<10, msplayer.DefaultDelta)
+		}},
+		{"WiFi-only", msplayer.WiFiOnly, msplayer.NewBulkScheduler},
+		{"LTE-only", msplayer.LTEOnly, msplayer.NewBulkScheduler},
+	}
+	var out []Series
+	for _, c := range configs {
+		c := c
+		samples := repeat(w, opt, func(rep int) (float64, error) {
+			p := msplayer.TestbedProfile(opt.Seed + int64(rep)*13)
+			tb, err := msplayer.NewTestbed(p)
+			if err != nil {
+				return 0, err
+			}
+			defer tb.Close()
+			m, err := tb.Stream(context.Background(), msplayer.SessionConfig{
+				Scheduler:          c.mk(),
+				Paths:              c.sel,
+				Buffer:             msplayer.BufferConfig{PreBufferTarget: 40 * time.Second},
+				StopAfterPreBuffer: true,
+			})
+			if err != nil {
+				return 0, err
+			}
+			total, _ := msplayer.SessionEnergy(m, msplayer.DefaultRadios())
+			return total, nil
+		})
+		s := newSeries(c.label, samples)
+		fmtRow(w, s)
+		out = append(out, s)
+	}
+	return out
+}
+
+// AblationHeadStart measures the fast path's bootstrap lead — the time
+// between WiFi's and LTE's first completed video chunk, the empirical
+// π₂−π₁ of §3.2 — for the paper's RTT ratio and for θ = 1, where the
+// closed form predicts the lead collapses to ~0 (only Δ and transfer
+// asymmetries remain).
+func AblationHeadStart(w io.Writer, opt Options) []Series {
+	opt = opt.withDefaults()
+	header(w, "Ablation: fast-path head start (LTE first-chunk lag vs WiFi, seconds)")
+	configs := []struct {
+		label string
+		mut   func(*msplayer.Profile)
+	}{
+		{"theta~2.8 (paper)", func(*msplayer.Profile) {}},
+		{"theta=1 (equal RTT)", func(p *msplayer.Profile) { p.LTE.RTT = p.WiFi.RTT }},
+	}
+	var out []Series
+	for _, c := range configs {
+		c := c
+		samples := repeat(w, opt, func(rep int) (float64, error) {
+			p := msplayer.TestbedProfile(opt.Seed + int64(rep)*13)
+			c.mut(&p)
+			tb, err := msplayer.NewTestbed(p)
+			if err != nil {
+				return 0, err
+			}
+			defer tb.Close()
+			m, err := tb.Stream(context.Background(), msplayer.SessionConfig{
+				Scheduler:          msplayer.NewHarmonicScheduler(256<<10, msplayer.DefaultDelta),
+				Paths:              msplayer.BothPaths,
+				Buffer:             msplayer.BufferConfig{PreBufferTarget: 40 * time.Second},
+				StopAfterPreBuffer: true,
+			})
+			if err != nil {
+				return 0, err
+			}
+			if len(m.Paths) != 2 || !m.Paths[0].FirstByteSet || !m.Paths[1].FirstByteSet {
+				return 0, fmt.Errorf("first-byte times missing")
+			}
+			return (m.Paths[1].FirstVideoByte - m.Paths[0].FirstVideoByte).Seconds(), nil
+		})
+		s := newSeries(c.label, samples)
+		fmtRow(w, s)
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+// Package bench regenerates every figure and table of the MSPlayer
+// paper's evaluation (§5–§6) on the emulated testbed, plus the ablation
+// studies called out in DESIGN.md. Each experiment function prints
+// paper-style rows to a writer and returns structured results so tests
+// and benchmarks can assert on the shape of the reproduction.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Reps is the number of repetitions per configuration cell
+	// (default 20, as in the paper's scheduler study).
+	Reps int
+	// Seed varies the stochastic components; repetition r of an
+	// experiment uses Seed + r.
+	Seed int64
+	// Parallel bounds concurrently running testbeds (default
+	// min(4, NumCPU)); each repetition owns an isolated virtual clock.
+	Parallel int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Reps <= 0 {
+		o.Reps = 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.NumCPU()
+		if o.Parallel > 4 {
+			o.Parallel = 4
+		}
+	}
+	return o
+}
+
+// Series is one line of an experiment: a labelled distribution of
+// download times (seconds).
+type Series struct {
+	// Label identifies the configuration ("MSPlayer", "WiFi 64KB", ...).
+	Label string
+	// Samples holds one measurement per repetition, in seconds.
+	Samples []float64
+	// Summary is the five-number summary of Samples.
+	Summary stats.Summary
+}
+
+func newSeries(label string, samples []float64) Series {
+	return Series{Label: label, Samples: samples, Summary: stats.Summarize(samples)}
+}
+
+// runner executes one repetition and returns a measurement in seconds.
+type runner func(rep int) (float64, error)
+
+// repeat runs fn opt.Reps times with bounded parallelism, dropping
+// failed repetitions (a failed rep is reported on w).
+func repeat(w io.Writer, opt Options, fn runner) []float64 {
+	type out struct {
+		v   float64
+		err error
+	}
+	results := make([]out, opt.Reps)
+	sem := make(chan struct{}, opt.Parallel)
+	var wg sync.WaitGroup
+	for r := 0; r < opt.Reps; r++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(r int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			v, err := fn(r)
+			results[r] = out{v, err}
+		}(r)
+	}
+	wg.Wait()
+	var xs []float64
+	for r, res := range results {
+		if res.err != nil {
+			fmt.Fprintf(w, "  ! rep %d failed: %v\n", r, res.err)
+			continue
+		}
+		xs = append(xs, res.v)
+	}
+	return xs
+}
+
+// preBufferTime runs one pre-buffering session on a fresh testbed and
+// returns the measured start-up download time in seconds.
+func preBufferTime(profile msplayer.Profile, sel msplayer.PathSelection,
+	sched msplayer.Scheduler, preTarget time.Duration) (float64, error) {
+	tb, err := msplayer.NewTestbed(profile)
+	if err != nil {
+		return 0, err
+	}
+	defer tb.Close()
+	m, err := tb.Stream(context.Background(), msplayer.SessionConfig{
+		Scheduler:          sched,
+		Paths:              sel,
+		Buffer:             msplayer.BufferConfig{PreBufferTarget: preTarget},
+		StopAfterPreBuffer: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !m.PreBufferDone {
+		return 0, fmt.Errorf("pre-buffering did not complete")
+	}
+	return m.PreBufferTime.Seconds(), nil
+}
+
+// refillTimes runs a steady-state session and returns the mean refill
+// duration (seconds) over `cycles` re-buffering cycles of the given
+// size.
+func refillTimes(profile msplayer.Profile, sel msplayer.PathSelection,
+	sched msplayer.Scheduler, refill time.Duration, cycles int) (float64, error) {
+	tb, err := msplayer.NewTestbed(profile)
+	if err != nil {
+		return 0, err
+	}
+	defer tb.Close()
+	m, err := tb.Stream(context.Background(), msplayer.SessionConfig{
+		Scheduler:        sched,
+		Paths:            sel,
+		Buffer:           msplayer.BufferConfig{RefillSize: refill},
+		StopAfterRefills: cycles,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if len(m.Refills) == 0 {
+		return 0, fmt.Errorf("no refills measured")
+	}
+	var xs []float64
+	for _, r := range m.Refills {
+		xs = append(xs, r.Duration.Seconds())
+	}
+	return stats.Mean(xs), nil
+}
+
+// fmtRow renders one series as an aligned text row.
+func fmtRow(w io.Writer, s Series) {
+	fmt.Fprintf(w, "  %-22s %s\n", s.Label, s.Summary)
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	for range title {
+		fmt.Fprint(w, "-")
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"testing"
+	"time"
+)
+
+// smokeOpt keeps repetition counts small: these tests assert the shape
+// of each experiment, not tight statistics (benchall runs the full
+// repetition counts).
+func smokeOpt() Options { return Options{Reps: 3, Seed: 42} }
+
+func sink(t *testing.T) io.Writer {
+	if testing.Verbose() {
+		return os.Stderr
+	}
+	return io.Discard
+}
+
+func TestFig1ModelMatchesMeasurement(t *testing.T) {
+	rows := Fig1(sink(t), smokeOpt())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		// Measured eta must be at least the closed form (propagation
+		// only) and within ~1 RTT of it (transmission + quantum slack).
+		if r.EtaMeasured < r.EtaModel || r.EtaMeasured > r.EtaModel+r.RTT {
+			t.Errorf("theta %.1f: eta measured %v vs model %v", r.Theta, r.EtaMeasured, r.EtaModel)
+		}
+		if r.PsiMeasured < r.PsiModel-r.RTT/2 || r.PsiMeasured > r.PsiModel+2*r.RTT {
+			t.Errorf("theta %.1f: psi measured %v vs model %v", r.Theta, r.PsiMeasured, r.PsiModel)
+		}
+		if r.PsiMeasured <= r.EtaMeasured {
+			t.Errorf("theta %.1f: psi (%v) should exceed eta (%v)", r.Theta, r.PsiMeasured, r.EtaMeasured)
+		}
+	}
+	// Head start grows with theta.
+	if !(rows[0].HeadStart < rows[1].HeadStart && rows[1].HeadStart < rows[2].HeadStart) {
+		t.Errorf("head start not increasing: %v %v %v", rows[0].HeadStart, rows[1].HeadStart, rows[2].HeadStart)
+	}
+}
+
+func TestFig2MSPlayerWins(t *testing.T) {
+	series := Fig2(sink(t), smokeOpt())
+	if len(series) != 3 {
+		t.Fatalf("series = %d, want 3", len(series))
+	}
+	wifi, lte, ms := series[0], series[1], series[2]
+	if len(ms.Samples) == 0 || len(wifi.Samples) == 0 || len(lte.Samples) == 0 {
+		t.Fatal("missing samples")
+	}
+	if ms.Summary.Median >= wifi.Summary.Median || ms.Summary.Median >= lte.Summary.Median {
+		t.Fatalf("MSPlayer median %.2f not below WiFi %.2f / LTE %.2f",
+			ms.Summary.Median, wifi.Summary.Median, lte.Summary.Median)
+	}
+	// The paper's reduction vs the best single path is ~37%; accept a
+	// broad band around it on the emulated substrate.
+	best := wifi.Summary.Median
+	if lte.Summary.Median < best {
+		best = lte.Summary.Median
+	}
+	red := 1 - ms.Summary.Median/best
+	if red < 0.15 || red > 0.60 {
+		t.Fatalf("reduction = %.0f%%, want 15-60%%", red*100)
+	}
+}
+
+func TestMobilityMSPlayerAvoidsStalls(t *testing.T) {
+	res := Mobility(sink(t), Options{Reps: 2, Seed: 7})
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	ms, wifi := res[0], res[1]
+	if ms.Completed == 0 {
+		t.Fatal("MSPlayer never completed under outage")
+	}
+	if ms.MeanStallSecs >= wifi.MeanStallSecs {
+		t.Fatalf("MSPlayer stalls (%.1fs) should be below WiFi-only (%.1fs)",
+			ms.MeanStallSecs, wifi.MeanStallSecs)
+	}
+	if wifi.MeanStallSecs < 5 {
+		t.Fatalf("WiFi-only mean stall %.1fs implausibly low for a 45s outage", wifi.MeanStallSecs)
+	}
+}
+
+func TestTable1SharesInBand(t *testing.T) {
+	rows := Table1(sink(t), Options{Reps: 3, Seed: 11})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PreMean < 0.45 || r.PreMean > 0.85 {
+			t.Errorf("%v pre share = %.2f, want WiFi-dominant band", r.Size, r.PreMean)
+		}
+		if r.ReMean < 0.45 || r.ReMean > 0.85 {
+			t.Errorf("%v re share = %.2f, want WiFi-dominant band", r.Size, r.ReMean)
+		}
+	}
+}
+
+func TestFig5LargerChunksRefillFaster(t *testing.T) {
+	// Single 40s refill row with tiny rep count: asserts 64KB slower
+	// than 256KB on the same path and MSPlayer fastest. (The 20s row's
+	// MSPlayer and WiFi-256KB distributions overlap, in the paper as
+	// here, so the well-separated 40s row is the robust smoke check.)
+	opt := Options{Reps: 2, Seed: 5}
+	rows := Fig5For(sink(t), opt, 40*time.Second)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	r := rows[0]
+	if r.WiFi64.Summary.Median <= r.WiFi256.Summary.Median {
+		t.Errorf("WiFi 64KB (%.2f) should be slower than 256KB (%.2f)",
+			r.WiFi64.Summary.Median, r.WiFi256.Summary.Median)
+	}
+	if r.MSPlayer.Summary.Median >= r.WiFi256.Summary.Median ||
+		r.MSPlayer.Summary.Median >= r.LTE256.Summary.Median {
+		t.Errorf("MSPlayer (%.2f) should beat single-path 256KB (wifi %.2f, lte %.2f)",
+			r.MSPlayer.Summary.Median, r.WiFi256.Summary.Median, r.LTE256.Summary.Median)
+	}
+	_ = time.Second
+}

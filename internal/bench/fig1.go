@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/handshake"
+	"repro/internal/netem"
+)
+
+// Fig1Row compares the measured secure-bootstrap timings over one
+// emulated path against the paper's closed forms (Fig. 1 / §3.2):
+// η = 4R+Δ₁+Δ₂ to establish the secure connection, ψ = 6R+Δ₁+Δ₂ to
+// receive the complete JSON, and the head start 10(θ−1)R₁ the fast path
+// gains over a path with θ× the RTT.
+type Fig1Row struct {
+	RTT         time.Duration
+	Theta       float64
+	EtaMeasured time.Duration
+	EtaModel    time.Duration
+	PsiMeasured time.Duration
+	PsiModel    time.Duration
+	HeadStart   time.Duration // closed form vs the θ=1 base path
+}
+
+// fig1JSONSize approximates the ~20 packets of watch-request JSON.
+const fig1JSONSize = 28 * 1024
+
+// Fig1 validates the HTTPS-bootstrap timing model by running the
+// message sequence of Fig. 1 over emulated paths with RTT ratios
+// θ ∈ {1, 2, 3} and comparing measured η/ψ to the closed forms.
+func Fig1(w io.Writer, opt Options) []Fig1Row {
+	opt = opt.withDefaults()
+	header(w, "Figure 1: HTTPS bootstrap timing model validation")
+	params := handshake.Params{Delta1: 4 * time.Millisecond, Delta2: 3 * time.Millisecond}
+	baseRTT := 25 * time.Millisecond
+	var out []Fig1Row
+	for _, theta := range []float64{1, 2, 3} {
+		rtt := time.Duration(float64(baseRTT) * theta)
+		eta, psi, err := measureBootstrap(rtt, params)
+		if err != nil {
+			fmt.Fprintf(w, "  ! theta %.1f failed: %v\n", theta, err)
+			continue
+		}
+		row := Fig1Row{
+			RTT: rtt, Theta: theta,
+			EtaMeasured: eta, EtaModel: params.Eta(rtt),
+			PsiMeasured: psi, PsiModel: params.Psi(rtt),
+			HeadStart: handshake.HeadStart(baseRTT, rtt),
+		}
+		fmt.Fprintf(w, "  theta=%.1f RTT=%v  eta %-8v (model %-8v)  psi %-8v (model %-8v)  head-start %v\n",
+			theta, rtt, row.EtaMeasured.Round(time.Millisecond), row.EtaModel,
+			row.PsiMeasured.Round(time.Millisecond), row.PsiModel, row.HeadStart)
+		out = append(out, row)
+	}
+	return out
+}
+
+// measureBootstrap runs the Fig. 1 sequence over a fresh emulated path
+// and returns the measured η (secure connection established) and ψ
+// (complete JSON received).
+func measureBootstrap(rtt time.Duration, params handshake.Params) (eta, psi time.Duration, err error) {
+	clock := netem.NewVirtualClock()
+	defer clock.Stop()
+	network := netem.NewNetwork(clock)
+	inner, err := network.Listen("proxy.test:443", 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer inner.Close()
+
+	// Minimal web-proxy: handshake, then one HTTP response with a
+	// JSON-sized body.
+	go func() {
+		c, err := inner.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		if err := handshake.Server(c, clock, params); err != nil {
+			return
+		}
+		br := bufio.NewReader(c)
+		if _, err := http.ReadRequest(br); err != nil {
+			return
+		}
+		body := make([]byte, fig1JSONSize)
+		fmt.Fprintf(c, "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n", len(body))
+		c.Write(body)
+	}()
+
+	link := netem.LinkParams{Rate: netem.Mbps(20), Delay: rtt / 2, SlowStart: true}
+	iface := network.NewInterface("probe", link, link)
+	start := clock.Now()
+	conn, err := iface.DialContext(context.Background(), "tcp", "proxy.test:443")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer conn.Close()
+	if err := handshake.Client(conn); err != nil {
+		return 0, 0, err
+	}
+	eta = clock.Now().Sub(start)
+
+	if _, err := io.WriteString(conn, "GET /watch?v=qjT4T2gU9sM HTTP/1.1\r\nHost: proxy.test\r\n\r\n"); err != nil {
+		return 0, 0, err
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, 0, err
+	}
+	resp.Body.Close()
+	psi = clock.Now().Sub(start)
+
+	var _ net.Conn = conn
+	return eta, psi, nil
+}

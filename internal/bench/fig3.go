@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro"
+)
+
+// Fig3Cell identifies one cell of the Figure 3 sweep.
+type Fig3Cell struct {
+	Scheduler string        // "harmonic", "ewma", "ratio"
+	PreBuffer time.Duration // 20/40/60 s
+	Chunk     int64         // 16 KB .. 1 MB initial chunk size
+	Series    Series
+}
+
+// Fig3Schedulers are the schedulers compared in Figure 3.
+var Fig3Schedulers = []string{"harmonic", "ewma", "ratio"}
+
+// Fig3PreBuffers are the pre-buffering durations of Figure 3.
+var Fig3PreBuffers = []time.Duration{20 * time.Second, 40 * time.Second, 60 * time.Second}
+
+// Fig3Chunks are the initial chunk sizes of Figure 3.
+var Fig3Chunks = []int64{16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+// NewSchedulerByName builds a Figure 3 scheduler with the paper's
+// parameters (δ = 5%, α = 0.9).
+func NewSchedulerByName(name string, base int64) msplayer.Scheduler {
+	switch name {
+	case "harmonic":
+		return msplayer.NewHarmonicScheduler(base, msplayer.DefaultDelta)
+	case "ewma":
+		return msplayer.NewEWMAScheduler(base, msplayer.DefaultDelta, msplayer.DefaultAlpha)
+	case "ratio":
+		return msplayer.NewRatioScheduler(base)
+	default:
+		panic("bench: unknown scheduler " + name)
+	}
+}
+
+// Fig3 reproduces Figure 3: pre-buffer download time for the three
+// MSPlayer schedulers across pre-buffering durations (20/40/60 s) and
+// initial chunk sizes (16 KB–1 MB). The paper finds download time
+// decreasing in chunk size, the Ratio baseline slowest and most
+// variable, and Harmonic best with 256 KB ≈ 1 MB.
+func Fig3(w io.Writer, opt Options) []Fig3Cell {
+	opt = opt.withDefaults()
+	header(w, "Figure 3: scheduler x pre-buffer x initial chunk size (emulated testbed)")
+	var out []Fig3Cell
+	for _, pre := range Fig3PreBuffers {
+		for _, chunk := range Fig3Chunks {
+			for _, sched := range Fig3Schedulers {
+				sched, pre, chunk := sched, pre, chunk
+				samples := repeat(w, opt, func(rep int) (float64, error) {
+					p := msplayer.TestbedProfile(opt.Seed + int64(rep)*13)
+					return preBufferTime(p, msplayer.BothPaths,
+						NewSchedulerByName(sched, chunk), pre)
+				})
+				cell := Fig3Cell{Scheduler: sched, PreBuffer: pre, Chunk: chunk,
+					Series: newSeries(fmt.Sprintf("%s %dKB pre=%ds", sched, chunk>>10, int(pre.Seconds())), samples)}
+				fmtRow(w, cell.Series)
+				out = append(out, cell)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro"
+)
+
+// Fig4Row is one pre-buffering duration of Figure 4 with the three
+// competing players.
+type Fig4Row struct {
+	PreBuffer time.Duration
+	WiFi      Series
+	LTE       Series
+	MSPlayer  Series
+	// Reduction is MSPlayer's median start-up delay reduction relative
+	// to the best single path (the paper reports 12/21/28% for
+	// 20/40/60 s).
+	Reduction float64
+}
+
+// Fig4 reproduces Figure 4: pre-buffering 20/40/60 seconds of video over
+// the YouTube-like service for single-path WiFi, single-path LTE, and
+// MSPlayer (Harmonic, 256 KB initial chunks).
+func Fig4(w io.Writer, opt Options) []Fig4Row {
+	opt = opt.withDefaults()
+	header(w, "Figure 4: pre-buffering 20/40/60s on YouTube-like service")
+	var out []Fig4Row
+	for _, pre := range []time.Duration{20 * time.Second, 40 * time.Second, 60 * time.Second} {
+		pre := pre
+		run := func(sel msplayer.PathSelection, mk func() msplayer.Scheduler) Series {
+			samples := repeat(w, opt, func(rep int) (float64, error) {
+				p := msplayer.YouTubeProfile(opt.Seed + int64(rep)*13)
+				return preBufferTime(p, sel, mk(), pre)
+			})
+			return newSeries("", samples)
+		}
+		row := Fig4Row{PreBuffer: pre}
+		row.WiFi = run(msplayer.WiFiOnly, msplayer.NewBulkScheduler)
+		row.WiFi.Label = fmt.Sprintf("WiFi pre=%ds", int(pre.Seconds()))
+		row.LTE = run(msplayer.LTEOnly, msplayer.NewBulkScheduler)
+		row.LTE.Label = fmt.Sprintf("LTE pre=%ds", int(pre.Seconds()))
+		row.MSPlayer = run(msplayer.BothPaths, func() msplayer.Scheduler {
+			return msplayer.NewHarmonicScheduler(256<<10, msplayer.DefaultDelta)
+		})
+		row.MSPlayer.Label = fmt.Sprintf("MSPlayer pre=%ds", int(pre.Seconds()))
+
+		best := row.WiFi.Summary.Median
+		if row.LTE.Summary.Median < best {
+			best = row.LTE.Summary.Median
+		}
+		if best > 0 {
+			row.Reduction = 1 - row.MSPlayer.Summary.Median/best
+		}
+		fmtRow(w, row.WiFi)
+		fmtRow(w, row.LTE)
+		fmtRow(w, row.MSPlayer)
+		fmt.Fprintf(w, "  -> start-up delay reduction vs best single path: %.0f%%\n", row.Reduction*100)
+		out = append(out, row)
+	}
+	return out
+}

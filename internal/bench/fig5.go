@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro"
+)
+
+// Fig5Row holds the competitors for one re-buffering size of Figure 5:
+// commercial-style single-path players with fixed 64 KB (Adobe Flash)
+// and 256 KB (HTML5) chunks, against MSPlayer.
+type Fig5Row struct {
+	Refill   time.Duration
+	WiFi64   Series
+	WiFi256  Series
+	LTE64    Series
+	LTE256   Series
+	MSPlayer Series
+}
+
+// fig5Cycles is the number of re-buffering cycles averaged per session.
+const fig5Cycles = 3
+
+// Fig5 reproduces Figure 5: time to refill the playout buffer with
+// 20/40/60 seconds of video over the YouTube-like service, comparing
+// single-path fixed-chunk commercial players (64/256 KB over WiFi and
+// LTE) with MSPlayer (Harmonic, 256 KB initial chunks).
+func Fig5(w io.Writer, opt Options) []Fig5Row {
+	return Fig5For(w, opt, 20*time.Second, 40*time.Second, 60*time.Second)
+}
+
+// Fig5For runs the Figure 5 comparison for specific re-buffering sizes.
+func Fig5For(w io.Writer, opt Options, refills ...time.Duration) []Fig5Row {
+	opt = opt.withDefaults()
+	header(w, "Figure 5: re-buffering with 64/256KB chunks on YouTube-like service")
+	var out []Fig5Row
+	for _, refill := range refills {
+		refill := refill
+		run := func(label string, sel msplayer.PathSelection, mk func() msplayer.Scheduler) Series {
+			samples := repeat(w, opt, func(rep int) (float64, error) {
+				p := msplayer.YouTubeProfile(opt.Seed + int64(rep)*13)
+				return refillTimes(p, sel, mk(), refill, fig5Cycles)
+			})
+			s := newSeries(fmt.Sprintf("%s refill=%ds", label, int(refill.Seconds())), samples)
+			fmtRow(w, s)
+			return s
+		}
+		row := Fig5Row{Refill: refill}
+		row.WiFi64 = run("WiFi 64KB", msplayer.WiFiOnly, func() msplayer.Scheduler {
+			return msplayer.NewFixedScheduler(64 << 10)
+		})
+		row.WiFi256 = run("WiFi 256KB", msplayer.WiFiOnly, func() msplayer.Scheduler {
+			return msplayer.NewFixedScheduler(256 << 10)
+		})
+		row.LTE64 = run("LTE 64KB", msplayer.LTEOnly, func() msplayer.Scheduler {
+			return msplayer.NewFixedScheduler(64 << 10)
+		})
+		row.LTE256 = run("LTE 256KB", msplayer.LTEOnly, func() msplayer.Scheduler {
+			return msplayer.NewFixedScheduler(256 << 10)
+		})
+		row.MSPlayer = run("MSPlayer", msplayer.BothPaths, func() msplayer.Scheduler {
+			return msplayer.NewHarmonicScheduler(256<<10, msplayer.DefaultDelta)
+		})
+		out = append(out, row)
+	}
+	return out
+}

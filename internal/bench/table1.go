@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+// Table1Row is one row of Table 1: the fraction of traffic carried by
+// the WiFi path during pre-buffering and re-buffering of a given size,
+// with 256 KB initial chunks. The paper measures 60–64% (pre) and
+// 56–62% (re).
+type Table1Row struct {
+	Size    time.Duration
+	PreMean float64
+	PreStd  float64
+	ReMean  float64
+	ReStd   float64
+}
+
+// Table1 reproduces Table 1 on the YouTube-like service with the
+// Harmonic scheduler at 256 KB initial chunks.
+func Table1(w io.Writer, opt Options) []Table1Row {
+	opt = opt.withDefaults()
+	header(w, "Table 1: fraction of traffic over WiFi (mean±std, chunk 256KB)")
+	var out []Table1Row
+	for _, size := range []time.Duration{20 * time.Second, 40 * time.Second, 60 * time.Second} {
+		size := size
+		shareOf := func(rep int, phase msplayer.Phase) (float64, error) {
+			p := msplayer.YouTubeProfile(opt.Seed + int64(rep)*13)
+			tb, err := msplayer.NewTestbed(p)
+			if err != nil {
+				return 0, err
+			}
+			defer tb.Close()
+			cfg := msplayer.SessionConfig{
+				Scheduler: msplayer.NewHarmonicScheduler(256<<10, msplayer.DefaultDelta),
+				Paths:     msplayer.BothPaths,
+			}
+			if phase == msplayer.PhasePreBuffer {
+				cfg.Buffer = msplayer.BufferConfig{PreBufferTarget: size}
+				cfg.StopAfterPreBuffer = true
+			} else {
+				cfg.Buffer = msplayer.BufferConfig{RefillSize: size}
+				cfg.StopAfterRefills = 2
+			}
+			m, err := tb.Stream(context.Background(), cfg)
+			if err != nil {
+				return 0, err
+			}
+			return m.Share("wifi", phase), nil
+		}
+		pre := repeat(w, opt, func(rep int) (float64, error) { return shareOf(rep, msplayer.PhasePreBuffer) })
+		re := repeat(w, opt, func(rep int) (float64, error) { return shareOf(rep, msplayer.PhaseReBuffer) })
+		row := Table1Row{
+			Size:    size,
+			PreMean: stats.Mean(pre), PreStd: stats.StdDev(pre),
+			ReMean: stats.Mean(re), ReStd: stats.StdDev(re),
+		}
+		fmt.Fprintf(w, "  %2ds  pre %5.1f%% ± %4.1f%%   re %5.1f%% ± %4.1f%%\n",
+			int(size.Seconds()), row.PreMean*100, row.PreStd*100, row.ReMean*100, row.ReStd*100)
+		out = append(out, row)
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// BufferConfig sets the ON/OFF thresholds of §4: MSPlayer pre-buffers
+// PreBufferTarget of video, then plays; when the buffer drops below
+// LowWater it resumes requesting until RefillSize more video is
+// buffered (the paper's default refill stops at 20 s, i.e. a 10 s
+// refill above the 10 s low-water mark).
+type BufferConfig struct {
+	// PreBufferTarget is the start-up buffering goal (default 40 s).
+	PreBufferTarget time.Duration
+	// LowWater triggers re-buffering (default 10 s).
+	LowWater time.Duration
+	// RefillSize is the amount fetched per re-buffering cycle above
+	// LowWater (default 10 s, giving the paper's 20 s refill point).
+	RefillSize time.Duration
+	// StallRecovery is the buffered amount required to resume playback
+	// after an underrun (default 5 s).
+	StallRecovery time.Duration
+}
+
+func (c BufferConfig) withDefaults() BufferConfig {
+	if c.PreBufferTarget == 0 {
+		c.PreBufferTarget = 40 * time.Second
+	}
+	if c.LowWater == 0 {
+		c.LowWater = 10 * time.Second
+	}
+	if c.RefillSize == 0 {
+		c.RefillSize = 10 * time.Second
+	}
+	if c.StallRecovery == 0 {
+		c.StallRecovery = 5 * time.Second
+	}
+	return c
+}
+
+// Refill records one re-buffering cycle: fetching turned ON at Start
+// with the buffer at LowWater, and reached the refill goal after
+// Duration.
+type Refill struct {
+	Start    time.Time
+	Duration time.Duration
+	Bytes    int64 // bytes delivered in order during the refill
+}
+
+// Stall records a playback underrun.
+type Stall struct {
+	Start    time.Time
+	Duration time.Duration
+}
+
+// PlayoutBuffer tracks received versus played video in emulated time and
+// drives the ON/OFF fetch gate. All methods take the current emulated
+// instant explicitly so the buffer itself stays clock-agnostic and fully
+// deterministic under test.
+type PlayoutBuffer struct {
+	cfg         BufferConfig
+	bytesPerSec float64
+	videoLen    time.Duration
+
+	mu         sync.Mutex
+	receivedPB time.Duration // playback time received in order
+	playedPB   time.Duration
+	lastTick   time.Time
+
+	started  bool // playback begun (pre-buffering finished)
+	stalled  bool
+	fetching bool
+	finished bool // playback consumed the whole video
+
+	preStart      time.Time
+	preDone       time.Time
+	preDoneSet    bool
+	refillStart   time.Time
+	refillBytes   int64
+	refillStartRx int64
+	receivedBytes int64
+
+	refills   []Refill
+	stalls    []Stall
+	stallFrom time.Time
+
+	// onGate is invoked (outside the lock) when the fetch gate flips.
+	onGate func(on bool)
+}
+
+// NewPlayoutBuffer builds a buffer for a video of the given storage rate
+// (bytes of content per second of playback) and duration, starting in
+// the pre-buffering phase with fetching ON at time start.
+func NewPlayoutBuffer(cfg BufferConfig, bytesPerSec float64, videoLen time.Duration, start time.Time, onGate func(bool)) *PlayoutBuffer {
+	cfg = cfg.withDefaults()
+	if cfg.PreBufferTarget > videoLen {
+		cfg.PreBufferTarget = videoLen
+	}
+	return &PlayoutBuffer{
+		cfg:         cfg,
+		bytesPerSec: bytesPerSec,
+		videoLen:    videoLen,
+		fetching:    true,
+		preStart:    start,
+		lastTick:    start,
+		onGate:      onGate,
+	}
+}
+
+// playbackFor converts bytes to playback time.
+func (b *PlayoutBuffer) playbackFor(n int64) time.Duration {
+	return time.Duration(float64(n) / b.bytesPerSec * float64(time.Second))
+}
+
+// bytesFor converts playback time to bytes.
+func (b *PlayoutBuffer) bytesFor(d time.Duration) int64 {
+	return int64(d.Seconds() * b.bytesPerSec)
+}
+
+// advanceLocked moves the playback point to now, detecting underruns at
+// their exact instant.
+func (b *PlayoutBuffer) advanceLocked(now time.Time) {
+	if now.Before(b.lastTick) {
+		return
+	}
+	if b.started && !b.stalled && !b.finished {
+		elapsed := now.Sub(b.lastTick)
+		avail := b.receivedPB - b.playedPB
+		if elapsed >= avail && b.receivedPB < b.videoLen {
+			// Underrun: playback caught up with delivery mid-interval.
+			b.playedPB = b.receivedPB
+			b.stalled = true
+			b.stallFrom = b.lastTick.Add(avail)
+		} else {
+			b.playedPB += elapsed
+			if b.playedPB >= b.videoLen {
+				b.playedPB = b.videoLen
+				b.finished = true
+			}
+		}
+	}
+	b.lastTick = now
+}
+
+// Deliver accounts in-order delivery up to totalBytes at emulated time
+// now, handling phase transitions (pre-buffer completion, refill
+// completion, stall recovery).
+func (b *PlayoutBuffer) Deliver(totalBytes int64, now time.Time) {
+	b.mu.Lock()
+	b.advanceLocked(now)
+	if totalBytes > b.receivedBytes {
+		b.receivedBytes = totalBytes
+		b.receivedPB = b.playbackFor(totalBytes)
+		if b.receivedPB > b.videoLen {
+			b.receivedPB = b.videoLen
+		}
+	}
+	var gateOff bool
+	buffered := b.receivedPB - b.playedPB
+
+	if !b.started {
+		if b.receivedPB >= b.cfg.PreBufferTarget {
+			// Pre-buffering complete: start playback, stop fetching.
+			b.started = true
+			b.preDone = now
+			b.preDoneSet = true
+			b.fetching = false
+			gateOff = true
+		}
+	} else {
+		if b.stalled && buffered >= b.cfg.StallRecovery {
+			b.stalls = append(b.stalls, Stall{Start: b.stallFrom, Duration: now.Sub(b.stallFrom)})
+			b.stalled = false
+		}
+		if b.fetching {
+			goal := b.cfg.LowWater + b.cfg.RefillSize
+			allReceived := b.receivedPB >= b.videoLen
+			if buffered >= goal || allReceived {
+				b.refills = append(b.refills, Refill{
+					Start:    b.refillStart,
+					Duration: now.Sub(b.refillStart),
+					Bytes:    b.receivedBytes - b.refillStartRx,
+				})
+				b.fetching = false
+				gateOff = true
+			}
+		}
+	}
+	onGate := b.onGate
+	b.mu.Unlock()
+	if gateOff && onGate != nil {
+		onGate(false)
+	}
+}
+
+// NextWake returns the emulated instant at which the buffer next needs
+// attention (crossing LowWater during OFF, or finishing playback), and
+// whether such an instant exists.
+func (b *PlayoutBuffer) NextWake(now time.Time) (time.Time, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked(now)
+	if b.finished {
+		return time.Time{}, false
+	}
+	if !b.started || b.stalled || b.fetching {
+		// Progress is driven by deliveries, not by time.
+		return time.Time{}, false
+	}
+	buffered := b.receivedPB - b.playedPB
+	if b.receivedPB >= b.videoLen {
+		// Everything fetched; next event is end of playback.
+		return now.Add(buffered), true
+	}
+	wait := buffered - b.cfg.LowWater
+	if wait < 0 {
+		wait = 0
+	}
+	return now.Add(wait), true
+}
+
+// Tick re-evaluates time-driven transitions at emulated time now: it
+// turns fetching ON when the buffer has drained to LowWater.
+func (b *PlayoutBuffer) Tick(now time.Time) {
+	b.mu.Lock()
+	b.advanceLocked(now)
+	var gateOn bool
+	if b.started && !b.fetching && !b.finished && b.receivedPB < b.videoLen {
+		buffered := b.receivedPB - b.playedPB
+		if buffered <= b.cfg.LowWater {
+			b.fetching = true
+			b.refillStart = now
+			b.refillStartRx = b.receivedBytes
+			gateOn = true
+		}
+	}
+	onGate := b.onGate
+	b.mu.Unlock()
+	if gateOn && onGate != nil {
+		onGate(true)
+	}
+}
+
+// Buffered returns the buffered playback time at now.
+func (b *PlayoutBuffer) Buffered(now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked(now)
+	return b.receivedPB - b.playedPB
+}
+
+// GoalBytes returns the bytes still needed to meet the current buffering
+// goal (pre-buffer target or refill point); used by the bulk scheduler.
+func (b *PlayoutBuffer) GoalBytes(now time.Time) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked(now)
+	var goalPB time.Duration
+	if !b.started {
+		goalPB = b.cfg.PreBufferTarget
+	} else {
+		goalPB = b.playedPB + b.cfg.LowWater + b.cfg.RefillSize
+	}
+	if goalPB > b.videoLen {
+		goalPB = b.videoLen
+	}
+	n := b.bytesFor(goalPB) - b.receivedBytes
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// GoalOffset returns the absolute stream offset of the current
+// buffering goal: fresh chunk assignments should not extend past it
+// (just-in-time delivery — the player never requests much more video
+// than the phase needs).
+func (b *PlayoutBuffer) GoalOffset(now time.Time) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked(now)
+	var goalPB time.Duration
+	if !b.started {
+		goalPB = b.cfg.PreBufferTarget
+	} else {
+		goalPB = b.playedPB + b.cfg.LowWater + b.cfg.RefillSize
+	}
+	if goalPB > b.videoLen {
+		goalPB = b.videoLen
+	}
+	return b.bytesFor(goalPB)
+}
+
+// PreBufferTime returns the duration of the pre-buffering phase and
+// whether it has completed.
+func (b *PlayoutBuffer) PreBufferTime() (time.Duration, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.preDoneSet {
+		return 0, false
+	}
+	return b.preDone.Sub(b.preStart), true
+}
+
+// Refills returns the completed re-buffering cycles.
+func (b *PlayoutBuffer) Refills() []Refill {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Refill(nil), b.refills...)
+}
+
+// Stalls returns the completed playback underruns.
+func (b *PlayoutBuffer) Stalls() []Stall {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Stall(nil), b.stalls...)
+}
+
+// Finished reports whether the whole video has been played out.
+func (b *PlayoutBuffer) Finished(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked(now)
+	return b.finished
+}
+
+// Started reports whether playback has begun (pre-buffering done).
+func (b *PlayoutBuffer) Started() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.started
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestBufferInvariantsProperty drives a playout buffer with arbitrary
+// interleavings of deliveries and time and checks the core invariants:
+// buffered time is never negative, played never exceeds received,
+// refill and stall durations are positive, and state only moves
+// forward (pre-buffering completes at most once).
+func TestBufferInvariantsProperty(t *testing.T) {
+	f := func(steps []uint32) bool {
+		start := time.Unix(0, 0)
+		b := NewPlayoutBuffer(BufferConfig{}, testBPS, 5*time.Minute, start, nil)
+		now := start
+		received := int64(0)
+		preDoneTimes := 0
+		wasDone := false
+		for _, s := range steps {
+			// Alternate advancing time (up to 8 s) and delivering bytes
+			// (up to ~4 s of video), driven by the fuzz input.
+			if s%3 == 0 {
+				now = now.Add(time.Duration(s%8000) * time.Millisecond)
+				b.Tick(now)
+			} else {
+				received += int64(s % 1_250_000)
+				b.Deliver(received, now)
+			}
+			if got := b.Buffered(now); got < 0 {
+				return false
+			}
+			if _, ok := b.PreBufferTime(); ok {
+				if !wasDone {
+					preDoneTimes++
+					wasDone = true
+				}
+				if preDoneTimes > 1 {
+					return false
+				}
+			} else if wasDone {
+				return false // pre-buffering un-completed
+			}
+			for _, r := range b.Refills() {
+				if r.Duration < 0 {
+					return false
+				}
+			}
+			for _, st := range b.Stalls() {
+				if st.Duration <= 0 {
+					return false
+				}
+			}
+			if b.GoalBytes(now) < 0 || b.GoalOffset(now) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBufferMonotoneClock checks the buffer tolerates queries with
+// non-monotonic timestamps (concurrent callers can observe slightly
+// stale clocks) without corrupting state.
+func TestBufferMonotoneClock(t *testing.T) {
+	start := time.Unix(0, 0)
+	b := NewPlayoutBuffer(BufferConfig{}, testBPS, 5*time.Minute, start, nil)
+	b.Deliver(bytesOfPlayback(41), start.Add(8*time.Second))
+	// A query 'in the past' is a no-op rather than a rewind.
+	if got := b.Buffered(start.Add(2 * time.Second)); got < 0 {
+		t.Fatalf("buffered = %v", got)
+	}
+	after := b.Buffered(start.Add(9 * time.Second))
+	if after <= 0 || after > 41*time.Second {
+		t.Fatalf("buffered after = %v", after)
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+const testBPS = 312_500.0 // 2.5 Mb/s video
+
+// mkBuffer builds a buffer for a 5-minute video with the paper's default
+// thresholds (40 s pre-buffer, 10 s low water, 10 s refill).
+func mkBuffer(onGate func(bool)) (*PlayoutBuffer, time.Time) {
+	start := time.Unix(0, 0)
+	b := NewPlayoutBuffer(BufferConfig{}, testBPS, 5*time.Minute, start, onGate)
+	return b, start
+}
+
+func bytesOfPlayback(sec float64) int64 { return int64(sec * testBPS) }
+
+func TestPreBufferCompletion(t *testing.T) {
+	var gates []bool
+	b, start := mkBuffer(func(on bool) { gates = append(gates, on) })
+
+	// 30 s of video delivered after 5 s: still pre-buffering.
+	b.Deliver(bytesOfPlayback(30), start.Add(5*time.Second))
+	if b.Started() {
+		t.Fatal("playback started before pre-buffer target")
+	}
+	if _, ok := b.PreBufferTime(); ok {
+		t.Fatal("pre-buffer time reported early")
+	}
+	// 41 s of video delivered after 8 s: pre-buffering done, gate off.
+	b.Deliver(bytesOfPlayback(41), start.Add(8*time.Second))
+	d, ok := b.PreBufferTime()
+	if !ok || d != 8*time.Second {
+		t.Fatalf("pre-buffer time = (%v, %v), want 8s", d, ok)
+	}
+	if len(gates) != 1 || gates[0] != false {
+		t.Fatalf("gate transitions = %v, want [false]", gates)
+	}
+}
+
+func TestDrainToLowWaterTurnsFetchOn(t *testing.T) {
+	var gates []bool
+	b, start := mkBuffer(func(on bool) { gates = append(gates, on) })
+	b.Deliver(bytesOfPlayback(41), start.Add(8*time.Second)) // pre done, 41s buffered
+
+	wake, ok := b.NextWake(start.Add(8 * time.Second))
+	if !ok {
+		t.Fatal("no wake scheduled during OFF")
+	}
+	// Buffer drains from 41 s to 10 s in 31 s of playback.
+	if want := start.Add(8*time.Second + 31*time.Second); !wake.Equal(want) {
+		t.Fatalf("wake = %v, want %v", wake, want)
+	}
+	b.Tick(wake)
+	if len(gates) != 2 || gates[1] != true {
+		t.Fatalf("gate transitions = %v, want [false,true]", gates)
+	}
+}
+
+func TestRefillCycleRecorded(t *testing.T) {
+	b, start := mkBuffer(nil)
+	b.Deliver(bytesOfPlayback(41), start.Add(8*time.Second))
+	onAt := start.Add(8*time.Second + 31*time.Second)
+	b.Tick(onAt) // fetching ON at 10 s buffered
+
+	// 12 s later, delivery has pushed the buffer to 20 s: refill done.
+	// Received playback needed: played = 8s..51s of wall -> 43s played;
+	// buffered 20 => received 63 s.
+	doneAt := onAt.Add(12 * time.Second)
+	b.Deliver(bytesOfPlayback(63), doneAt)
+	refills := b.Refills()
+	if len(refills) != 1 {
+		t.Fatalf("refills = %d, want 1", len(refills))
+	}
+	r := refills[0]
+	if r.Start != onAt || r.Duration != 12*time.Second {
+		t.Fatalf("refill = %+v", r)
+	}
+	if r.Bytes != bytesOfPlayback(63)-bytesOfPlayback(41) {
+		t.Fatalf("refill bytes = %d", r.Bytes)
+	}
+}
+
+func TestStallDetectionAndRecovery(t *testing.T) {
+	b, start := mkBuffer(nil)
+	b.Deliver(bytesOfPlayback(41), start.Add(8*time.Second))
+	// No further deliveries: buffer runs dry 41 s after playback start.
+	dryAt := start.Add(8*time.Second + 41*time.Second)
+	probe := dryAt.Add(10 * time.Second)
+	if got := b.Buffered(probe); got != 0 {
+		t.Fatalf("buffered after underrun = %v, want 0", got)
+	}
+	// Delivery brings 6 s (> StallRecovery default 5 s): stall ends.
+	recoverAt := dryAt.Add(30 * time.Second)
+	b.Deliver(bytesOfPlayback(41+6), recoverAt)
+	stalls := b.Stalls()
+	if len(stalls) != 1 {
+		t.Fatalf("stalls = %d, want 1", len(stalls))
+	}
+	if stalls[0].Start != dryAt {
+		t.Fatalf("stall start = %v, want %v", stalls[0].Start, dryAt)
+	}
+	if stalls[0].Duration != 30*time.Second {
+		t.Fatalf("stall duration = %v, want 30s", stalls[0].Duration)
+	}
+}
+
+func TestPlaybackFinishes(t *testing.T) {
+	b, start := mkBuffer(nil)
+	b.Deliver(bytesOfPlayback(300), start.Add(20*time.Second)) // whole video
+	if !b.Started() {
+		t.Fatal("not started")
+	}
+	end := start.Add(20*time.Second + 300*time.Second)
+	if b.Finished(end.Add(-time.Second)) {
+		t.Fatal("finished too early")
+	}
+	if !b.Finished(end.Add(time.Second)) {
+		t.Fatal("not finished after full playback")
+	}
+	// NextWake before the end points at end of playback.
+	b2, s2 := mkBuffer(nil)
+	b2.Deliver(bytesOfPlayback(300), s2.Add(20*time.Second))
+	wake, ok := b2.NextWake(s2.Add(30 * time.Second))
+	if !ok {
+		t.Fatal("no end-of-playback wake")
+	}
+	if want := s2.Add(20*time.Second + 300*time.Second); !wake.Equal(want) {
+		t.Fatalf("end wake = %v, want %v", wake, want)
+	}
+}
+
+func TestPreTargetClampedToVideoLength(t *testing.T) {
+	start := time.Unix(0, 0)
+	b := NewPlayoutBuffer(BufferConfig{PreBufferTarget: 40 * time.Second},
+		testBPS, 15*time.Second, start, nil)
+	b.Deliver(bytesOfPlayback(15), start.Add(3*time.Second))
+	if d, ok := b.PreBufferTime(); !ok || d != 3*time.Second {
+		t.Fatalf("short-video pre-buffer = (%v, %v)", d, ok)
+	}
+}
+
+func TestGoalBytes(t *testing.T) {
+	b, start := mkBuffer(nil)
+	// Pre phase: goal is the full 40 s.
+	if got, want := b.GoalBytes(start), bytesOfPlayback(40); got != want {
+		t.Fatalf("pre goal = %d, want %d", got, want)
+	}
+	b.Deliver(bytesOfPlayback(25), start.Add(2*time.Second))
+	if got, want := b.GoalBytes(start.Add(2*time.Second)), bytesOfPlayback(15); got != want {
+		t.Fatalf("partial pre goal = %d, want %d", got, want)
+	}
+	// Steady phase at low water: goal = played + low + refill - received.
+	b.Deliver(bytesOfPlayback(41), start.Add(8*time.Second))
+	onAt := start.Add(8*time.Second + 31*time.Second) // 31 s played, 10 s buffered
+	b.Tick(onAt)
+	got := b.GoalBytes(onAt)
+	want := bytesOfPlayback(31+10+10) - bytesOfPlayback(41)
+	if diff := got - want; diff < -2 || diff > 2 { // rounding slack
+		t.Fatalf("refill goal = %d, want %d", got, want)
+	}
+}
+
+func TestBufferedNeverNegative(t *testing.T) {
+	b, start := mkBuffer(nil)
+	b.Deliver(bytesOfPlayback(41), start.Add(8*time.Second))
+	for off := time.Duration(0); off < 200*time.Second; off += 7 * time.Second {
+		if got := b.Buffered(start.Add(8*time.Second + off)); got < 0 {
+			t.Fatalf("buffered went negative: %v at +%v", got, off)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"io"
+	"sort"
+	"sync"
+)
+
+// Span is a half-open byte range [Off, Off+Size) of the video stream.
+type Span struct {
+	Off  int64
+	Size int64
+}
+
+// End returns the exclusive end offset.
+func (s Span) End() int64 { return s.Off + s.Size }
+
+// chunkManager hands out byte ranges to path fetchers and reassembles
+// completed chunks in order. Per the paper's design it stores at most
+// MaxOutOfOrder completed chunks that cannot yet be delivered; a path
+// asking for fresh work while the store is full waits until the gap
+// fills, which also realises the "complete transfers at the same time"
+// goal when the scheduler misjudges.
+type chunkManager struct {
+	// deliverMu serialises whole complete() calls so the in-order
+	// prefix reaches the sink and the playout buffer in frontier order
+	// even when both paths finish chunks simultaneously. It is always
+	// acquired before mu.
+	deliverMu sync.Mutex
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	total    int64 // content length; -1 until the first bootstrap
+	next     int64 // next unassigned offset
+	frontier int64 // delivered in-order up to here
+	stored   map[int64][]byte
+	storedBy map[int64]int // offset -> path that fetched it
+	maxOOO   int
+	retry    []Span // failed chunks awaiting reassignment
+
+	gate    bool // fetching allowed (ON/OFF state)
+	stopped bool
+
+	sink io.Writer // receives the in-order byte stream (may be nil)
+	// onDeliver is called with the new frontier after in-order delivery;
+	// the player advances the playout buffer here.
+	onDeliver func(frontier int64)
+	// limit optionally bounds fresh assignments to an absolute stream
+	// offset (the playout buffer's current goal), implementing
+	// just-in-time delivery. Fresh spans are clamped so they do not
+	// extend more than a minimum chunk past the limit.
+	limit func() int64
+}
+
+func newChunkManager(maxOOO int, sink io.Writer) *chunkManager {
+	if maxOOO < 1 {
+		maxOOO = 1
+	}
+	cm := &chunkManager{
+		total:    -1,
+		stored:   make(map[int64][]byte),
+		storedBy: make(map[int64]int),
+		maxOOO:   maxOOO,
+		sink:     sink,
+	}
+	cm.cond = sync.NewCond(&cm.mu)
+	return cm
+}
+
+// setTotal installs the content length once known (first JSON decode).
+func (cm *chunkManager) setTotal(n int64) {
+	cm.mu.Lock()
+	if cm.total < 0 {
+		cm.total = n
+	}
+	cm.cond.Broadcast()
+	cm.mu.Unlock()
+}
+
+// setLimit installs the just-in-time goal-offset bound.
+func (cm *chunkManager) setLimit(f func() int64) {
+	cm.mu.Lock()
+	cm.limit = f
+	cm.cond.Broadcast()
+	cm.mu.Unlock()
+}
+
+// setGate flips the ON/OFF fetch gate.
+func (cm *chunkManager) setGate(on bool) {
+	cm.mu.Lock()
+	cm.gate = on
+	cm.cond.Broadcast()
+	cm.mu.Unlock()
+}
+
+// stop aborts all waiters; acquire returns ok=false afterwards.
+func (cm *chunkManager) stop() {
+	cm.mu.Lock()
+	cm.stopped = true
+	cm.cond.Broadcast()
+	cm.mu.Unlock()
+}
+
+// doneLocked reports whether the whole stream has been delivered.
+func (cm *chunkManager) doneLocked() bool {
+	return cm.total >= 0 && cm.frontier >= cm.total
+}
+
+// Done reports whether the whole stream has been delivered in order.
+func (cm *chunkManager) Done() bool {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	return cm.doneLocked()
+}
+
+// Frontier returns the in-order delivered byte count.
+func (cm *chunkManager) Frontier() int64 {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	return cm.frontier
+}
+
+// acquire blocks until work is available for path i and returns the next
+// span to fetch, sized by want but clamped to the remaining content.
+// ok=false means the stream is fully delivered or the manager stopped.
+func (cm *chunkManager) acquire(i int, want int64) (Span, bool) {
+	if want < 1 {
+		want = 1
+	}
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	for {
+		if cm.stopped || cm.doneLocked() {
+			return Span{}, false
+		}
+		// Failed chunks have priority and bypass the gate and the
+		// out-of-order limit: they fill the delivery gap.
+		if len(cm.retry) > 0 {
+			s := cm.retry[0]
+			cm.retry = cm.retry[1:]
+			return s, true
+		}
+		hasFresh := cm.total >= 0 && cm.next < cm.total
+		oooFull := len(cm.stored) >= cm.maxOOO
+		// Just-in-time gate: issue full-size chunks only while the
+		// assignment frontier is below the buffering goal. The final
+		// chunk may overshoot the goal by up to one chunk, exactly as a
+		// chunked player overshoots, which guarantees the goal is
+		// crossed decisively instead of approached asymptotically.
+		belowGoal := cm.limit == nil || cm.next < cm.limit()
+		if cm.gate && hasFresh && !oooFull && belowGoal {
+			s := Span{Off: cm.next, Size: want}
+			if s.End() > cm.total {
+				s.Size = cm.total - s.Off
+			}
+			cm.next = s.End()
+			return s, true
+		}
+		cm.cond.Wait()
+	}
+}
+
+// complete records a finished chunk fetched by path i and delivers any
+// newly in-order prefix to the sink.
+func (cm *chunkManager) complete(i int, s Span, data []byte) {
+	cm.deliverMu.Lock()
+	defer cm.deliverMu.Unlock()
+	cm.mu.Lock()
+	if cm.stopped {
+		cm.mu.Unlock()
+		return
+	}
+	cm.stored[s.Off] = data
+	cm.storedBy[s.Off] = i
+	var delivered [][]byte
+	for {
+		d, ok := cm.stored[cm.frontier]
+		if !ok {
+			break
+		}
+		delete(cm.storedBy, cm.frontier)
+		delete(cm.stored, cm.frontier)
+		delivered = append(delivered, d)
+		cm.frontier += int64(len(d))
+	}
+	frontier := cm.frontier
+	onDeliver := cm.onDeliver
+	sink := cm.sink
+	cm.cond.Broadcast()
+	cm.mu.Unlock()
+
+	if sink != nil {
+		for _, d := range delivered {
+			sink.Write(d)
+		}
+	}
+	if len(delivered) > 0 && onDeliver != nil {
+		onDeliver(frontier)
+	}
+}
+
+// fail requeues a chunk whose transfer failed so any path can take it.
+func (cm *chunkManager) fail(s Span) {
+	cm.mu.Lock()
+	cm.retry = append(cm.retry, s)
+	sort.Slice(cm.retry, func(a, b int) bool { return cm.retry[a].Off < cm.retry[b].Off })
+	cm.cond.Broadcast()
+	cm.mu.Unlock()
+}
+
+// outstanding reports how many completed chunks are stored out of order.
+func (cm *chunkManager) outstanding() int {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	return len(cm.stored)
+}

@@ -1,0 +1,56 @@
+package core
+
+import "time"
+
+// EnergyModel estimates the radio energy cost of a streaming session —
+// the energy-awareness the paper lists as future work ("our scheduler
+// currently does not take into account energy constraints when
+// leveraging multiple interfaces", §7, citing Huang et al., SIGCOMM'13).
+//
+// The model is the standard two-component radio abstraction: an active
+// transfer power drawn while a range request is in flight, plus a tail
+// energy charged per transfer burst (the radio lingers in a
+// high-power state after activity ends; LTE tails dominate its budget).
+type EnergyModel struct {
+	// ActivePower is the radio power while transferring, in watts.
+	ActivePower float64
+	// TailEnergy is charged once per chunk transfer, in joules,
+	// approximating the post-transfer high-power tail.
+	TailEnergy float64
+}
+
+// Radio models drawn from the LTE measurement literature (Huang et al.):
+// LTE draws roughly 1.2–2.5 W active with ~1–2 J tails; WiFi is far
+// cheaper per second and has negligible tails.
+var (
+	// WiFiRadio is the default WiFi energy model.
+	WiFiRadio = EnergyModel{ActivePower: 0.7, TailEnergy: 0.1}
+	// LTERadio is the default LTE energy model.
+	LTERadio = EnergyModel{ActivePower: 1.8, TailEnergy: 1.2}
+)
+
+// Energy returns the modelled energy in joules for a path's activity.
+func (e EnergyModel) Energy(active time.Duration, chunks int) float64 {
+	return e.ActivePower*active.Seconds() + e.TailEnergy*float64(chunks)
+}
+
+// SessionEnergy estimates the total radio energy of a session in joules
+// using per-network models (falling back to WiFiRadio for unknown
+// networks), plus the per-path split.
+func SessionEnergy(m *Metrics, models map[string]EnergyModel) (total float64, perPath []float64) {
+	perPath = make([]float64, len(m.Paths))
+	for i, p := range m.Paths {
+		model, ok := models[p.Network]
+		if !ok {
+			model = WiFiRadio
+		}
+		perPath[i] = model.Energy(p.ActiveTime, p.Chunks)
+		total += perPath[i]
+	}
+	return total, perPath
+}
+
+// DefaultRadios maps the testbed's network names to their models.
+func DefaultRadios() map[string]EnergyModel {
+	return map[string]EnergyModel{"wifi": WiFiRadio, "lte": LTERadio}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestEnergyModel(t *testing.T) {
+	m := EnergyModel{ActivePower: 2, TailEnergy: 1}
+	got := m.Energy(10*time.Second, 5)
+	if math.Abs(got-25) > 1e-9 {
+		t.Fatalf("Energy = %v, want 25 J", got)
+	}
+	if m.Energy(0, 0) != 0 {
+		t.Fatal("idle session should cost nothing")
+	}
+}
+
+func TestSessionEnergySplitsPerPath(t *testing.T) {
+	m := &Metrics{Paths: []PathStats{
+		{Network: "wifi", ActiveTime: 10 * time.Second, Chunks: 10},
+		{Network: "lte", ActiveTime: 10 * time.Second, Chunks: 10},
+	}}
+	total, perPath := SessionEnergy(m, DefaultRadios())
+	if len(perPath) != 2 {
+		t.Fatalf("perPath = %v", perPath)
+	}
+	wantWiFi := 0.7*10 + 0.1*10 // 8 J
+	wantLTE := 1.8*10 + 1.2*10  // 30 J
+	if math.Abs(perPath[0]-wantWiFi) > 1e-9 || math.Abs(perPath[1]-wantLTE) > 1e-9 {
+		t.Fatalf("perPath = %v, want [%v %v]", perPath, wantWiFi, wantLTE)
+	}
+	if math.Abs(total-(wantWiFi+wantLTE)) > 1e-9 {
+		t.Fatalf("total = %v", total)
+	}
+	// Same activity costs far more on LTE: the asymmetry an
+	// energy-aware scheduler would exploit.
+	if perPath[1] <= perPath[0] {
+		t.Fatal("LTE should cost more than WiFi for equal activity")
+	}
+}
+
+func TestSessionEnergyUnknownNetworkFallsBack(t *testing.T) {
+	m := &Metrics{Paths: []PathStats{
+		{Network: "ethernet", ActiveTime: 10 * time.Second, Chunks: 10},
+	}}
+	total, _ := SessionEnergy(m, DefaultRadios())
+	want := WiFiRadio.Energy(10*time.Second, 10)
+	if math.Abs(total-want) > 1e-9 {
+		t.Fatalf("fallback total = %v, want %v", total, want)
+	}
+}

@@ -1,0 +1,132 @@
+// Package estimator implements the path-bandwidth estimators that drive
+// MSPlayer's chunk schedulers (paper §3.3): the exponentially weighted
+// moving average of Eq. 1 and the incrementally updated harmonic mean of
+// Eq. 2, plus the trivial last-sample estimator used by the Ratio
+// baseline.
+package estimator
+
+import "fmt"
+
+// Estimator tracks per-chunk throughput samples (bytes per second) for
+// one path and produces a smoothed bandwidth estimate.
+type Estimator interface {
+	// Observe feeds a new throughput measurement w > 0; non-positive
+	// samples are ignored.
+	Observe(w float64)
+	// Estimate returns the current estimate and whether at least one
+	// sample has been observed.
+	Estimate() (float64, bool)
+	// Reset clears all state.
+	Reset()
+	// Name identifies the estimator ("ewma", "harmonic", "last").
+	Name() string
+}
+
+// EWMA implements Eq. 1: ŵ(t+1) = α·ŵ(t) + (1−α)·w(t). Larger α weights
+// history more heavily; the paper evaluates α = 0.9.
+type EWMA struct {
+	Alpha float64
+	est   float64
+	ok    bool
+}
+
+// NewEWMA returns an EWMA estimator with the given α ∈ [0, 1).
+func NewEWMA(alpha float64) *EWMA {
+	if alpha < 0 || alpha >= 1 {
+		panic(fmt.Sprintf("estimator: EWMA alpha %v out of [0,1)", alpha))
+	}
+	return &EWMA{Alpha: alpha}
+}
+
+// Observe implements Estimator.
+func (e *EWMA) Observe(w float64) {
+	if w <= 0 {
+		return
+	}
+	if !e.ok {
+		e.est = w
+		e.ok = true
+		return
+	}
+	e.est = e.Alpha*e.est + (1-e.Alpha)*w
+}
+
+// Estimate implements Estimator.
+func (e *EWMA) Estimate() (float64, bool) { return e.est, e.ok }
+
+// Reset implements Estimator.
+func (e *EWMA) Reset() { e.est, e.ok = 0, false }
+
+// Name implements Estimator.
+func (e *EWMA) Name() string { return "ewma" }
+
+// Harmonic implements the incremental harmonic mean of Eq. 2:
+//
+//	ŵ(n+1) = (n+1) / ( n/ŵ(n) + 1/w(n+1) )
+//
+// keeping only the running estimate and the sample count, as the paper
+// highlights to avoid storing past measurements. The harmonic mean
+// damps large outliers (bandwidth bursts), which is why it is the
+// default MSPlayer estimator.
+type Harmonic struct {
+	n   int
+	est float64
+}
+
+// NewHarmonic returns an empty harmonic-mean estimator.
+func NewHarmonic() *Harmonic { return &Harmonic{} }
+
+// Observe implements Estimator.
+func (h *Harmonic) Observe(w float64) {
+	if w <= 0 {
+		return
+	}
+	if h.n == 0 {
+		h.n = 1
+		h.est = w
+		return
+	}
+	n := float64(h.n)
+	h.est = (n + 1) / (n/h.est + 1/w)
+	h.n++
+}
+
+// Estimate implements Estimator.
+func (h *Harmonic) Estimate() (float64, bool) { return h.est, h.n > 0 }
+
+// Reset implements Estimator.
+func (h *Harmonic) Reset() { h.n, h.est = 0, 0 }
+
+// Name implements Estimator.
+func (h *Harmonic) Name() string { return "harmonic" }
+
+// Count returns the number of samples absorbed (the paper's n).
+func (h *Harmonic) Count() int { return h.n }
+
+// LastSample remembers only the most recent measurement; it is the
+// estimator behind the Ratio baseline, whose weakness — reacting to a
+// single noisy sample — the dynamic schedulers are designed to fix.
+type LastSample struct {
+	est float64
+	ok  bool
+}
+
+// NewLastSample returns an empty last-sample estimator.
+func NewLastSample() *LastSample { return &LastSample{} }
+
+// Observe implements Estimator.
+func (l *LastSample) Observe(w float64) {
+	if w <= 0 {
+		return
+	}
+	l.est, l.ok = w, true
+}
+
+// Estimate implements Estimator.
+func (l *LastSample) Estimate() (float64, bool) { return l.est, l.ok }
+
+// Reset implements Estimator.
+func (l *LastSample) Reset() { l.est, l.ok = 0, false }
+
+// Name implements Estimator.
+func (l *LastSample) Name() string { return "last" }

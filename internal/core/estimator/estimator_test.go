@@ -1,0 +1,174 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEWMAFollowsEq1(t *testing.T) {
+	e := NewEWMA(0.9)
+	if _, ok := e.Estimate(); ok {
+		t.Fatal("fresh estimator should report no estimate")
+	}
+	e.Observe(100)
+	if est, ok := e.Estimate(); !ok || est != 100 {
+		t.Fatalf("after first sample: (%v, %v)", est, ok)
+	}
+	e.Observe(200)
+	want := 0.9*100 + 0.1*200
+	if est, _ := e.Estimate(); math.Abs(est-want) > 1e-9 {
+		t.Fatalf("after second sample: %v, want %v", est, want)
+	}
+}
+
+func TestEWMAIgnoresNonPositive(t *testing.T) {
+	e := NewEWMA(0.9)
+	e.Observe(100)
+	e.Observe(0)
+	e.Observe(-5)
+	if est, _ := e.Estimate(); est != 100 {
+		t.Fatalf("estimate = %v, want 100", est)
+	}
+}
+
+func TestEWMAPanicsOnBadAlpha(t *testing.T) {
+	for _, a := range []float64{-0.1, 1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha %v did not panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+func TestHarmonicMatchesBatchFormula(t *testing.T) {
+	samples := []float64{120, 80, 200, 95, 60, 300}
+	h := NewHarmonic()
+	sum := 0.0
+	for i, w := range samples {
+		h.Observe(w)
+		sum += 1 / w
+		want := float64(i+1) / sum
+		if est, ok := h.Estimate(); !ok || math.Abs(est-want) > 1e-9 {
+			t.Fatalf("after %d samples: est = %v, want %v", i+1, est, want)
+		}
+	}
+	if h.Count() != len(samples) {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestHarmonicDampsOutliers(t *testing.T) {
+	h := NewHarmonic()
+	e := NewEWMA(0.5)
+	for _, w := range []float64{100, 100, 100, 100} {
+		h.Observe(w)
+		e.Observe(w)
+	}
+	h.Observe(10000) // burst outlier
+	e.Observe(10000)
+	hEst, _ := h.Estimate()
+	eEst, _ := e.Estimate()
+	if hEst >= eEst {
+		t.Fatalf("harmonic (%v) should damp the outlier more than EWMA (%v)", hEst, eEst)
+	}
+	if hEst > 150 {
+		t.Fatalf("harmonic estimate %v blown up by outlier", hEst)
+	}
+}
+
+func TestLastSample(t *testing.T) {
+	l := NewLastSample()
+	if _, ok := l.Estimate(); ok {
+		t.Fatal("fresh last-sample should be empty")
+	}
+	l.Observe(10)
+	l.Observe(20)
+	if est, _ := l.Estimate(); est != 20 {
+		t.Fatalf("estimate = %v, want 20", est)
+	}
+}
+
+func TestReset(t *testing.T) {
+	for _, e := range []Estimator{NewEWMA(0.9), NewHarmonic(), NewLastSample()} {
+		e.Observe(50)
+		e.Reset()
+		if _, ok := e.Estimate(); ok {
+			t.Errorf("%s: estimate survives Reset", e.Name())
+		}
+		e.Observe(70)
+		if est, ok := e.Estimate(); !ok || est != 70 {
+			t.Errorf("%s: estimator unusable after Reset: (%v, %v)", e.Name(), est, ok)
+		}
+	}
+}
+
+// Property (paper's rationale for the harmonic mean): the estimate is
+// bounded by the min and max of the samples and never exceeds the
+// arithmetic mean.
+func TestHarmonicBoundedProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		h := NewHarmonic()
+		var xs []float64
+		for _, r := range raw {
+			w := float64(r%1_000_000) + 1
+			xs = append(xs, w)
+			h.Observe(w)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		est, ok := h.Estimate()
+		if !ok {
+			return false
+		}
+		min, max, sum := xs[0], xs[0], 0.0
+		for _, x := range xs {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		return est >= min*(1-1e-9) && est <= max*(1+1e-9) && est <= mean*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EWMA stays within the convex hull of its samples.
+func TestEWMABoundedProperty(t *testing.T) {
+	f := func(raw []uint32, alphaRaw uint8) bool {
+		alpha := float64(alphaRaw) / 256.0
+		e := NewEWMA(alpha)
+		min, max := math.Inf(1), math.Inf(-1)
+		seen := false
+		for _, r := range raw {
+			w := float64(r%1_000_000) + 1
+			e.Observe(w)
+			if w < min {
+				min = w
+			}
+			if w > max {
+				max = w
+			}
+			seen = true
+		}
+		if !seen {
+			return true
+		}
+		est, _ := e.Estimate()
+		return est >= min*(1-1e-9) && est <= max*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

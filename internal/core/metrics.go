@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Phase labels which buffering phase a byte was fetched in, for the
+// Table 1 traffic-share accounting.
+type Phase int
+
+// Buffering phases.
+const (
+	PhasePreBuffer Phase = iota
+	PhaseReBuffer
+)
+
+// String returns "pre" or "re".
+func (p Phase) String() string {
+	if p == PhasePreBuffer {
+		return "pre"
+	}
+	return "re"
+}
+
+// PathStats aggregates per-path counters for one streaming session.
+type PathStats struct {
+	// Network is the access network name ("wifi", "lte").
+	Network string
+	// Chunks is the number of successfully fetched chunks.
+	Chunks int
+	// Requests counts all range requests including failed ones.
+	Requests int
+	// Failures counts failed range requests.
+	Failures int
+	// Failovers counts switches to another replica in the network.
+	Failovers int
+	// Rebootstraps counts renewed watch requests (token refresh or
+	// server-list refresh after persistent failures).
+	Rebootstraps int
+	// Bytes is the total payload fetched over this path.
+	Bytes int64
+	// PreBytes/ReBytes split Bytes by buffering phase.
+	PreBytes int64
+	ReBytes  int64
+	// ActiveTime is the cumulative wall time this path spent inside
+	// range-request transfers, the input to the radio energy model.
+	ActiveTime time.Duration
+	// FirstVideoByte is the delay from session start until this path
+	// completed its first chunk — the measured π of §3.2.
+	FirstVideoByte time.Duration
+	// FirstByteSet reports whether FirstVideoByte was recorded.
+	FirstByteSet bool
+}
+
+// Metrics is the result of one streaming session.
+type Metrics struct {
+	// Scheduler names the chunk scheduler used.
+	Scheduler string
+	// PreBufferTime is the duration of the pre-buffering phase,
+	// measured from session start (bootstrap included).
+	PreBufferTime time.Duration
+	// PreBufferDone reports whether pre-buffering completed.
+	PreBufferDone bool
+	// Refills lists completed re-buffering cycles.
+	Refills []Refill
+	// Stalls lists playback underruns.
+	Stalls []Stall
+	// Paths holds per-path counters, indexed as configured.
+	Paths []PathStats
+	// TotalBytes is the in-order delivered byte count.
+	TotalBytes int64
+	// Elapsed is the total emulated session duration.
+	Elapsed time.Duration
+}
+
+// Share returns the fraction of phase bytes carried by the named
+// network, or 0 when no bytes were fetched in that phase.
+func (m *Metrics) Share(network string, phase Phase) float64 {
+	var part, total int64
+	for _, p := range m.Paths {
+		b := p.PreBytes
+		if phase == PhaseReBuffer {
+			b = p.ReBytes
+		}
+		total += b
+		if p.Network == network {
+			part += b
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(part) / float64(total)
+}
+
+// metricsRecorder is the concurrent accumulator behind Metrics.
+type metricsRecorder struct {
+	mu    sync.Mutex
+	paths []PathStats
+	start time.Time
+}
+
+func newMetricsRecorder(networks []string, start time.Time) *metricsRecorder {
+	r := &metricsRecorder{start: start, paths: make([]PathStats, len(networks))}
+	for i, n := range networks {
+		r.paths[i].Network = n
+	}
+	return r
+}
+
+func (r *metricsRecorder) request(i int) {
+	r.mu.Lock()
+	r.paths[i].Requests++
+	r.mu.Unlock()
+}
+
+func (r *metricsRecorder) failure(i int) {
+	r.mu.Lock()
+	r.paths[i].Failures++
+	r.mu.Unlock()
+}
+
+func (r *metricsRecorder) failover(i int) {
+	r.mu.Lock()
+	r.paths[i].Failovers++
+	r.mu.Unlock()
+}
+
+func (r *metricsRecorder) rebootstrap(i int) {
+	r.mu.Lock()
+	r.paths[i].Rebootstraps++
+	r.mu.Unlock()
+}
+
+func (r *metricsRecorder) chunk(i int, size int64, phase Phase, now time.Time, elapsed time.Duration) {
+	r.mu.Lock()
+	p := &r.paths[i]
+	p.Chunks++
+	p.Bytes += size
+	p.ActiveTime += elapsed
+	if phase == PhasePreBuffer {
+		p.PreBytes += size
+	} else {
+		p.ReBytes += size
+	}
+	if !p.FirstByteSet {
+		p.FirstVideoByte = now.Sub(r.start)
+		p.FirstByteSet = true
+	}
+	r.mu.Unlock()
+}
+
+func (r *metricsRecorder) snapshot() []PathStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]PathStats(nil), r.paths...)
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/netem"
+	"repro/internal/origin"
+)
+
+// PathConfig wires one MSPlayer path: an emulated interface plus the
+// address of the web proxy reachable through that interface's network.
+type PathConfig struct {
+	// Iface is the network attachment (WiFi or LTE).
+	Iface *netem.Interface
+	// Network is the access network name; defaults to Iface.Name().
+	Network string
+	// ProxyAddr is the web proxy to bootstrap from.
+	ProxyAddr string
+}
+
+// path runs the fetch loop of one MSPlayer path: bootstrap against the
+// network's web proxy, then repeatedly acquire a span from the chunk
+// manager, fetch it with an HTTP range request, and report the measured
+// throughput to the scheduler. Failures trigger same-network replica
+// failover, token refresh, or backoff-and-retry on interface loss.
+type path struct {
+	id     int
+	cfg    PathConfig
+	player *Player
+	client *http.Client
+
+	info      *origin.VideoInfo
+	servers   []string
+	serverIdx int
+	url       string
+}
+
+func newPath(id int, cfg PathConfig, pl *Player) *path {
+	if cfg.Network == "" {
+		cfg.Network = cfg.Iface.Name()
+	}
+	return &path{id: id, cfg: cfg, player: pl, client: httpx.NewClient(cfg.Iface)}
+}
+
+// backoff sleeps an exponentially growing emulated delay, capped at 2 s,
+// returning false if the context was cancelled.
+func (p *path) backoff(ctx context.Context, attempt int) bool {
+	d := 250 * time.Millisecond << uint(min(attempt, 3))
+	p.player.clock.Sleep(d)
+	return ctx.Err() == nil
+}
+
+// bootstrap fetches video metadata from the network's web proxy,
+// retrying with backoff until it succeeds or ctx is cancelled.
+func (p *path) bootstrap(ctx context.Context) error {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		info, err := p.fetchInfo(ctx)
+		if err == nil {
+			if len(info.VideoServers) == 0 {
+				err = fmt.Errorf("core: no video servers in network %s", p.cfg.Network)
+			} else if _, e := info.ContentLengthFor(p.player.cfg.Itag); e != nil {
+				err = e
+			}
+		}
+		if err != nil {
+			if !p.backoff(ctx, attempt) {
+				return ctx.Err()
+			}
+			continue
+		}
+		p.info = info
+		p.servers = info.VideoServers
+		p.serverIdx = 0
+		p.url = info.PlaybackURL(p.servers[0], p.player.cfg.Itag)
+		n, _ := info.ContentLengthFor(p.player.cfg.Itag)
+		p.player.onBootstrap(info, n)
+		return nil
+	}
+}
+
+func (p *path) fetchInfo(ctx context.Context) (*origin.VideoInfo, error) {
+	url := fmt.Sprintf("http://%s/watch?v=%s", p.cfg.ProxyAddr, p.player.cfg.VideoID)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("core: watch request: status %d", resp.StatusCode)
+	}
+	var info origin.VideoInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("core: decoding video info: %w", err)
+	}
+	return &info, nil
+}
+
+// failover rotates to the next replica in the network; once every
+// replica has been tried it re-bootstraps to refresh the server list
+// (picking up replacements and dropping killed servers).
+func (p *path) failover(ctx context.Context, attempt int) error {
+	p.serverIdx++
+	if p.serverIdx < len(p.servers) {
+		p.player.metrics.failover(p.id)
+		p.url = p.info.PlaybackURL(p.servers[p.serverIdx], p.player.cfg.Itag)
+		return nil
+	}
+	if !p.backoff(ctx, attempt) {
+		return ctx.Err()
+	}
+	p.player.metrics.rebootstrap(p.id)
+	return p.bootstrap(ctx)
+}
+
+// run is the path's main loop; it returns when the stream is complete,
+// the player stops, or ctx is cancelled.
+func (p *path) run(ctx context.Context) {
+	if err := p.bootstrap(ctx); err != nil {
+		return
+	}
+	clock := p.player.clock
+	failStreak := 0
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		want := p.player.cfg.Scheduler.Size(p.id)
+		span, ok := p.player.cm.acquire(p.id, want)
+		if !ok {
+			return
+		}
+		p.player.metrics.request(p.id)
+		start := clock.Now()
+		data, err := httpx.GetRange(ctx, p.client, p.url, span.Off, span.End()-1)
+		if err != nil {
+			p.player.metrics.failure(p.id)
+			p.player.cm.fail(span)
+			if ctx.Err() != nil {
+				return
+			}
+			failStreak++
+			var se *httpx.StatusError
+			if errors.As(err, &se) && (se.Code == http.StatusForbidden || se.Code == http.StatusUnauthorized) {
+				// Token expired or rejected: refresh via the proxy.
+				p.player.metrics.rebootstrap(p.id)
+				if err := p.bootstrap(ctx); err != nil {
+					return
+				}
+			} else if err := p.failover(ctx, failStreak); err != nil {
+				return
+			}
+			continue
+		}
+		failStreak = 0
+		elapsed := clock.Now().Sub(start)
+		p.player.cfg.Scheduler.Observe(p.id, span.Size, elapsed)
+		p.player.metrics.chunk(p.id, span.Size, p.player.phase(), clock.Now(), elapsed)
+		p.player.cm.complete(p.id, span, data)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/origin"
+)
+
+// Config assembles an MSPlayer session.
+type Config struct {
+	// Clock drives all emulated timing.
+	Clock *netem.Clock
+	// VideoID selects the video (11-character YouTube-style ID).
+	VideoID string
+	// Itag selects the format (22 = MP4 720p, the paper's profile).
+	Itag int
+	// Scheduler decides per-path chunk sizes. Required.
+	Scheduler Scheduler
+	// Buffer sets the ON/OFF playout thresholds.
+	Buffer BufferConfig
+	// Paths lists one or two network paths. One path reproduces the
+	// single-path baselines; two is MSPlayer proper.
+	Paths []PathConfig
+	// MaxOutOfOrder bounds stored out-of-order chunks (default 1, the
+	// paper's memory-conscious design point).
+	MaxOutOfOrder int
+	// Sink receives the in-order video byte stream (nil to discard).
+	Sink io.Writer
+	// StopAfterPreBuffer ends the session when pre-buffering completes
+	// (the Fig. 2-4 measurement mode).
+	StopAfterPreBuffer bool
+	// StopAfterRefills > 0 ends the session once that many re-buffering
+	// cycles have been measured (the Fig. 5 mode).
+	StopAfterRefills int
+}
+
+func (c Config) validate() error {
+	if c.Clock == nil {
+		return errors.New("core: Config.Clock is required")
+	}
+	if c.VideoID == "" {
+		return errors.New("core: Config.VideoID is required")
+	}
+	if c.Scheduler == nil {
+		return errors.New("core: Config.Scheduler is required")
+	}
+	if len(c.Paths) < 1 || len(c.Paths) > 2 {
+		return fmt.Errorf("core: %d paths configured; MSPlayer uses one or two", len(c.Paths))
+	}
+	for i, p := range c.Paths {
+		if p.Iface == nil {
+			return fmt.Errorf("core: path %d has no interface", i)
+		}
+		if p.ProxyAddr == "" {
+			return fmt.Errorf("core: path %d has no proxy address", i)
+		}
+	}
+	if c.Itag == 0 {
+		return errors.New("core: Config.Itag is required")
+	}
+	return nil
+}
+
+// Player is one MSPlayer streaming session.
+type Player struct {
+	cfg     Config
+	clock   *netem.Clock
+	cm      *chunkManager
+	metrics *metricsRecorder
+
+	mu       sync.Mutex
+	buffer   *PlayoutBuffer
+	start    time.Time
+	doneOnce sync.Once
+	done     chan struct{}
+	gaterCh  chan struct{}
+}
+
+// NewPlayer validates cfg and builds a session (not yet started).
+func NewPlayer(cfg Config) (*Player, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxOutOfOrder == 0 {
+		cfg.MaxOutOfOrder = 1
+	}
+	p := &Player{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		done:    make(chan struct{}),
+		gaterCh: make(chan struct{}, 1),
+	}
+	p.cm = newChunkManager(cfg.MaxOutOfOrder, cfg.Sink)
+	p.cm.setGate(true) // pre-buffering starts fetching immediately
+	p.cm.onDeliver = p.onDeliver
+	networks := make([]string, len(cfg.Paths))
+	for i, pc := range cfg.Paths {
+		n := pc.Network
+		if n == "" {
+			n = pc.Iface.Name()
+		}
+		networks[i] = n
+	}
+	p.metrics = newMetricsRecorder(networks, time.Time{})
+	return p, nil
+}
+
+// onBootstrap is called by whichever path decodes its JSON first; it
+// sizes the chunk manager and creates the playout buffer.
+func (p *Player) onBootstrap(info *origin.VideoInfo, contentLength int64) {
+	p.cm.setTotal(contentLength)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.buffer != nil {
+		return
+	}
+	var bps float64
+	for _, f := range info.Formats {
+		if f.Itag == p.cfg.Itag {
+			bps = float64(f.Bitrate) / 8
+		}
+	}
+	videoLen := time.Duration(info.LengthSeconds) * time.Second
+	p.buffer = NewPlayoutBuffer(p.cfg.Buffer, bps, videoLen, p.start, p.onGate)
+	buf := p.buffer
+	p.cm.setLimit(func() int64 { return buf.GoalOffset(p.clock.Now()) })
+	if b, ok := p.cfg.Scheduler.(*BulkScheduler); ok {
+		b.SetGoal(func() int64 { return buf.GoalBytes(p.clock.Now()) })
+	}
+}
+
+// onGate reacts to buffer gate flips: ON/OFF propagates to the chunk
+// manager, and OFF transitions kick the gater so it can schedule the
+// next LowWater crossing.
+func (p *Player) onGate(on bool) {
+	p.cm.setGate(on)
+	if !on {
+		select {
+		case p.gaterCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// onDeliver advances the playout buffer as the in-order frontier moves
+// and evaluates stop conditions.
+func (p *Player) onDeliver(frontier int64) {
+	p.mu.Lock()
+	buf := p.buffer
+	p.mu.Unlock()
+	if buf == nil {
+		return
+	}
+	now := p.clock.Now()
+	buf.Deliver(frontier, now)
+	if p.cfg.StopAfterPreBuffer {
+		if _, ok := buf.PreBufferTime(); ok {
+			p.finish()
+		}
+	}
+	if n := p.cfg.StopAfterRefills; n > 0 && len(buf.Refills()) >= n {
+		p.finish()
+	}
+	if p.cm.Done() {
+		p.finish()
+	}
+}
+
+// phase returns the current buffering phase for byte accounting.
+func (p *Player) phase() Phase {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.buffer == nil || !p.buffer.Started() {
+		return PhasePreBuffer
+	}
+	return PhaseReBuffer
+}
+
+func (p *Player) finish() {
+	p.doneOnce.Do(func() { close(p.done) })
+}
+
+// gater drives the time-based ON transitions: it sleeps until the
+// buffer drains to LowWater and flips fetching back on.
+func (p *Player) gater(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-p.done:
+			return
+		default:
+		}
+		p.mu.Lock()
+		buf := p.buffer
+		p.mu.Unlock()
+		if buf == nil {
+			// Wait for the first bootstrap.
+			select {
+			case <-p.gaterCh:
+			case <-time.After(time.Millisecond):
+			case <-ctx.Done():
+				return
+			case <-p.done:
+				return
+			}
+			continue
+		}
+		now := p.clock.Now()
+		if buf.Finished(now) {
+			p.finish()
+			return
+		}
+		if wake, ok := buf.NextWake(now); ok {
+			p.clock.SleepUntil(wake)
+			buf.Tick(p.clock.Now())
+			if buf.Finished(p.clock.Now()) {
+				p.finish()
+				return
+			}
+			continue
+		}
+		// Delivery-driven period: wait for a gate-off kick.
+		select {
+		case <-p.gaterCh:
+		case <-ctx.Done():
+			return
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// Run executes the session until its stop condition (or ctx
+// cancellation) and returns the collected metrics.
+func (p *Player) Run(ctx context.Context) (*Metrics, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	p.mu.Lock()
+	p.start = p.clock.Now()
+	p.mu.Unlock()
+	p.metrics.start = p.start
+
+	paths := make([]*path, len(p.cfg.Paths))
+	var wg sync.WaitGroup
+	for i, pc := range p.cfg.Paths {
+		paths[i] = newPath(i, pc, p)
+		wg.Add(1)
+		go func(pt *path) {
+			defer wg.Done()
+			pt.run(ctx)
+		}(paths[i])
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.gater(ctx)
+	}()
+
+	// A session with unreachable networks would otherwise hang: watch
+	// for all paths exiting without completion.
+	pathsDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(pathsDone)
+	}()
+
+	var runErr error
+	select {
+	case <-p.done:
+	case <-ctx.Done():
+		runErr = ctx.Err()
+	case <-pathsDone:
+		if !p.cm.Done() {
+			runErr = errors.New("core: all paths exited before the session completed")
+		}
+	}
+	p.cm.stop()
+	cancel()
+	wg.Wait()
+	for _, pt := range paths {
+		pt.client.CloseIdleConnections()
+	}
+	return p.collect(), runErr
+}
+
+func (p *Player) collect() *Metrics {
+	m := &Metrics{
+		Scheduler: p.cfg.Scheduler.Name(),
+		Paths:     p.metrics.snapshot(),
+		Elapsed:   p.clock.Now().Sub(p.start),
+	}
+	p.mu.Lock()
+	buf := p.buffer
+	p.mu.Unlock()
+	if buf != nil {
+		if d, ok := buf.PreBufferTime(); ok {
+			m.PreBufferTime = d
+			m.PreBufferDone = true
+		}
+		m.Refills = buf.Refills()
+		m.Stalls = buf.Stalls()
+	}
+	m.TotalBytes = p.cm.Frontier()
+	return m
+}
+
+// Buffered exposes the current buffered playback time (0 before the
+// first bootstrap); used by examples for progress display.
+func (p *Player) Buffered() time.Duration {
+	p.mu.Lock()
+	buf := p.buffer
+	p.mu.Unlock()
+	if buf == nil {
+		return 0
+	}
+	return buf.Buffered(p.clock.Now())
+}

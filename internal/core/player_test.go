@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+)
+
+func testIface(t *testing.T) (*netem.Interface, *netem.Clock) {
+	t.Helper()
+	clock := netem.NewVirtualClock()
+	t.Cleanup(clock.Stop)
+	n := netem.NewNetwork(clock)
+	lp := netem.LinkParams{Rate: netem.Mbps(10), Delay: time.Millisecond}
+	return n.NewInterface("wifi", lp, lp), clock
+}
+
+func TestConfigValidation(t *testing.T) {
+	iface, clock := testIface(t)
+	valid := Config{
+		Clock:     clock,
+		VideoID:   "qjT4T2gU9sM",
+		Itag:      22,
+		Scheduler: NewHarmonicScheduler(0, 0),
+		Paths:     []PathConfig{{Iface: iface, ProxyAddr: "p.test:443"}},
+	}
+	if _, err := NewPlayer(valid); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no clock", func(c *Config) { c.Clock = nil }},
+		{"no video", func(c *Config) { c.VideoID = "" }},
+		{"no scheduler", func(c *Config) { c.Scheduler = nil }},
+		{"no itag", func(c *Config) { c.Itag = 0 }},
+		{"no paths", func(c *Config) { c.Paths = nil }},
+		{"three paths", func(c *Config) {
+			p := c.Paths[0]
+			c.Paths = []PathConfig{p, p, p}
+		}},
+		{"path without iface", func(c *Config) {
+			c.Paths = []PathConfig{{ProxyAddr: "p.test:443"}}
+		}},
+		{"path without proxy", func(c *Config) {
+			c.Paths = []PathConfig{{Iface: iface}}
+		}},
+	}
+	for _, tc := range cases {
+		cfg := valid
+		cfg.Paths = append([]PathConfig(nil), valid.Paths...)
+		tc.mut(&cfg)
+		if _, err := NewPlayer(cfg); err == nil {
+			t.Errorf("%s: config accepted", tc.name)
+		}
+	}
+}
+
+func TestMetricsShare(t *testing.T) {
+	m := &Metrics{Paths: []PathStats{
+		{Network: "wifi", PreBytes: 600, ReBytes: 100},
+		{Network: "lte", PreBytes: 400, ReBytes: 300},
+	}}
+	if got := m.Share("wifi", PhasePreBuffer); got != 0.6 {
+		t.Errorf("pre share = %v", got)
+	}
+	if got := m.Share("wifi", PhaseReBuffer); got != 0.25 {
+		t.Errorf("re share = %v", got)
+	}
+	if got := m.Share("lte", PhaseReBuffer); got != 0.75 {
+		t.Errorf("lte re share = %v", got)
+	}
+	empty := &Metrics{Paths: []PathStats{{Network: "wifi"}}}
+	if got := empty.Share("wifi", PhasePreBuffer); got != 0 {
+		t.Errorf("empty share = %v", got)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhasePreBuffer.String() != "pre" || PhaseReBuffer.String() != "re" {
+		t.Fatalf("phase strings: %q %q", PhasePreBuffer, PhaseReBuffer)
+	}
+}
+
+func TestMetricsRecorder(t *testing.T) {
+	start := time.Unix(0, 0)
+	r := newMetricsRecorder([]string{"wifi", "lte"}, start)
+	r.request(0)
+	r.request(0)
+	r.failure(0)
+	r.failover(1)
+	r.rebootstrap(1)
+	r.chunk(0, 1000, PhasePreBuffer, start.Add(time.Second), 300*time.Millisecond)
+	r.chunk(0, 2000, PhaseReBuffer, start.Add(2*time.Second), 700*time.Millisecond)
+
+	snap := r.snapshot()
+	w := snap[0]
+	if w.Requests != 2 || w.Failures != 1 || w.Chunks != 2 {
+		t.Fatalf("wifi counters = %+v", w)
+	}
+	if w.Bytes != 3000 || w.PreBytes != 1000 || w.ReBytes != 2000 {
+		t.Fatalf("wifi bytes = %+v", w)
+	}
+	if w.ActiveTime != time.Second {
+		t.Fatalf("active time = %v", w.ActiveTime)
+	}
+	if !w.FirstByteSet || w.FirstVideoByte != time.Second {
+		t.Fatalf("first byte = %+v", w)
+	}
+	l := snap[1]
+	if l.Failovers != 1 || l.Rebootstraps != 1 || l.Network != "lte" {
+		t.Fatalf("lte counters = %+v", l)
+	}
+	// Snapshot is a copy.
+	snap[0].Bytes = 0
+	if r.snapshot()[0].Bytes != 3000 {
+		t.Fatal("snapshot aliased recorder state")
+	}
+}

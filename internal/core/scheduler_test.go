@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// observe feeds a chunk completion with the given throughput (bytes/sec).
+func observe(s Scheduler, path int, w float64) {
+	size := int64(w) // 1-second transfer at rate w
+	s.Observe(path, size, time.Second)
+}
+
+func TestRatioInitialSize(t *testing.T) {
+	s := NewRatioScheduler(64 << 10)
+	if got := s.Size(0); got != 64<<10 {
+		t.Fatalf("initial size = %d, want 64KB", got)
+	}
+	if got := s.Size(1); got != 64<<10 {
+		t.Fatalf("initial size path 1 = %d, want 64KB", got)
+	}
+}
+
+func TestRatioFastPathScales(t *testing.T) {
+	s := NewRatioScheduler(64 << 10)
+	observe(s, 0, 3_000_000) // fast
+	observe(s, 1, 1_000_000) // slow
+	if got := s.Size(1); got != 64<<10 {
+		t.Fatalf("slow path size = %d, want base 64KB", got)
+	}
+	if got := s.Size(0); got != 3*64<<10 {
+		t.Fatalf("fast path size = %d, want 3x base", got)
+	}
+	// Non-integral ratio rounds up (ceil).
+	observe(s, 0, 2_500_000)
+	if got := s.Size(0); got != 3*64<<10 {
+		t.Fatalf("fast path size with ratio 2.5 = %d, want ceil -> 3x", got)
+	}
+}
+
+func TestRatioRespondsOnlyToLastSample(t *testing.T) {
+	s := NewRatioScheduler(64 << 10)
+	observe(s, 0, 1_000_000)
+	observe(s, 1, 1_000_000)
+	// One noisy burst on path 0 swings the ratio immediately — the
+	// baseline's documented weakness.
+	observe(s, 0, 10_000_000)
+	if got := s.Size(0); got != 10*64<<10 {
+		t.Fatalf("fast path after burst = %d, want 10x base", got)
+	}
+}
+
+func TestDCSAInitialAndFloor(t *testing.T) {
+	s := NewHarmonicScheduler(64<<10, 0.05)
+	if got := s.Size(0); got != 64<<10 {
+		t.Fatalf("initial size = %d, want base", got)
+	}
+	// Path 0 becomes slow and keeps underperforming: halving to floor.
+	observe(s, 0, 1_000_000)
+	observe(s, 1, 5_000_000)
+	for i := 0; i < 10; i++ {
+		observe(s, 0, 100_000) // far below estimate
+	}
+	if got := s.Size(0); got != MinChunk {
+		t.Fatalf("slow path after collapse = %d, want floor %d", got, MinChunk)
+	}
+}
+
+func TestDCSADoublesOnGoodNews(t *testing.T) {
+	s := NewEWMAScheduler(64<<10, 0.05, 0.9)
+	observe(s, 0, 1_000_000) // slow path estimate 1 MB/s
+	observe(s, 1, 5_000_000)
+	// Measurement 2 MB/s > (1.05)·1 MB/s: size doubles once per chunk.
+	observe(s, 0, 2_000_000)
+	if got := s.Size(0); got != 128<<10 {
+		t.Fatalf("slow path after good chunk = %d, want 128KB", got)
+	}
+	observe(s, 0, 3_000_000)
+	if got := s.Size(0); got != 256<<10 {
+		t.Fatalf("slow path after second good chunk = %d, want 256KB", got)
+	}
+}
+
+func TestDCSAStableWithinDelta(t *testing.T) {
+	s := NewEWMAScheduler(256<<10, 0.05, 0.9)
+	observe(s, 0, 1_000_000)
+	observe(s, 1, 5_000_000)
+	observe(s, 0, 1_020_000) // within ±5% of estimate: unchanged
+	if got := s.Size(0); got != 256<<10 {
+		t.Fatalf("size after in-band sample = %d, want unchanged 256KB", got)
+	}
+}
+
+func TestDCSAFastPathGamma(t *testing.T) {
+	s := NewHarmonicScheduler(64<<10, 0.05)
+	observe(s, 0, 1_000_000)
+	observe(s, 1, 2_500_000)
+	// γ = ceil(2.5/1) = 3; fast chunk = 3 × slow chunk.
+	if got, want := s.Size(1), int64(3*64<<10); got != want {
+		t.Fatalf("fast path size = %d, want %d", got, want)
+	}
+}
+
+func TestDCSAChunkCap(t *testing.T) {
+	s := NewHarmonicScheduler(1<<20, 0.05)
+	observe(s, 0, 1000)        // pathological slow path
+	observe(s, 1, 100_000_000) // very fast path
+	if got := s.Size(1); got > MaxChunk {
+		t.Fatalf("fast path size %d exceeds MaxChunk", got)
+	}
+}
+
+func TestFixedScheduler(t *testing.T) {
+	s := NewFixedScheduler(64 << 10)
+	observe(s, 0, 5_000_000)
+	if got := s.Size(0); got != 64<<10 {
+		t.Fatalf("fixed size = %d", got)
+	}
+	if s.Name() != "fixed-64KB" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}
+
+func TestBulkScheduler(t *testing.T) {
+	s := NewBulkScheduler()
+	if got := s.Size(0); got != MaxChunk {
+		t.Fatalf("goal-less bulk size = %d, want MaxChunk", got)
+	}
+	remaining := int64(12_500_000)
+	s.SetGoal(func() int64 { return remaining })
+	if got := s.Size(0); got != remaining {
+		t.Fatalf("bulk size = %d, want %d", got, remaining)
+	}
+	remaining = 1 // below floor
+	if got := s.Size(0); got != MinChunk {
+		t.Fatalf("tiny bulk size = %d, want MinChunk", got)
+	}
+}
+
+// Property: every scheduler always returns sizes within [MinChunk,
+// MaxChunk] after arbitrary observation sequences — except Bulk, which
+// deliberately requests the whole goal at once.
+func TestSchedulerSizeBoundsProperty(t *testing.T) {
+	mk := func() []Scheduler {
+		return []Scheduler{
+			NewRatioScheduler(256 << 10),
+			NewEWMAScheduler(256<<10, 0.05, 0.9),
+			NewHarmonicScheduler(256<<10, 0.05),
+			NewFixedScheduler(64 << 10),
+		}
+	}
+	f := func(obs []uint32) bool {
+		for _, s := range mk() {
+			for _, o := range obs {
+				path := int(o % 2)
+				w := float64(o%50_000_000) + 1
+				observe(s, path, w)
+				for i := 0; i < 2; i++ {
+					if sz := s.Size(i); sz < MinChunk || sz > MaxChunk {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (the scheduler's design goal): with stable path bandwidths,
+// the chunk-size ratio approaches the bandwidth ratio, so transfers
+// complete at roughly the same time.
+func TestDCSAFinishTogetherProperty(t *testing.T) {
+	for _, ratio := range []float64{1.5, 2, 3, 5} {
+		s := NewHarmonicScheduler(256<<10, 0.05)
+		wSlow, wFast := 1_000_000.0, 1_000_000.0*ratio
+		for i := 0; i < 30; i++ {
+			observe(s, 0, wSlow)
+			observe(s, 1, wFast)
+		}
+		tSlow := float64(s.Size(0)) / wSlow
+		tFast := float64(s.Size(1)) / wFast
+		if tFast > tSlow*1.6 || tSlow > tFast*1.6 {
+			t.Errorf("ratio %.1f: completion times diverge: slow %.3fs fast %.3fs (sizes %d/%d)",
+				ratio, tSlow, tFast, s.Size(0), s.Size(1))
+		}
+	}
+}
+
+func TestSchedulerIgnoresInvalidPathIndex(t *testing.T) {
+	for _, s := range []Scheduler{
+		NewRatioScheduler(0), NewEWMAScheduler(0, 0, 0.9), NewHarmonicScheduler(0, 0),
+	} {
+		s.Observe(7, 1000, time.Second) // must not panic
+		if got := s.Size(-1); got != DefaultBaseChunk {
+			t.Errorf("%s: Size(-1) = %d, want base", s.Name(), got)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package handshake emulates the secure-connection establishment of
+// Fig. 1 in the MSPlayer paper: a TLS-style message exchange layered on
+// an emulated TCP connection.
+//
+// The paper models the time to establish a secure HTTP connection over
+// path i as
+//
+//	ηᵢ = 4·Rᵢ + Δ₁ + Δ₂
+//
+// (one round trip of TCP handshake plus three message exchanges, with
+// server processing times Δ₁ for key verification and Δ₂ for completing
+// the key exchange), the time to receive the complete JSON video
+// information as
+//
+//	ψᵢ = 6·Rᵢ + Δ₁ + Δ₂
+//
+// and the time until the first video packet arrives from the video
+// server as πᵢ ≈ ψᵢ + ηᵢ. Because MSPlayer starts streaming on a path as
+// soon as that path's JSON decodes, the fast path enjoys a head start of
+// π₂ − π₁ ≈ 10·(θ−1)·R₁ where θ = R₂/R₁.
+//
+// The exchange implemented here reproduces that sequence message by
+// message so that measured bootstrap times over netem match the closed
+// forms, which are also provided for direct computation.
+package handshake
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Message types of the emulated exchange, in protocol order.
+const (
+	msgClientHello       = 1
+	msgServerHello       = 2
+	msgCertificateReq    = 3 // client ack prompting certificate delivery
+	msgCertificate       = 4 // certificate + ServerHelloDone + ServerKeyExchange
+	msgClientKeyExchange = 5
+	msgFinished          = 6 // NewSessionTicket + Finished
+)
+
+// Wire sizes of each message, chosen to mirror a typical TLS 1.2
+// exchange (certificates dominate).
+var msgSize = map[byte]int{
+	msgClientHello:       220,
+	msgServerHello:       90,
+	msgCertificateReq:    60,
+	msgCertificate:       3100,
+	msgClientKeyExchange: 330,
+	msgFinished:          260,
+}
+
+// Sleeper is the subset of the netem clock used by the server side to
+// charge processing delays.
+type Sleeper interface {
+	Sleep(d time.Duration)
+}
+
+// Params configures the server-side processing delays of Fig. 1.
+type Params struct {
+	// Delta1 is the key-verification time charged before the certificate
+	// flight.
+	Delta1 time.Duration
+	// Delta2 is the key-exchange completion time charged before the
+	// Finished flight.
+	Delta2 time.Duration
+}
+
+// Eta returns the closed-form secure-connection establishment time
+// η = 4R + Δ₁ + Δ₂ for a path with round-trip time rtt.
+func (p Params) Eta(rtt time.Duration) time.Duration {
+	return 4*rtt + p.Delta1 + p.Delta2
+}
+
+// Psi returns the closed-form time ψ = 6R + Δ₁ + Δ₂ to receive the
+// complete JSON video information over a path with round-trip time rtt.
+func (p Params) Psi(rtt time.Duration) time.Duration {
+	return 6*rtt + p.Delta1 + p.Delta2
+}
+
+// Pi returns the closed-form time π ≈ ψ + η until the first video packet
+// arrives over a path with round-trip time rtt, assuming the web proxy
+// and video server are equally distant and equally provisioned.
+func (p Params) Pi(rtt time.Duration) time.Duration {
+	return p.Psi(rtt) + p.Eta(rtt)
+}
+
+// HeadStart returns the closed-form lead π₂ − π₁ ≈ 10·(θ−1)·R₁ that the
+// fast path (RTT r1) holds over the slow path (RTT r2 ≥ r1), ignoring
+// the Δ terms as the paper does.
+func HeadStart(r1, r2 time.Duration) time.Duration {
+	return 10 * (r2 - r1)
+}
+
+func writeMsg(conn net.Conn, typ byte) error {
+	size := msgSize[typ]
+	buf := make([]byte, 5+size)
+	buf[0] = typ
+	binary.BigEndian.PutUint32(buf[1:5], uint32(size))
+	if _, err := conn.Write(buf); err != nil {
+		return fmt.Errorf("handshake: write msg %d: %w", typ, err)
+	}
+	return nil
+}
+
+func readMsg(conn net.Conn, want byte) error {
+	var hdr [5]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return fmt.Errorf("handshake: read header: %w", err)
+	}
+	if hdr[0] != want {
+		return fmt.Errorf("handshake: got message %d, want %d", hdr[0], want)
+	}
+	size := binary.BigEndian.Uint32(hdr[1:5])
+	if size > 1<<20 {
+		return fmt.Errorf("handshake: message %d implausibly large (%d bytes)", hdr[0], size)
+	}
+	if _, err := io.CopyN(io.Discard, conn, int64(size)); err != nil {
+		return fmt.Errorf("handshake: read body: %w", err)
+	}
+	return nil
+}
+
+// Client runs the client side of the exchange on conn. On return the
+// connection is "secure" and ready for application data.
+func Client(conn net.Conn) error {
+	steps := []struct {
+		send byte
+		recv byte
+	}{
+		{msgClientHello, msgServerHello},
+		{msgCertificateReq, msgCertificate},
+		{msgClientKeyExchange, msgFinished},
+	}
+	for _, s := range steps {
+		if err := writeMsg(conn, s.send); err != nil {
+			return err
+		}
+		if err := readMsg(conn, s.recv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Server runs the server side of the exchange on conn, charging Δ₁ and
+// Δ₂ of processing time through clock.
+func Server(conn net.Conn, clock Sleeper, p Params) error {
+	if err := readMsg(conn, msgClientHello); err != nil {
+		return err
+	}
+	if err := writeMsg(conn, msgServerHello); err != nil {
+		return err
+	}
+	if err := readMsg(conn, msgCertificateReq); err != nil {
+		return err
+	}
+	clock.Sleep(p.Delta1)
+	if err := writeMsg(conn, msgCertificate); err != nil {
+		return err
+	}
+	if err := readMsg(conn, msgClientKeyExchange); err != nil {
+		return err
+	}
+	clock.Sleep(p.Delta2)
+	return writeMsg(conn, msgFinished)
+}
+
+// Listener wraps an inner listener so that accepted connections complete
+// the server-side exchange before being handed to the application (an
+// http.Server, typically). Handshakes run concurrently; a connection
+// whose handshake fails is dropped.
+type Listener struct {
+	inner  net.Listener
+	clock  Sleeper
+	params Params
+	ready  chan net.Conn
+	done   chan struct{}
+}
+
+// NewListener starts accepting and handshaking connections from inner.
+func NewListener(inner net.Listener, clock Sleeper, p Params) *Listener {
+	l := &Listener{
+		inner:  inner,
+		clock:  clock,
+		params: p,
+		ready:  make(chan net.Conn, 16),
+		done:   make(chan struct{}),
+	}
+	go l.acceptLoop()
+	return l
+}
+
+func (l *Listener) acceptLoop() {
+	for {
+		c, err := l.inner.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			if err := Server(c, l.clock, l.params); err != nil {
+				c.Close()
+				return
+			}
+			select {
+			case l.ready <- c:
+			case <-l.done:
+				c.Close()
+			}
+		}(c)
+	}
+}
+
+// Accept implements net.Listener, returning connections that have
+// completed the handshake.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ready:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("handshake: listener closed")
+	}
+}
+
+// Close implements net.Listener.
+func (l *Listener) Close() error {
+	select {
+	case <-l.done:
+		return nil
+	default:
+		close(l.done)
+	}
+	return l.inner.Close()
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }

@@ -1,0 +1,217 @@
+package handshake
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+)
+
+func TestClosedForms(t *testing.T) {
+	p := Params{Delta1: 3 * time.Millisecond, Delta2: 2 * time.Millisecond}
+	rtt := 50 * time.Millisecond
+	if got, want := p.Eta(rtt), 205*time.Millisecond; got != want {
+		t.Errorf("Eta = %v, want %v", got, want)
+	}
+	if got, want := p.Psi(rtt), 305*time.Millisecond; got != want {
+		t.Errorf("Psi = %v, want %v", got, want)
+	}
+	if got, want := p.Pi(rtt), 510*time.Millisecond; got != want {
+		t.Errorf("Pi = %v, want %v", got, want)
+	}
+}
+
+func TestHeadStart(t *testing.T) {
+	r1, r2 := 25*time.Millisecond, 70*time.Millisecond
+	if got, want := HeadStart(r1, r2), 450*time.Millisecond; got != want {
+		t.Errorf("HeadStart = %v, want %v", got, want)
+	}
+	if HeadStart(r1, r1) != 0 {
+		t.Error("equal paths should have zero head start")
+	}
+}
+
+// TestMeasuredEtaMatchesClosedForm establishes a secure connection over
+// netem and compares the measured η against 4R + Δ₁ + Δ₂.
+func TestMeasuredEtaMatchesClosedForm(t *testing.T) {
+	clock := netem.NewVirtualClock()
+	defer clock.Stop()
+	n := netem.NewNetwork(clock)
+	inner, err := n.Listen("proxy.test:443", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Delta1: 4 * time.Millisecond, Delta2: 3 * time.Millisecond}
+	go func() {
+		c, err := inner.Accept()
+		if err != nil {
+			return
+		}
+		Server(c, clock, p)
+	}()
+
+	delay := 25 * time.Millisecond // one-way; RTT = 50 ms
+	iface := n.NewInterface("wifi",
+		netem.LinkParams{Rate: netem.Mbps(20), Delay: delay},
+		netem.LinkParams{Rate: netem.Mbps(20), Delay: delay})
+
+	start := clock.Now()
+	conn, err := iface.DialContext(context.Background(), "tcp", "proxy.test:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := Client(conn); err != nil {
+		t.Fatal(err)
+	}
+	measured := clock.Now().Sub(start)
+	want := p.Eta(2 * delay)
+	// Allow transmission time of the certificate flight plus emulator
+	// quantum slack on top of the propagation-only closed form.
+	if measured < want || measured > want+25*time.Millisecond {
+		t.Fatalf("measured eta = %v, closed form = %v", measured, want)
+	}
+}
+
+// TestListenerServesHTTPAfterHandshake checks that an http.Server runs
+// unmodified behind the handshake listener and that a client that also
+// runs the handshake in its dialer completes requests.
+func TestListenerServesHTTPAfterHandshake(t *testing.T) {
+	clock := netem.NewVirtualClock()
+	defer clock.Stop()
+	n := netem.NewNetwork(clock)
+	inner, err := n.Listen("proxy.test:443", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Delta1: time.Millisecond, Delta2: time.Millisecond}
+	hl := NewListener(inner, clock, p)
+	defer hl.Close()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "pong")
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(hl)
+	defer srv.Close()
+
+	iface := n.NewInterface("wifi",
+		netem.LinkParams{Rate: netem.Mbps(20), Delay: 5 * time.Millisecond},
+		netem.LinkParams{Rate: netem.Mbps(20), Delay: 5 * time.Millisecond})
+	client := &http.Client{Transport: &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			c, err := iface.DialContext(ctx, network, addr)
+			if err != nil {
+				return nil, err
+			}
+			if err := Client(c); err != nil {
+				c.Close()
+				return nil, err
+			}
+			return c, nil
+		},
+	}}
+	resp, err := client.Get("http://proxy.test:443/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+// TestServerRejectsGarbage ensures a non-handshake client is dropped.
+func TestServerRejectsGarbage(t *testing.T) {
+	clock := netem.NewVirtualClock()
+	defer clock.Stop()
+	client, server := netem.Pipe(clock,
+		netem.LinkParams{Rate: netem.Mbps(10), Delay: time.Millisecond},
+		netem.LinkParams{Rate: netem.Mbps(10), Delay: time.Millisecond},
+		"c", "s")
+	errCh := make(chan error, 1)
+	go func() { errCh <- Server(server, clock, Params{}) }()
+	client.Write([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"))
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("server accepted garbage")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server hung on garbage")
+	}
+}
+
+// TestFasterPathFinishesBootstrapFirst reproduces the head-start effect:
+// a WiFi-like path with a third of the RTT finishes η well before LTE.
+func TestFasterPathFinishesBootstrapFirst(t *testing.T) {
+	clock := netem.NewVirtualClock()
+	defer clock.Stop()
+	n := netem.NewNetwork(clock)
+	p := Params{Delta1: 2 * time.Millisecond, Delta2: 2 * time.Millisecond}
+	for _, host := range []string{"w.test:443", "l.test:443"} {
+		inner, err := n.Listen(host, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(l net.Listener) {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				go Server(c, clock, p)
+			}
+		}(inner)
+	}
+	wifi := n.NewInterface("wifi",
+		netem.LinkParams{Rate: netem.Mbps(20), Delay: 12 * time.Millisecond},
+		netem.LinkParams{Rate: netem.Mbps(20), Delay: 12 * time.Millisecond})
+	lte := n.NewInterface("lte",
+		netem.LinkParams{Rate: netem.Mbps(20), Delay: 36 * time.Millisecond},
+		netem.LinkParams{Rate: netem.Mbps(20), Delay: 36 * time.Millisecond})
+
+	type result struct {
+		name string
+		eta  time.Duration
+	}
+	results := make(chan result, 2)
+	start := clock.Now()
+	for _, tc := range []struct {
+		iface *netem.Interface
+		addr  string
+	}{{wifi, "w.test:443"}, {lte, "l.test:443"}} {
+		go func(iface *netem.Interface, addr string) {
+			conn, err := iface.DialContext(context.Background(), "tcp", addr)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				results <- result{iface.Name(), 0}
+				return
+			}
+			defer conn.Close()
+			if err := Client(conn); err != nil {
+				t.Errorf("handshake: %v", err)
+			}
+			results <- result{iface.Name(), clock.Now().Sub(start)}
+		}(tc.iface, tc.addr)
+	}
+	etas := map[string]time.Duration{}
+	for i := 0; i < 2; i++ {
+		r := <-results
+		etas[r.name] = r.eta
+	}
+	if etas["wifi"] >= etas["lte"] {
+		t.Fatalf("wifi eta (%v) should beat lte eta (%v)", etas["wifi"], etas["lte"])
+	}
+	lead := etas["lte"] - etas["wifi"]
+	// Closed form for the eta difference alone: 4·(R2−R1) = 192 ms.
+	if lead < 150*time.Millisecond || lead > 260*time.Millisecond {
+		t.Fatalf("eta lead = %v, want ~192ms", lead)
+	}
+}

@@ -1,0 +1,114 @@
+// Package httpx provides the HTTP plumbing MSPlayer uses on each path:
+// an http.Client bound to one emulated interface that completes the
+// secure-connection handshake inside its dialer, plus HTTP range-request
+// helpers. Connections are persistent, so each range request after the
+// first costs one request round trip, exactly as in the paper.
+package httpx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+
+	"repro/internal/handshake"
+	"repro/internal/netem"
+)
+
+// NewClient returns an HTTP client whose TCP connections are dialed
+// through iface and complete the emulated TLS-style handshake before
+// carrying requests. Keep-alives are on: video streaming reuses one
+// connection per (path, server) pair.
+func NewClient(iface *netem.Interface) *http.Client {
+	return &http.Client{Transport: NewTransport(iface)}
+}
+
+// NewTransport builds the underlying http.Transport for NewClient;
+// exposed so callers can tune connection pooling.
+func NewTransport(iface *netem.Interface) *http.Transport {
+	return &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			c, err := iface.DialContext(ctx, network, addr)
+			if err != nil {
+				return nil, err
+			}
+			if err := handshake.Client(c); err != nil {
+				c.Close()
+				return nil, fmt.Errorf("httpx: secure handshake with %s: %w", addr, err)
+			}
+			return c, nil
+		},
+		MaxIdleConnsPerHost: 4,
+		ForceAttemptHTTP2:   false,
+	}
+}
+
+// StatusError reports an unexpected HTTP status code, letting callers
+// distinguish authorization failures (expired tokens) from server
+// errors when deciding between token refresh and failover.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("httpx: status %d: %s", e.Code, e.Msg)
+}
+
+// RangeHeader renders the HTTP Range header value for the byte interval
+// [from, to] inclusive, as used by YouTube range requests.
+func RangeHeader(from, to int64) string {
+	return fmt.Sprintf("bytes=%d-%d", from, to)
+}
+
+// GetRange fetches the inclusive byte range [from, to] of url and
+// returns the body. It fails unless the server honours the range with a
+// 206 and the exact requested length.
+func GetRange(ctx context.Context, client *http.Client, url string, from, to int64) ([]byte, error) {
+	if to < from {
+		return nil, fmt.Errorf("httpx: invalid range %d-%d", from, to)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Range", RangeHeader(from, to))
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, &StatusError{Code: resp.StatusCode,
+			Msg: fmt.Sprintf("range %d-%d of %s: %.80s", from, to, url, body)}
+	}
+	want := to - from + 1
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("httpx: reading range body: %w", err)
+	}
+	if int64(len(body)) != want {
+		return nil, fmt.Errorf("httpx: range %d-%d returned %d bytes, want %d", from, to, len(body), want)
+	}
+	return body, nil
+}
+
+// Head issues a HEAD request and returns the advertised content length.
+func Head(ctx context.Context, client *http.Client, url string) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("httpx: HEAD %s: status %d", url, resp.StatusCode)
+	}
+	return resp.ContentLength, nil
+}

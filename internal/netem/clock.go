@@ -1,0 +1,214 @@
+package netem
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock is the time source for an emulated network. All emulated delays
+// (propagation, pacing, server think time, playout draining) must be
+// expressed through a Clock so that virtual and scaled-real-time modes
+// behave identically apart from wall-clock duration.
+type Clock struct {
+	mu       sync.Mutex
+	virt     time.Duration // current virtual offset from base
+	base     time.Time     // virtual epoch
+	sleepers sleeperHeap
+	seq      int64 // tiebreaker for heap ordering stability
+
+	activity atomic.Uint64 // bumped on every externally visible event
+	stopped  atomic.Bool
+
+	// realtime mode
+	realtime  bool
+	scale     float64
+	realStart time.Time
+
+	// virtual mode advancer tuning
+	tick time.Duration // real polling period of the advancer
+
+	done chan struct{}
+}
+
+type sleeper struct {
+	deadline time.Duration
+	seq      int64
+	ch       chan struct{}
+}
+
+type sleeperHeap []*sleeper
+
+func (h sleeperHeap) Len() int { return len(h) }
+func (h sleeperHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h sleeperHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *sleeperHeap) Push(x any)   { *h = append(*h, x.(*sleeper)) }
+func (h *sleeperHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}
+
+// NewVirtualClock returns a discrete-event clock. Time only advances when
+// every registered waiter is asleep; it then jumps to the earliest pending
+// deadline. Call Stop when the emulation is finished.
+func NewVirtualClock() *Clock {
+	c := &Clock{
+		base: time.Unix(1_700_000_000, 0), // arbitrary fixed epoch for determinism
+		tick: 50 * time.Microsecond,
+		done: make(chan struct{}),
+	}
+	go c.advance()
+	return c
+}
+
+// NewScaledClock returns a real-time clock compressed by scale: an
+// emulated duration d is slept for d/scale of wall time. scale = 1 gives
+// plain real time.
+func NewScaledClock(scale float64) *Clock {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Clock{
+		base:      time.Now(),
+		realtime:  true,
+		scale:     scale,
+		realStart: time.Now(),
+		done:      make(chan struct{}),
+	}
+}
+
+// Stop terminates the clock. Pending sleepers are woken immediately; the
+// emulation is expected to be torn down afterwards.
+func (c *Clock) Stop() {
+	if c.stopped.Swap(true) {
+		return
+	}
+	if !c.realtime {
+		close(c.done)
+	}
+	c.mu.Lock()
+	for _, s := range c.sleepers {
+		close(s.ch)
+	}
+	c.sleepers = nil
+	c.mu.Unlock()
+}
+
+// Now returns the current emulated time.
+func (c *Clock) Now() time.Time {
+	if c.realtime {
+		real := time.Since(c.realStart)
+		return c.base.Add(time.Duration(float64(real) * c.scale))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.base.Add(c.virt)
+}
+
+// Bump records externally visible activity. The virtual advancer refuses
+// to jump time while activity is still happening, so CPU-bound work
+// between events is given a chance to finish and schedule its own waits.
+func (c *Clock) Bump() { c.activity.Add(1) }
+
+// Sleep blocks for an emulated duration d.
+func (c *Clock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.SleepUntil(c.Now().Add(d))
+}
+
+// SleepUntil blocks until the emulated instant t.
+func (c *Clock) SleepUntil(t time.Time) {
+	if c.realtime {
+		emuLeft := t.Sub(c.Now())
+		if emuLeft <= 0 {
+			return
+		}
+		time.Sleep(time.Duration(float64(emuLeft) / c.scale))
+		return
+	}
+	deadline := t.Sub(c.base)
+	c.mu.Lock()
+	if c.stopped.Load() || deadline <= c.virt {
+		c.mu.Unlock()
+		return
+	}
+	s := &sleeper{deadline: deadline, seq: c.seq, ch: make(chan struct{})}
+	c.seq++
+	heap.Push(&c.sleepers, s)
+	c.mu.Unlock()
+	c.Bump() // registering a sleeper is itself activity
+	<-s.ch
+}
+
+// advance is the virtual-mode coordinator: after enough consecutive
+// quiet polling ticks (no Bump calls) it jumps time to the earliest
+// pending deadline and wakes every sleeper that is due.
+//
+// The quiet requirement scales with the size of the jump. Small jumps
+// (segment arrivals, sub-second pacing) commit after two quiet ticks; a
+// spurious one merely adds jitter-sized noise. Large jumps (idle drain
+// periods, outage timers) demand milliseconds of quiet, so a goroutine
+// that is runnable but momentarily descheduled — e.g. inside the HTTP
+// transport's channel handoffs, which register no sleepers — cannot be
+// leapt over.
+func (c *Clock) advance() {
+	var lastAct uint64
+	quiet := 0
+	for {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		time.Sleep(c.tick)
+		act := c.activity.Load()
+		if act != lastAct {
+			lastAct = act
+			quiet = 0
+			continue
+		}
+		quiet++
+		c.mu.Lock()
+		if len(c.sleepers) == 0 {
+			c.mu.Unlock()
+			continue
+		}
+		earliest := c.sleepers[0].deadline
+		jump := earliest - c.virt
+		required := 2
+		switch {
+		case jump > 10*time.Second:
+			required = 100 // ~5 ms of real quiet
+		case jump > time.Second:
+			required = 60
+		case jump > 100*time.Millisecond:
+			required = 20
+		}
+		if quiet < required {
+			c.mu.Unlock()
+			continue
+		}
+		if earliest > c.virt {
+			c.virt = earliest
+		}
+		for len(c.sleepers) > 0 && c.sleepers[0].deadline <= c.virt {
+			s := heap.Pop(&c.sleepers).(*sleeper)
+			close(s.ch)
+		}
+		c.mu.Unlock()
+		quiet = 0
+		lastAct = c.activity.Add(1) // the jump itself counts as activity
+	}
+}

@@ -1,0 +1,109 @@
+package netem
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualClockAdvancesToDeadline(t *testing.T) {
+	c := NewVirtualClock()
+	defer c.Stop()
+
+	start := c.Now()
+	real := time.Now()
+	c.Sleep(10 * time.Second) // emulated
+	if wall := time.Since(real); wall > 2*time.Second {
+		t.Fatalf("virtual 10s sleep took %v of wall time", wall)
+	}
+	if got := c.Now().Sub(start); got < 10*time.Second {
+		t.Fatalf("clock advanced only %v, want >= 10s", got)
+	}
+}
+
+func TestVirtualClockOrdersConcurrentSleepers(t *testing.T) {
+	c := NewVirtualClock()
+	defer c.Stop()
+
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	base := c.Now()
+	delays := []time.Duration{300 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond}
+	for i, d := range delays {
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			c.SleepUntil(base.Add(d))
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i, d)
+	}
+	wg.Wait()
+	want := []int{1, 2, 0} // by ascending deadline
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestVirtualClockNowMonotonic(t *testing.T) {
+	c := NewVirtualClock()
+	defer c.Stop()
+	prev := c.Now()
+	for i := 0; i < 50; i++ {
+		c.Sleep(time.Duration(i%7+1) * time.Millisecond)
+		now := c.Now()
+		if now.Before(prev) {
+			t.Fatalf("clock went backwards: %v -> %v", prev, now)
+		}
+		prev = now
+	}
+}
+
+func TestScaledClockCompressesSleep(t *testing.T) {
+	c := NewScaledClock(100)
+	defer c.Stop()
+	real := time.Now()
+	c.Sleep(time.Second) // emulated 1s -> ~10ms real
+	wall := time.Since(real)
+	if wall < 5*time.Millisecond || wall > 500*time.Millisecond {
+		t.Fatalf("scaled sleep wall time = %v, want ~10ms", wall)
+	}
+	if got := c.Now().Sub(c.base); got < time.Second {
+		t.Fatalf("emulated elapsed = %v, want >= 1s", got)
+	}
+}
+
+func TestClockStopWakesSleepers(t *testing.T) {
+	c := NewVirtualClock()
+	done := make(chan struct{})
+	go func() {
+		c.SleepUntil(c.Now().Add(time.Hour))
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	c.Stop()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sleeper not released by Stop")
+	}
+}
+
+func TestSleepUntilPastReturnsImmediately(t *testing.T) {
+	c := NewVirtualClock()
+	defer c.Stop()
+	done := make(chan struct{})
+	go func() {
+		c.SleepUntil(c.Now().Add(-time.Minute))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("SleepUntil in the past blocked")
+	}
+}

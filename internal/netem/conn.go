@@ -1,0 +1,94 @@
+package netem
+
+import (
+	"errors"
+	"io"
+	"net"
+	"time"
+)
+
+var (
+	errClosedConn = errors.New("netem: use of closed connection")
+	errEOF        = io.EOF
+
+	// ErrInterfaceDown is surfaced on connections whose local interface
+	// lost connectivity (mobility events).
+	ErrInterfaceDown = errors.New("netem: interface down")
+
+	// ErrServerDown is surfaced on connections whose remote endpoint was
+	// killed (server failure injection).
+	ErrServerDown = errors.New("netem: server down")
+)
+
+// Addr is a trivial net.Addr for emulated endpoints.
+type Addr string
+
+// Network implements net.Addr.
+func (Addr) Network() string { return "netem" }
+
+// String implements net.Addr.
+func (a Addr) String() string { return string(a) }
+
+// Conn is one endpoint of an emulated connection. It implements net.Conn.
+type Conn struct {
+	in, out *direction // in: peer→us, out: us→peer
+	local   Addr
+	remote  Addr
+	onClose func()
+}
+
+// Pipe creates a connected pair of emulated conns. c2s shapes the c→s
+// direction, s2c the reverse. The returned conns are (client, server).
+func Pipe(clock *Clock, c2s, s2c LinkParams, clientAddr, serverAddr Addr) (*Conn, *Conn) {
+	up := newDirection(clock, c2s)
+	down := newDirection(clock, s2c)
+	client := &Conn{in: down, out: up, local: clientAddr, remote: serverAddr}
+	server := &Conn{in: up, out: down, local: serverAddr, remote: clientAddr}
+	return client, server
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	return c.in.read(p)
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) { return c.out.write(p) }
+
+// Close implements net.Conn. The peer drains in-flight data, then sees
+// EOF; local reads fail immediately.
+func (c *Conn) Close() error {
+	c.out.close()
+	c.in.abort(errClosedConn)
+	if c.onClose != nil {
+		c.onClose()
+	}
+	return nil
+}
+
+// Abort hard-fails the connection in both directions with err, modelling
+// interface loss or a crashed peer.
+func (c *Conn) Abort(err error) {
+	c.out.abort(err)
+	c.in.abort(err)
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn. Deadlines are accepted but not
+// enforced: the emulation's own clock governs all timing, and the HTTP
+// stacks used in this repository do not rely on conn deadlines.
+func (c *Conn) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline implements net.Conn (no-op; see SetDeadline).
+func (c *Conn) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline implements net.Conn (no-op; see SetDeadline).
+func (c *Conn) SetWriteDeadline(time.Time) error { return nil }

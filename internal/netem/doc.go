@@ -1,0 +1,28 @@
+// Package netem is a userspace network emulator used as the testbed
+// substrate for MSPlayer experiments.
+//
+// It provides net.Conn / net.Listener implementations whose byte streams
+// are subject to per-direction bandwidth pacing, propagation delay,
+// jitter, random loss (modelled as head-of-line retransmission penalty),
+// time-varying rate traces, and an optional TCP-like slow-start ramp.
+// Real net/http clients and servers run unmodified on top of it, so the
+// full HTTP range-request machinery of MSPlayer is exercised end to end.
+//
+// All emulated waiting goes through a Clock. The Clock has two modes:
+//
+//   - Virtual (the default): a discrete-event "time warp" clock. When
+//     every participant is blocked waiting for an emulated instant, the
+//     clock jumps straight to the earliest pending deadline. Hours of
+//     emulated streaming complete in seconds of real time while every
+//     timing relationship (RTT overhead per range request, pacing,
+//     head-start between paths) is preserved exactly.
+//
+//   - Scaled real time: emulated durations are divided by a constant
+//     factor and slept for real. Useful for interactive demos.
+//
+// The emulator is a fluid model at a configurable pacing quantum
+// (default 20 ms of line time per delivery segment): transfer durations,
+// per-request round trips and slow-start ramps are exact at quantum
+// granularity, which is far finer than the chunk sizes (16 KB..1 MB)
+// scheduled by the systems under test.
+package netem

@@ -1,0 +1,242 @@
+package netem
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Network is an emulated internet: listeners register under string
+// addresses ("host:port"), and Interfaces dial them through shaped paths.
+type Network struct {
+	clock *Clock
+
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	conns     map[*Conn]struct{} // live conns for teardown
+}
+
+// NewNetwork creates an empty emulated network driven by clock.
+func NewNetwork(clock *Clock) *Network {
+	return &Network{
+		clock:     clock,
+		listeners: make(map[string]*Listener),
+		conns:     make(map[*Conn]struct{}),
+	}
+}
+
+// Clock returns the network's time source.
+func (n *Network) Clock() *Clock { return n.clock }
+
+// Listen registers a listener at addr (e.g. "video1.wifi.test:80").
+// ExtraDelay is added to the one-way delay of every path reaching this
+// listener, modelling server distance from the access network.
+func (n *Network) Listen(addr string, extraDelay time.Duration) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("netem: address %s already in use", addr)
+	}
+	l := &Listener{
+		network:    n,
+		addr:       Addr(addr),
+		extraDelay: extraDelay,
+		pending:    make(chan *Conn, 64),
+		done:       make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Interface models a client network attachment (WiFi or LTE): its access
+// link dominates the path, as in the paper's testbed.
+type Interface struct {
+	network *Network
+	name    string
+	srcAddr Addr
+	up      LinkParams // client → server
+	down    LinkParams // server → client
+
+	mu    sync.Mutex
+	alive bool
+	conns map[*Conn]struct{}
+
+	dialSeq int
+}
+
+// NewInterface attaches an interface named name (also used as the local
+// address) with the given access-link shaping.
+func (n *Network) NewInterface(name string, up, down LinkParams) *Interface {
+	return &Interface{
+		network: n,
+		name:    name,
+		srcAddr: Addr(name),
+		up:      up,
+		down:    down,
+		alive:   true,
+		conns:   make(map[*Conn]struct{}),
+	}
+}
+
+// Name returns the interface name ("wifi", "lte", ...).
+func (i *Interface) Name() string { return i.name }
+
+// Alive reports whether the interface currently has connectivity.
+func (i *Interface) Alive() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.alive
+}
+
+// SetAlive toggles connectivity. Taking an interface down aborts every
+// established connection with ErrInterfaceDown and fails future dials
+// until connectivity returns, emulating mobility.
+func (i *Interface) SetAlive(alive bool) {
+	i.mu.Lock()
+	i.alive = alive
+	var toAbort []*Conn
+	if !alive {
+		for c := range i.conns {
+			toAbort = append(toAbort, c)
+		}
+		i.conns = make(map[*Conn]struct{})
+	}
+	i.mu.Unlock()
+	for _, c := range toAbort {
+		c.Abort(ErrInterfaceDown)
+	}
+}
+
+// DialContext establishes an emulated connection to addr through this
+// interface, charging one round trip for the TCP three-way handshake.
+// It is shaped to plug into http.Transport.DialContext.
+func (i *Interface) DialContext(ctx context.Context, _ string, addr string) (net.Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	i.mu.Lock()
+	if !i.alive {
+		i.mu.Unlock()
+		return nil, &net.OpError{Op: "dial", Net: "netem", Addr: Addr(addr), Err: ErrInterfaceDown}
+	}
+	i.dialSeq++
+	seq := i.dialSeq
+	i.mu.Unlock()
+
+	n := i.network
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, &net.OpError{Op: "dial", Net: "netem", Addr: Addr(addr), Err: fmt.Errorf("connection refused")}
+	}
+
+	up, down := i.up, i.down
+	up.Delay += l.extraDelay
+	down.Delay += l.extraDelay
+	// Derive per-connection seeds so jitter/loss differ across conns but
+	// stay reproducible.
+	up.Seed = up.Seed*1000003 + int64(seq)
+	down.Seed = down.Seed*1000003 + int64(seq)*7
+
+	// TCP 3WHS: one full round trip before the connection is usable.
+	n.clock.Sleep(2 * up.Delay)
+
+	local := Addr(fmt.Sprintf("%s:%d", i.name, 40000+seq))
+	client, server := Pipe(n.clock, up, down, local, Addr(addr))
+	client.onClose = func() { i.forget(client) }
+
+	i.mu.Lock()
+	if !i.alive {
+		i.mu.Unlock()
+		client.Abort(ErrInterfaceDown)
+		return nil, &net.OpError{Op: "dial", Net: "netem", Addr: Addr(addr), Err: ErrInterfaceDown}
+	}
+	i.conns[client] = struct{}{}
+	i.mu.Unlock()
+
+	if err := l.deliver(server); err != nil {
+		client.Abort(err)
+		return nil, &net.OpError{Op: "dial", Net: "netem", Addr: Addr(addr), Err: err}
+	}
+	return client, nil
+}
+
+func (i *Interface) forget(c *Conn) {
+	i.mu.Lock()
+	delete(i.conns, c)
+	i.mu.Unlock()
+}
+
+// Listener accepts emulated connections. It implements net.Listener, so
+// an http.Server can Serve on it directly.
+type Listener struct {
+	network    *Network
+	addr       Addr
+	extraDelay time.Duration
+	pending    chan *Conn
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[*Conn]struct{}
+	done   chan struct{}
+}
+
+func (l *Listener) deliver(c *Conn) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrServerDown
+	}
+	if l.conns == nil {
+		l.conns = make(map[*Conn]struct{})
+	}
+	l.conns[c] = struct{}{}
+	l.mu.Unlock()
+	select {
+	case l.pending <- c:
+		return nil
+	case <-l.done:
+		return ErrServerDown
+	}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.pending:
+		return c, nil
+	case <-l.done:
+		return nil, &net.OpError{Op: "accept", Net: "netem", Addr: l.addr, Err: errClosedConn}
+	}
+}
+
+// Close implements net.Listener. It also aborts established connections
+// with ErrServerDown, emulating a server crash, and deregisters the
+// address so it can be reused.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.done)
+	conns := l.conns
+	l.conns = nil
+	l.mu.Unlock()
+
+	l.network.mu.Lock()
+	delete(l.network.listeners, string(l.addr))
+	l.network.mu.Unlock()
+
+	for c := range conns {
+		c.Abort(ErrServerDown)
+	}
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.addr }

@@ -1,0 +1,241 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// segment is a block of bytes due for delivery at an emulated instant.
+type segment struct {
+	data    []byte
+	arrival time.Time
+}
+
+// ackPoint marks the emulated instant at which the sender has received
+// acknowledgements covering cum bytes.
+type ackPoint struct {
+	t   time.Time
+	cum int64
+}
+
+// direction carries bytes one way between two conns: pacing state on the
+// write side, an arrival-ordered queue on the read side.
+type direction struct {
+	clock  *Clock
+	params LinkParams
+	rng    *rand.Rand
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signalled on enqueue, read, close, abort
+	queue    []segment
+	buffered int // bytes written but not yet read (send buffer accounting)
+	unread   int // offset into queue[0].data already consumed
+
+	lastDeparture time.Time // pacing frontier
+	lastArrival   time.Time // FIFO arrival frontier
+
+	// slow-start state: cwnd grows by one byte per acknowledged byte
+	// (classic slow start), where a segment counts as acknowledged one
+	// reverse-path delay after it arrives.
+	lastActivity time.Time
+	sentCum      int64      // bytes queued onto the link
+	ackedCum     int64      // bytes acknowledged by time lastAckCheck
+	ackQueue     []ackPoint // pending (ackTime, cumulative sent) marks
+	ssBaseline   int64      // ackedCum at the last slow-start (re)start
+
+	closed  bool  // writer closed: drain queue then EOF
+	aborted error // hard failure: surfaces immediately on both ends
+}
+
+func newDirection(clock *Clock, p LinkParams) *direction {
+	d := &direction{
+		clock:  clock,
+		params: p.withDefaults(),
+		rng:    rand.New(rand.NewSource(p.Seed + 1)),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	now := clock.Now()
+	d.lastActivity = now
+	d.lastDeparture = now
+	d.lastArrival = now
+	return d
+}
+
+// ssRate returns the slow-start cap on the pacing rate at emulated time t,
+// in bytes per second, or +Inf when slow start is disabled. Classic
+// slow start: the congestion window starts at InitCwnd segments and
+// grows by one byte per acknowledged byte (doubling per round trip
+// while the link keeps up), restarting after an idle period.
+func (d *direction) ssRate(t time.Time) float64 {
+	if !d.params.SlowStart {
+		return math.Inf(1)
+	}
+	rtt := 2 * d.params.Delay
+	if rtt <= 0 {
+		return math.Inf(1)
+	}
+	// Absorb acknowledgements due by t.
+	for len(d.ackQueue) > 0 && !d.ackQueue[0].t.After(t) {
+		d.ackedCum = d.ackQueue[0].cum
+		d.ackQueue = d.ackQueue[1:]
+	}
+	if t.Sub(d.lastActivity) > d.params.SSRestartIdle {
+		d.ssBaseline = d.ackedCum // idle restart
+	}
+	cwnd := float64(d.params.InitCwnd*DefaultMSS) + float64(d.ackedCum-d.ssBaseline)
+	return cwnd / rtt.Seconds()
+}
+
+// write paces p onto the link, blocking while the send buffer is full.
+// It returns the number of bytes accepted and the abort error, if any.
+func (d *direction) write(p []byte) (int, error) {
+	written := 0
+	for len(p) > 0 {
+		d.mu.Lock()
+		for {
+			if d.aborted != nil {
+				d.mu.Unlock()
+				return written, d.aborted
+			}
+			if d.closed {
+				d.mu.Unlock()
+				return written, errClosedConn
+			}
+			if d.buffered < d.params.SendBuf {
+				break
+			}
+			// Send buffer full: space is freed only by reads, and a
+			// reader waiting out an arrival wakes through the clock, so
+			// a plain condition wait cannot deadlock.
+			d.cond.Wait()
+		}
+
+		now := d.clock.Now()
+		if d.lastDeparture.Before(now) {
+			d.lastDeparture = now
+		}
+		rate := d.params.rateAt(d.lastDeparture)
+		if ss := d.ssRate(d.lastDeparture); ss < rate {
+			rate = ss
+		}
+		d.lastActivity = d.lastDeparture
+
+		// Segment size: at most Quantum of line time, at least one MSS.
+		segBytes := int(rate * d.params.Quantum.Seconds())
+		if segBytes < DefaultMSS {
+			segBytes = DefaultMSS
+		}
+		if segBytes > len(p) {
+			segBytes = len(p)
+		}
+		data := make([]byte, segBytes)
+		copy(data, p[:segBytes])
+		p = p[segBytes:]
+
+		tx := time.Duration(float64(segBytes) / rate * float64(time.Second))
+		dep := d.lastDeparture.Add(tx)
+		arr := dep.Add(d.params.Delay)
+		if d.params.Jitter > 0 {
+			arr = arr.Add(time.Duration(d.rng.Int63n(int64(d.params.Jitter))))
+		}
+		if d.params.LossProb > 0 {
+			nseg := (segBytes + DefaultMSS - 1) / DefaultMSS
+			for i := 0; i < nseg; i++ {
+				if d.rng.Float64() < d.params.LossProb {
+					arr = arr.Add(d.params.RTOPenalty)
+				}
+			}
+		}
+		if arr.Before(d.lastArrival) {
+			arr = d.lastArrival // FIFO
+		}
+		d.lastDeparture = dep
+		d.lastArrival = arr
+		d.sentCum += int64(segBytes)
+		if d.params.SlowStart {
+			// The segment is acknowledged one reverse-path delay after
+			// it arrives.
+			d.ackQueue = append(d.ackQueue, ackPoint{t: arr.Add(d.params.Delay), cum: d.sentCum})
+		}
+		d.queue = append(d.queue, segment{data: data, arrival: arr})
+		d.buffered += segBytes
+		written += segBytes
+		d.cond.Broadcast()
+		d.mu.Unlock()
+		d.clock.Bump()
+	}
+	return written, nil
+}
+
+// read copies delivered bytes into p, blocking until data is available
+// (waiting out the arrival time of the head segment when necessary).
+func (d *direction) read(p []byte) (int, error) {
+	for {
+		d.mu.Lock()
+		if d.aborted != nil {
+			err := d.aborted
+			d.mu.Unlock()
+			return 0, err
+		}
+		if len(d.queue) == 0 {
+			if d.closed {
+				d.mu.Unlock()
+				return 0, errEOF
+			}
+			d.cond.Wait()
+			d.mu.Unlock()
+			continue
+		}
+		head := d.queue[0]
+		now := d.clock.Now()
+		if head.arrival.After(now) {
+			arrival := head.arrival
+			d.mu.Unlock()
+			d.clock.SleepUntil(arrival)
+			continue
+		}
+		// Drain as many arrived segments as fit into p.
+		n := 0
+		for n < len(p) && len(d.queue) > 0 {
+			s := &d.queue[0]
+			if s.arrival.After(now) {
+				break
+			}
+			avail := s.data[d.unread:]
+			c := copy(p[n:], avail)
+			n += c
+			d.unread += c
+			if d.unread == len(s.data) {
+				d.queue = d.queue[1:]
+				d.unread = 0
+			}
+		}
+		d.buffered -= n
+		d.cond.Broadcast()
+		d.mu.Unlock()
+		d.clock.Bump()
+		return n, nil
+	}
+}
+
+// close marks the writer side closed: the reader drains then sees EOF.
+func (d *direction) close() {
+	d.mu.Lock()
+	d.closed = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.clock.Bump()
+}
+
+// abort poisons the direction with a hard error for both ends.
+func (d *direction) abort(err error) {
+	d.mu.Lock()
+	if d.aborted == nil {
+		d.aborted = err
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.clock.Bump()
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var epoch = time.Unix(1_700_000_000, 0)
+
+func TestConstant(t *testing.T) {
+	r := Constant(1e6)
+	for _, off := range []time.Duration{0, time.Second, time.Hour} {
+		if got := r.RateAt(epoch.Add(off)); got != 1e6 {
+			t.Fatalf("rate at +%v = %v", off, got)
+		}
+	}
+}
+
+func TestSineBoundsAndPeriod(t *testing.T) {
+	mean, amp := 1e6, 3e5
+	r := Sine(mean, amp, 10*time.Second, 0)
+	min, max := math.Inf(1), math.Inf(-1)
+	for off := time.Duration(0); off < 20*time.Second; off += 100 * time.Millisecond {
+		v := r.RateAt(epoch.Add(off))
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	if min < mean-amp-1 || max > mean+amp+1 {
+		t.Fatalf("sine out of bounds: [%v, %v]", min, max)
+	}
+	if max-min < amp { // actually oscillates
+		t.Fatalf("sine swing too small: %v", max-min)
+	}
+	// Period repeats.
+	a := r.RateAt(epoch.Add(3 * time.Second))
+	b := r.RateAt(epoch.Add(13 * time.Second))
+	if math.Abs(a-b) > 1 {
+		t.Fatalf("sine not periodic: %v vs %v", a, b)
+	}
+}
+
+func TestSineNeverNegative(t *testing.T) {
+	r := Sine(1e5, 1e6, time.Second, 0) // amplitude >> mean
+	for off := time.Duration(0); off < 2*time.Second; off += 10 * time.Millisecond {
+		if v := r.RateAt(epoch.Add(off)); v < 0 {
+			t.Fatalf("negative rate %v", v)
+		}
+	}
+}
+
+func TestSteps(t *testing.T) {
+	s := &Steps{
+		Boundaries: []time.Time{epoch.Add(10 * time.Second), epoch.Add(20 * time.Second)},
+		Rates:      []float64{100, 200, 300},
+	}
+	cases := []struct {
+		off  time.Duration
+		want float64
+	}{
+		{0, 100}, {9 * time.Second, 100}, {10 * time.Second, 200},
+		{19 * time.Second, 200}, {25 * time.Second, 300}, {time.Hour, 300},
+	}
+	for _, c := range cases {
+		if got := s.RateAt(epoch.Add(c.off)); got != c.want {
+			t.Errorf("rate at +%v = %v, want %v", c.off, got, c.want)
+		}
+	}
+	empty := &Steps{}
+	if empty.RateAt(epoch) != 0 {
+		t.Error("empty steps should be 0")
+	}
+}
+
+func TestOutage(t *testing.T) {
+	r := Outage(Constant(1e6), epoch.Add(5*time.Second), 3*time.Second)
+	if r.RateAt(epoch.Add(4*time.Second)) != 1e6 {
+		t.Error("rate before outage")
+	}
+	if r.RateAt(epoch.Add(5*time.Second)) != 0 {
+		t.Error("rate at outage start")
+	}
+	if r.RateAt(epoch.Add(7999*time.Millisecond)) != 0 {
+		t.Error("rate inside outage")
+	}
+	if r.RateAt(epoch.Add(8*time.Second)) != 1e6 {
+		t.Error("rate after outage")
+	}
+}
+
+func TestLognormalDeterministicAndMeanish(t *testing.T) {
+	a := Lognormal(Constant(1e6), 0.3, 500*time.Millisecond, 42)
+	b := Lognormal(Constant(1e6), 0.3, 500*time.Millisecond, 42)
+	sum := 0.0
+	n := 0
+	for off := time.Duration(0); off < 5*time.Minute; off += 500 * time.Millisecond {
+		va := a.RateAt(epoch.Add(off))
+		vb := b.RateAt(epoch.Add(off))
+		if va != vb {
+			t.Fatalf("same seed, different values at +%v", off)
+		}
+		if va <= 0 {
+			t.Fatalf("non-positive rate %v", va)
+		}
+		sum += va
+		n++
+	}
+	mean := sum / float64(n)
+	if mean < 0.8e6 || mean > 1.2e6 {
+		t.Fatalf("lognormal mean drifted: %v", mean)
+	}
+	// Different seeds differ.
+	c := Lognormal(Constant(1e6), 0.3, 500*time.Millisecond, 43)
+	if c.RateAt(epoch) == a.RateAt(epoch) && c.RateAt(epoch.Add(time.Second)) == a.RateAt(epoch.Add(time.Second)) {
+		t.Fatal("different seeds produced identical samples")
+	}
+}
+
+func TestRandomWalkBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := RandomWalk(1e6, 2e5, 2e6, 500*time.Millisecond, seed)
+		for off := time.Duration(0); off < time.Minute; off += 250 * time.Millisecond {
+			v := r.RateAt(epoch.Add(off))
+			if v < 2e5 || v > 2e6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomWalkConsistentAcrossQueryOrder(t *testing.T) {
+	// Re-querying earlier instants on the same instance must replay the
+	// identical walk (the walk is anchored at the first query).
+	r := RandomWalk(1e6, 1e5, 5e6, time.Second, 9)
+	var forward []float64
+	for off := time.Duration(0); off < 10*time.Second; off += time.Second {
+		forward = append(forward, r.RateAt(epoch.Add(off)))
+	}
+	for i := len(forward) - 1; i >= 0; i-- {
+		off := time.Duration(i) * time.Second
+		if got := r.RateAt(epoch.Add(off)); got != forward[i] {
+			t.Fatalf("walk differs at +%v: %v vs %v", off, got, forward[i])
+		}
+	}
+	// And the anchor instant itself returns the mean.
+	if got := r.RateAt(epoch); got != forward[0] {
+		t.Fatalf("anchor value changed: %v vs %v", got, forward[0])
+	}
+}
+
+func TestClampAndScale(t *testing.T) {
+	base := Constant(1e6)
+	if got := Clamp(base, 2e6, 3e6).RateAt(epoch); got != 2e6 {
+		t.Errorf("clamp low = %v", got)
+	}
+	if got := Clamp(base, 0, 5e5).RateAt(epoch); got != 5e5 {
+		t.Errorf("clamp high = %v", got)
+	}
+	if got := Scale(base, 2.5).RateAt(epoch); got != 2.5e6 {
+		t.Errorf("scale = %v", got)
+	}
+}

@@ -1,0 +1,202 @@
+package origin
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/handshake"
+	"repro/internal/netem"
+	"repro/internal/origin/dnsx"
+	"repro/internal/videostore"
+)
+
+// WebProxyName and VideoServersName are the DNS names under which a
+// Cluster registers its services in each network view.
+const (
+	WebProxyName     = "www.youtube.test"
+	VideoServersName = "videoservers.youtube.test"
+)
+
+// ClusterConfig describes a full emulated YouTube deployment.
+type ClusterConfig struct {
+	// Catalog holds the served videos; DefaultCatalog if nil.
+	Catalog *videostore.Catalog
+	// Networks are the access networks to deploy into ("wifi", "lte").
+	Networks []string
+	// ReplicasPerNetwork is the number of video servers per network
+	// (default 2, matching the paper's two UMass subnets with a primary
+	// and a failover per network).
+	ReplicasPerNetwork int
+	// Handshake sets the Δ₁/Δ₂ processing delays of every server.
+	Handshake handshake.Params
+	// ServerDelay is the extra one-way delay to reach the servers beyond
+	// the access link (server distance). Applied to web proxies and
+	// video servers alike, as the paper assumes the proxy is close to
+	// the video server.
+	ServerDelay time.Duration
+	// WatchDelay is the per-watch-request processing time at the proxy.
+	WatchDelay time.Duration
+	// TokenTTL overrides the one-hour default token validity.
+	TokenTTL time.Duration
+	// Throttle optionally enables Trickle-style pacing on video servers.
+	Throttle *ThrottleConfig
+	// Secret signs access tokens; a fixed default is used if empty.
+	Secret []byte
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Catalog == nil {
+		c.Catalog = videostore.DefaultCatalog()
+	}
+	if len(c.Networks) == 0 {
+		c.Networks = []string{"wifi", "lte"}
+	}
+	if c.ReplicasPerNetwork == 0 {
+		c.ReplicasPerNetwork = 2
+	}
+	if len(c.Secret) == 0 {
+		c.Secret = []byte("msplayer-emulated-origin-secret")
+	}
+	if c.TokenTTL == 0 {
+		c.TokenTTL = TokenTTL
+	}
+	return c
+}
+
+// Cluster is a running emulated YouTube deployment.
+type Cluster struct {
+	cfg      ClusterConfig
+	net      *netem.Network
+	resolver *dnsx.Resolver
+
+	mu      sync.Mutex
+	servers map[string]*serverInstance // addr -> instance
+	proxies map[string]string          // network -> proxy addr
+	byNet   map[string][]string        // network -> live video server addrs
+}
+
+type serverInstance struct {
+	addr     string
+	network  string
+	listener *handshake.Listener
+	httpSrv  *http.Server
+}
+
+// Deploy builds and starts a cluster on n.
+func Deploy(n *netem.Network, cfg ClusterConfig) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:      cfg,
+		net:      n,
+		resolver: dnsx.NewResolver(),
+		servers:  make(map[string]*serverInstance),
+		proxies:  make(map[string]string),
+		byNet:    make(map[string][]string),
+	}
+	for _, network := range cfg.Networks {
+		proxyAddr := fmt.Sprintf("www.youtube.%s.test:443", network)
+		var replicas []string
+		for i := 1; i <= cfg.ReplicasPerNetwork; i++ {
+			replicas = append(replicas, fmt.Sprintf("video%d.youtube.%s.test:443", i, network))
+		}
+		c.byNet[network] = replicas
+		c.proxies[network] = proxyAddr
+
+		network := network // capture
+		proxy := NewWebProxy(network, cfg.Catalog, func() []string { return c.liveReplicas(network) },
+			cfg.Secret, cfg.TokenTTL, n.Clock(), cfg.WatchDelay)
+		if err := c.start(proxyAddr, network, proxy.Handler()); err != nil {
+			c.Close()
+			return nil, err
+		}
+		for _, addr := range replicas {
+			vs := NewVideoServer(addr, network, cfg.Catalog, cfg.Secret, n.Clock(), cfg.Throttle)
+			if err := c.start(addr, network, vs.Handler()); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		c.resolver.Register(network, WebProxyName, []string{proxyAddr})
+		c.resolver.Register(network, VideoServersName, replicas)
+	}
+	return c, nil
+}
+
+func (c *Cluster) start(addr, network string, h http.Handler) error {
+	inner, err := c.net.Listen(addr, c.cfg.ServerDelay)
+	if err != nil {
+		return fmt.Errorf("origin: listen %s: %w", addr, err)
+	}
+	hl := handshake.NewListener(inner, c.net.Clock(), c.cfg.Handshake)
+	srv := &http.Server{Handler: h}
+	go srv.Serve(hl)
+	c.mu.Lock()
+	c.servers[addr] = &serverInstance{addr: addr, network: network, listener: hl, httpSrv: srv}
+	c.mu.Unlock()
+	return nil
+}
+
+// liveReplicas returns the not-killed video servers of a network,
+// preferred order preserved.
+func (c *Cluster) liveReplicas(network string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var live []string
+	for _, addr := range c.byNet[network] {
+		if _, ok := c.servers[addr]; ok {
+			live = append(live, addr)
+		}
+	}
+	return live
+}
+
+// Resolver returns the cluster's per-network DNS views.
+func (c *Cluster) Resolver() *dnsx.Resolver { return c.resolver }
+
+// ProxyAddr returns the web proxy address for a network.
+func (c *Cluster) ProxyAddr(network string) (string, error) {
+	addr, ok := c.proxies[network]
+	if !ok {
+		return "", fmt.Errorf("origin: no proxy for network %q", network)
+	}
+	return addr, nil
+}
+
+// VideoServerAddrs returns the live video server addresses of a network.
+func (c *Cluster) VideoServerAddrs(network string) []string {
+	return c.liveReplicas(network)
+}
+
+// Kill shuts down the server at addr, aborting its connections with
+// netem.ErrServerDown. Subsequent watch responses omit the replica.
+func (c *Cluster) Kill(addr string) error {
+	c.mu.Lock()
+	inst, ok := c.servers[addr]
+	if ok {
+		delete(c.servers, addr)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("origin: unknown server %q", addr)
+	}
+	inst.httpSrv.Close()
+	inst.listener.Close()
+	return nil
+}
+
+// Close shuts down every server in the cluster.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	insts := make([]*serverInstance, 0, len(c.servers))
+	for _, inst := range c.servers {
+		insts = append(insts, inst)
+	}
+	c.servers = make(map[string]*serverInstance)
+	c.mu.Unlock()
+	for _, inst := range insts {
+		inst.httpSrv.Close()
+		inst.listener.Close()
+	}
+}

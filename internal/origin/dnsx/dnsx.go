@@ -1,0 +1,63 @@
+// Package dnsx emulates the per-network DNS views MSPlayer relies on:
+// resolving a YouTube server name through different access networks
+// yields different, network-local replica addresses. The paper uses
+// Google's public DNS per interface for this; here a Resolver holds an
+// explicit view per network.
+package dnsx
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Resolver maps (network, name) to a list of replica addresses. The
+// first address is the preferred server; the rest are failover
+// candidates in the same network.
+type Resolver struct {
+	mu    sync.RWMutex
+	views map[string]map[string][]string // network -> name -> addrs
+}
+
+// NewResolver returns an empty resolver.
+func NewResolver() *Resolver {
+	return &Resolver{views: make(map[string]map[string][]string)}
+}
+
+// Register installs addrs as the answer for name in the given network
+// view, replacing any previous answer.
+func (r *Resolver) Register(network, name string, addrs []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.views[network]
+	if !ok {
+		v = make(map[string][]string)
+		r.views[network] = v
+	}
+	v[name] = append([]string(nil), addrs...)
+}
+
+// Lookup resolves name through the given network's view.
+func (r *Resolver) Lookup(network, name string) ([]string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.views[network]
+	if !ok {
+		return nil, fmt.Errorf("dnsx: no view for network %q", network)
+	}
+	addrs, ok := v[name]
+	if !ok || len(addrs) == 0 {
+		return nil, fmt.Errorf("dnsx: %q not found in network %q", name, network)
+	}
+	return append([]string(nil), addrs...), nil
+}
+
+// Networks returns the registered network views (unordered).
+func (r *Resolver) Networks() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	nets := make([]string, 0, len(r.views))
+	for n := range r.views {
+		nets = append(nets, n)
+	}
+	return nets
+}

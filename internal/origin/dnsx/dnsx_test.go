@@ -1,0 +1,74 @@
+package dnsx
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestRegisterAndLookup(t *testing.T) {
+	r := NewResolver()
+	r.Register("wifi", "video.test", []string{"a:443", "b:443"})
+	r.Register("lte", "video.test", []string{"c:443"})
+
+	got, err := r.Lookup("wifi", "video.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "a:443" || got[1] != "b:443" {
+		t.Fatalf("wifi answer = %v", got)
+	}
+	got, err = r.Lookup("lte", "video.test")
+	if err != nil || len(got) != 1 || got[0] != "c:443" {
+		t.Fatalf("lte answer = %v, %v", got, err)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	r := NewResolver()
+	r.Register("wifi", "video.test", []string{"a:443"})
+	if _, err := r.Lookup("lte", "video.test"); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+	if _, err := r.Lookup("wifi", "other.test"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	r.Register("wifi", "empty.test", nil)
+	if _, err := r.Lookup("wifi", "empty.test"); err == nil {
+		t.Fatal("empty answer accepted")
+	}
+}
+
+func TestRegisterReplaces(t *testing.T) {
+	r := NewResolver()
+	r.Register("wifi", "video.test", []string{"a:443", "b:443"})
+	r.Register("wifi", "video.test", []string{"b:443"})
+	got, _ := r.Lookup("wifi", "video.test")
+	if len(got) != 1 || got[0] != "b:443" {
+		t.Fatalf("answer after replace = %v", got)
+	}
+}
+
+func TestLookupReturnsCopy(t *testing.T) {
+	r := NewResolver()
+	r.Register("wifi", "video.test", []string{"a:443", "b:443"})
+	got, _ := r.Lookup("wifi", "video.test")
+	got[0] = "tampered"
+	again, _ := r.Lookup("wifi", "video.test")
+	if again[0] != "a:443" {
+		t.Fatal("lookup result aliased internal state")
+	}
+}
+
+func TestNetworks(t *testing.T) {
+	r := NewResolver()
+	if len(r.Networks()) != 0 {
+		t.Fatal("fresh resolver has networks")
+	}
+	r.Register("wifi", "x", []string{"a"})
+	r.Register("lte", "x", []string{"b"})
+	nets := r.Networks()
+	sort.Strings(nets)
+	if len(nets) != 2 || nets[0] != "lte" || nets[1] != "wifi" {
+		t.Fatalf("networks = %v", nets)
+	}
+}

@@ -1,0 +1,250 @@
+package origin
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/handshake"
+	"repro/internal/httpx"
+	"repro/internal/netem"
+	"repro/internal/videostore"
+)
+
+// testDeployment spins up a two-network cluster plus wifi/lte interfaces.
+func testDeployment(t *testing.T, cfg ClusterConfig) (*Cluster, *netem.Network, *netem.Interface, *netem.Interface) {
+	t.Helper()
+	clock := netem.NewVirtualClock()
+	t.Cleanup(clock.Stop)
+	n := netem.NewNetwork(clock)
+	c, err := Deploy(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	wifi := n.NewInterface("wifi",
+		netem.LinkParams{Rate: netem.Mbps(36), Delay: 12 * time.Millisecond},
+		netem.LinkParams{Rate: netem.Mbps(36), Delay: 12 * time.Millisecond})
+	lte := n.NewInterface("lte",
+		netem.LinkParams{Rate: netem.Mbps(30), Delay: 35 * time.Millisecond},
+		netem.LinkParams{Rate: netem.Mbps(30), Delay: 35 * time.Millisecond})
+	return c, n, wifi, lte
+}
+
+func fetchInfo(t *testing.T, cluster *Cluster, iface *netem.Interface, network, videoID string) *VideoInfo {
+	t.Helper()
+	client := httpx.NewClient(iface)
+	proxy, err := cluster.ProxyAddr(network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Get("http://" + proxy + "/watch?v=" + videoID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("watch status %d: %s", resp.StatusCode, body)
+	}
+	var info VideoInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return &info
+}
+
+func TestWatchReturnsPerNetworkMetadata(t *testing.T) {
+	cluster, _, wifi, lte := testDeployment(t, ClusterConfig{})
+	wifiInfo := fetchInfo(t, cluster, wifi, "wifi", "qjT4T2gU9sM")
+	lteInfo := fetchInfo(t, cluster, lte, "lte", "qjT4T2gU9sM")
+
+	if wifiInfo.Network != "wifi" || lteInfo.Network != "lte" {
+		t.Fatalf("networks = %q/%q", wifiInfo.Network, lteInfo.Network)
+	}
+	if len(wifiInfo.VideoServers) != 2 || len(lteInfo.VideoServers) != 2 {
+		t.Fatalf("replica counts = %d/%d, want 2/2", len(wifiInfo.VideoServers), len(lteInfo.VideoServers))
+	}
+	for _, s := range wifiInfo.VideoServers {
+		if !strings.Contains(s, ".wifi.") {
+			t.Errorf("wifi view leaked server %s", s)
+		}
+	}
+	if wifiInfo.Token == lteInfo.Token {
+		t.Error("tokens should be network bound")
+	}
+	if wifiInfo.LengthSeconds != 300 {
+		t.Errorf("LengthSeconds = %d, want 300", wifiInfo.LengthSeconds)
+	}
+	if n, err := wifiInfo.ContentLengthFor(22); err != nil || n != videostore.HD720.BytesFor(5*time.Minute) {
+		t.Errorf("ContentLengthFor(22) = %d, %v", n, err)
+	}
+	if _, err := wifiInfo.ContentLengthFor(999); err == nil {
+		t.Error("ContentLengthFor of missing itag should fail")
+	}
+}
+
+func TestWatchUnknownVideo404(t *testing.T) {
+	cluster, _, wifi, _ := testDeployment(t, ClusterConfig{})
+	client := httpx.NewClient(wifi)
+	proxy, _ := cluster.ProxyAddr("wifi")
+	resp, err := client.Get("http://" + proxy + "/watch?v=nosuchvideo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestVideoPlaybackRangeAndContent(t *testing.T) {
+	cluster, _, wifi, _ := testDeployment(t, ClusterConfig{})
+	info := fetchInfo(t, cluster, wifi, "wifi", "shortclip01")
+	url := info.PlaybackURL(info.VideoServers[0], 22)
+	client := httpx.NewClient(wifi)
+
+	body, err := httpx.GetRange(context.Background(), client, url, 1000, 4999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 4000 {
+		t.Fatalf("range length = %d, want 4000", len(body))
+	}
+	// Bytes must match the deterministic catalog content.
+	v, _ := videostore.DefaultCatalog().Get("shortclip01")
+	want := make([]byte, 4000)
+	v.Content(videostore.HD720).ReadAt(want, 1000)
+	for i := range want {
+		if body[i] != want[i] {
+			t.Fatalf("content mismatch at %d", i)
+		}
+	}
+}
+
+func TestReplicasServeIdenticalBytes(t *testing.T) {
+	cluster, _, wifi, _ := testDeployment(t, ClusterConfig{})
+	info := fetchInfo(t, cluster, wifi, "wifi", "shortclip01")
+	client := httpx.NewClient(wifi)
+	var bodies [][]byte
+	for _, s := range info.VideoServers {
+		b, err := httpx.GetRange(context.Background(), client, info.PlaybackURL(s, 22), 500, 1499)
+		if err != nil {
+			t.Fatalf("replica %s: %v", s, err)
+		}
+		bodies = append(bodies, b)
+	}
+	for i := range bodies[0] {
+		if bodies[0][i] != bodies[1][i] {
+			t.Fatal("replicas disagree on bytes")
+		}
+	}
+}
+
+func TestTokenEnforcement(t *testing.T) {
+	cluster, _, wifi, lte := testDeployment(t, ClusterConfig{})
+	wifiInfo := fetchInfo(t, cluster, wifi, "wifi", "shortclip01")
+	lteInfo := fetchInfo(t, cluster, lte, "lte", "shortclip01")
+	client := httpx.NewClient(wifi)
+
+	// A wifi-network token replayed against an LTE replica is rejected.
+	cross := *lteInfo
+	cross.Token = wifiInfo.Token
+	cross.Network = "lte"
+	if _, err := httpx.GetRange(context.Background(), client, cross.PlaybackURL(lteInfo.VideoServers[0], 22), 0, 99); err == nil {
+		t.Fatal("cross-network token accepted")
+	}
+	// A forged token is rejected.
+	forged := *wifiInfo
+	forged.Token = strings.Repeat("ab", 32)
+	if _, err := httpx.GetRange(context.Background(), client, forged.PlaybackURL(wifiInfo.VideoServers[0], 22), 0, 99); err == nil {
+		t.Fatal("forged token accepted")
+	}
+	// The legitimate token works on its own network.
+	if _, err := httpx.GetRange(context.Background(), client, wifiInfo.PlaybackURL(wifiInfo.VideoServers[0], 22), 0, 99); err != nil {
+		t.Fatalf("legitimate token rejected: %v", err)
+	}
+}
+
+func TestTokenExpiry(t *testing.T) {
+	clock := netem.NewVirtualClock()
+	defer clock.Stop()
+	secret := []byte("s")
+	now := clock.Now()
+	expire := now.Add(time.Hour)
+	tok := signToken(secret, "shortclip01", expire, "wifi")
+	if err := verifyToken(secret, "shortclip01", "wifi", tok, itoa(expire.Unix()), now); err != nil {
+		t.Fatalf("fresh token rejected: %v", err)
+	}
+	if err := verifyToken(secret, "shortclip01", "wifi", tok, itoa(expire.Unix()), now.Add(2*time.Hour)); err == nil {
+		t.Fatal("expired token accepted")
+	}
+	if err := verifyToken(secret, "shortclip01", "wifi", tok, "notanumber", now); err == nil {
+		t.Fatal("malformed expire accepted")
+	}
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+func TestKillRemovesReplicaFromWatch(t *testing.T) {
+	cluster, _, wifi, _ := testDeployment(t, ClusterConfig{})
+	before := fetchInfo(t, cluster, wifi, "wifi", "shortclip01")
+	if len(before.VideoServers) != 2 {
+		t.Fatalf("want 2 replicas, got %d", len(before.VideoServers))
+	}
+	if err := cluster.Kill(before.VideoServers[0]); err != nil {
+		t.Fatal(err)
+	}
+	after := fetchInfo(t, cluster, wifi, "wifi", "shortclip01")
+	if len(after.VideoServers) != 1 || after.VideoServers[0] != before.VideoServers[1] {
+		t.Fatalf("replicas after kill = %v", after.VideoServers)
+	}
+	if err := cluster.Kill("nonexistent:443"); err == nil {
+		t.Fatal("killing unknown server should fail")
+	}
+}
+
+func TestThrottlePacesAfterBurst(t *testing.T) {
+	throttled := ClusterConfig{Throttle: &ThrottleConfig{BurstBytes: 64 << 10, RateFactor: 1.25}}
+	cluster, n, wifi, _ := testDeployment(t, throttled)
+	info := fetchInfo(t, cluster, wifi, "wifi", "shortclip01")
+	client := httpx.NewClient(wifi)
+	url := info.PlaybackURL(info.VideoServers[0], 22)
+
+	clock := n.Clock()
+	start := clock.Now()
+	// 1 MiB: 64 KiB burst + ~960 KiB paced at 1.25×312.5 KB/s ≈ 2.5 s.
+	if _, err := httpx.GetRange(context.Background(), client, url, 0, 1<<20-1); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clock.Now().Sub(start)
+	if elapsed < 2*time.Second {
+		t.Fatalf("throttled fetch took %v, want >= 2s", elapsed)
+	}
+}
+
+func TestDNSViews(t *testing.T) {
+	cluster, _, _, _ := testDeployment(t, ClusterConfig{})
+	r := cluster.Resolver()
+	wifiServers, err := r.Lookup("wifi", VideoServersName)
+	if err != nil || len(wifiServers) != 2 {
+		t.Fatalf("wifi lookup = %v, %v", wifiServers, err)
+	}
+	lteServers, _ := r.Lookup("lte", VideoServersName)
+	if wifiServers[0] == lteServers[0] {
+		t.Fatal("network views should differ")
+	}
+	if _, err := r.Lookup("ethernet", VideoServersName); err == nil {
+		t.Fatal("unknown network view should fail")
+	}
+	if _, err := r.Lookup("wifi", "nope.test"); err == nil {
+		t.Fatal("unknown name should fail")
+	}
+}
+
+var _ = handshake.Params{} // keep import for doc cross-reference

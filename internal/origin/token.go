@@ -1,0 +1,42 @@
+package origin
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// TokenTTL is the default validity of an access token, matching the
+// one-hour tokens issued by the YouTube web proxy servers.
+const TokenTTL = time.Hour
+
+// signToken computes the HMAC-SHA256 access token binding a video, an
+// expiry instant and the requesting network, mirroring how YouTube
+// tokens bind the video, a deadline and the client's public IP.
+func signToken(secret []byte, videoID string, expire time.Time, network string) string {
+	mac := hmac.New(sha256.New, secret)
+	fmt.Fprintf(mac, "%s|%d|%s", videoID, expire.Unix(), network)
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// verifyToken checks token validity for the given video/network at
+// emulated time now. It returns a descriptive error for expired or
+// forged tokens so experiments can distinguish the two.
+func verifyToken(secret []byte, videoID, network, token, expireUnix string, now time.Time) error {
+	exp, err := strconv.ParseInt(expireUnix, 10, 64)
+	if err != nil {
+		return fmt.Errorf("origin: malformed expire %q", expireUnix)
+	}
+	expire := time.Unix(exp, 0)
+	if now.After(expire) {
+		return fmt.Errorf("origin: token expired at %v", expire)
+	}
+	want := signToken(secret, videoID, expire, network)
+	if !hmac.Equal([]byte(want), []byte(token)) {
+		return fmt.Errorf("origin: token signature mismatch")
+	}
+	return nil
+}

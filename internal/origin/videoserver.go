@@ -1,0 +1,105 @@
+package origin
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/videostore"
+)
+
+// ThrottleConfig enables Trickle-style server pacing as deployed on
+// YouTube video servers (Ghobadi et al., USENIX ATC'12): an unpaced
+// initial burst followed by rate-limited delivery at a multiple of the
+// video encoding rate. Off by default in the paper-reproduction
+// experiments (the testbed servers are plain Apache), but implemented so
+// its interaction with multi-source scheduling can be studied.
+type ThrottleConfig struct {
+	// BurstBytes are delivered unpaced at the start of each connection.
+	BurstBytes int64
+	// RateFactor paces subsequent bytes at RateFactor × format bitrate.
+	RateFactor float64
+}
+
+// VideoServer serves video bytes for one replica. It validates access
+// tokens minted by the network's web proxy and answers HTTP range
+// requests exactly like the Apache servers in the paper's testbed.
+type VideoServer struct {
+	name     string // replica address, for logs/metrics
+	network  string
+	catalog  *videostore.Catalog
+	secret   []byte
+	clock    *netem.Clock
+	throttle *ThrottleConfig
+}
+
+// NewVideoServer builds a replica for the given access network.
+func NewVideoServer(name, network string, catalog *videostore.Catalog, secret []byte,
+	clock *netem.Clock, throttle *ThrottleConfig) *VideoServer {
+	return &VideoServer{name: name, network: network, catalog: catalog,
+		secret: secret, clock: clock, throttle: throttle}
+}
+
+// Handler returns the server's HTTP handler, serving
+// GET /videoplayback?v=<id>&itag=<n>&token=<t>&expire=<unix>&net=<name>.
+func (s *VideoServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/videoplayback", s.handlePlayback)
+	return mux
+}
+
+func (s *VideoServer) handlePlayback(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	id := q.Get("v")
+	v, err := s.catalog.Get(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if q.Get("net") != s.network {
+		http.Error(w, fmt.Sprintf("origin: token network %q not valid on %q", q.Get("net"), s.network), http.StatusForbidden)
+		return
+	}
+	if err := verifyToken(s.secret, id, s.network, q.Get("token"), q.Get("expire"), s.clock.Now()); err != nil {
+		http.Error(w, err.Error(), http.StatusForbidden)
+		return
+	}
+	itag, err := strconv.Atoi(q.Get("itag"))
+	if err != nil {
+		http.Error(w, "origin: bad itag", http.StatusBadRequest)
+		return
+	}
+	f, err := v.Format(itag)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("X-Replica", s.name)
+	content := v.Content(f)
+	if s.throttle != nil {
+		w = &pacedWriter{ResponseWriter: w, clock: s.clock,
+			burst: s.throttle.BurstBytes,
+			rate:  s.throttle.RateFactor * f.BytesPerSecond()}
+	}
+	http.ServeContent(w, r, v.ID+".mp4", time.Unix(0, 0), content)
+}
+
+// pacedWriter implements the Trickle pacing on top of a ResponseWriter.
+type pacedWriter struct {
+	http.ResponseWriter
+	clock *netem.Clock
+	burst int64
+	rate  float64 // bytes/sec after the burst
+	sent  int64
+}
+
+func (p *pacedWriter) Write(b []byte) (int, error) {
+	if p.sent >= p.burst && p.rate > 0 {
+		p.clock.Sleep(time.Duration(float64(len(b)) / p.rate * float64(time.Second)))
+	}
+	n, err := p.ResponseWriter.Write(b)
+	p.sent += int64(n)
+	return n, err
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.138089935) > 1e-6 {
+		t.Errorf("StdDev = %v, want ~2.138", got)
+	}
+	if StdDev([]float64{3}) != 0 {
+		t.Error("StdDev of one sample should be 0")
+	}
+	if StdDev(nil) != 0 {
+		t.Error("StdDev of nil should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile of nil should be 0")
+	}
+	// Out-of-range q is clamped.
+	if got := Quantile(xs, -1); got != 1 {
+		t.Errorf("Quantile(-1) = %v, want 1", got)
+	}
+	if got := Quantile(xs, 2); got != 5 {
+		t.Errorf("Quantile(2) = %v, want 5", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 4, 4}); !almostEqual(got, 2) {
+		t.Errorf("HarmonicMean = %v, want 2", got)
+	}
+	// Non-positive entries are skipped.
+	if got := HarmonicMean([]float64{0, -3, 1, 4, 4}); !almostEqual(got, 2) {
+		t.Errorf("HarmonicMean with junk = %v, want 2", got)
+	}
+	if HarmonicMean(nil) != 0 {
+		t.Error("HarmonicMean(nil) should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary should have N=0")
+	}
+}
+
+// Property: the harmonic mean never exceeds the arithmetic mean, and both
+// lie within [min, max] of the (positive) sample.
+func TestHarmonicLEArithmetic(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		h, a := HarmonicMean(xs), Mean(xs)
+		return h <= a*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsInf(x, 0) && !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := math.Abs(math.Mod(q1, 1))
+		b := math.Abs(math.Mod(q2, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

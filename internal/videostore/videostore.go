@@ -1,0 +1,222 @@
+// Package videostore models the video side of the emulated YouTube
+// service: a catalog of fixed-bitrate videos with deterministic synthetic
+// content, plus the byte↔playback-time arithmetic the player and the
+// experiment harness rely on.
+//
+// The paper streams HD (720p) MP4 videos at a constant bitrate and
+// explicitly leaves rate adaptation out of scope, so a format is fully
+// described by its bitrate: the mapping between a byte range and seconds
+// of playback is linear.
+package videostore
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Format describes one encoding profile of a video, mirroring a YouTube
+// itag entry in the JSON metadata.
+type Format struct {
+	// Itag is the YouTube format identifier (e.g. 22 for MP4 720p).
+	Itag int
+	// Quality is the human label: "720p", "360p", ...
+	Quality string
+	// MimeType is the container/codec description.
+	MimeType string
+	// Bitrate is the combined audio+video bitrate in bits per second.
+	Bitrate int64
+}
+
+// BytesPerSecond returns the storage rate of the format.
+func (f Format) BytesPerSecond() float64 { return float64(f.Bitrate) / 8 }
+
+// BytesFor returns the number of content bytes covering d of playback.
+func (f Format) BytesFor(d time.Duration) int64 {
+	return int64(d.Seconds() * f.BytesPerSecond())
+}
+
+// PlaybackFor returns the playback duration stored in n bytes.
+func (f Format) PlaybackFor(n int64) time.Duration {
+	return time.Duration(float64(n) / f.BytesPerSecond() * float64(time.Second))
+}
+
+// Standard formats used throughout the experiments. HD720 matches the
+// paper's evaluation profile: MP4 720p video with 44.1 kHz audio at a
+// combined ~2.5 Mb/s.
+var (
+	HD720 = Format{Itag: 22, Quality: "720p", MimeType: "video/mp4; codecs=\"avc1.64001F, mp4a.40.2\"", Bitrate: 2_500_000}
+	SD360 = Format{Itag: 18, Quality: "360p", MimeType: "video/mp4; codecs=\"avc1.42001E, mp4a.40.2\"", Bitrate: 700_000}
+)
+
+// Video is a catalog entry identified by an 11-character YouTube-style ID.
+type Video struct {
+	ID       string
+	Title    string
+	Author   string
+	Duration time.Duration
+	Formats  []Format
+}
+
+// Format returns the format with the given itag.
+func (v *Video) Format(itag int) (Format, error) {
+	for _, f := range v.Formats {
+		if f.Itag == itag {
+			return f, nil
+		}
+	}
+	return Format{}, fmt.Errorf("videostore: video %s has no itag %d", v.ID, itag)
+}
+
+// Size returns the content length of the video in the given format.
+func (v *Video) Size(f Format) int64 { return f.BytesFor(v.Duration) }
+
+// Content returns a deterministic synthetic byte stream for the video in
+// the given format, usable with http.ServeContent. Bytes are a pure
+// function of (video ID, itag, offset) so range responses fetched over
+// different paths and different replicas agree exactly, which lets tests
+// verify multi-source reassembly byte for byte.
+func (v *Video) Content(f Format) *Content {
+	return &Content{seed: contentSeed(v.ID, f.Itag), size: v.Size(f)}
+}
+
+func contentSeed(id string, itag int) uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	for _, c := range []byte(id) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h ^ uint64(itag)*0x9E3779B9
+}
+
+// Content is a deterministic pseudo-random blob implementing io.ReaderAt,
+// io.ReadSeeker and io.Reader without materializing the bytes.
+type Content struct {
+	seed uint64
+	size int64
+	pos  int64
+}
+
+// Size returns the total length of the blob.
+func (c *Content) Size() int64 { return c.size }
+
+// byteAt computes the blob's byte at absolute offset off.
+func (c *Content) byteAt(off int64) byte {
+	x := c.seed + uint64(off/8)*0x9E3779B9
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CC9
+	x ^= x >> 33
+	return byte(x >> (8 * (uint(off) & 7)))
+}
+
+// ReadAt implements io.ReaderAt.
+func (c *Content) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("videostore: negative offset")
+	}
+	if off >= c.size {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if int64(n) > c.size-off {
+		n = int(c.size - off)
+	}
+	for i := 0; i < n; i++ {
+		p[i] = c.byteAt(off + int64(i))
+	}
+	if int64(n) < int64(len(p)) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Read implements io.Reader.
+func (c *Content) Read(p []byte) (int, error) {
+	n, err := c.ReadAt(p, c.pos)
+	c.pos += int64(n)
+	return n, err
+}
+
+// Seek implements io.Seeker.
+func (c *Content) Seek(offset int64, whence int) (int64, error) {
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = c.pos + offset
+	case io.SeekEnd:
+		abs = c.size + offset
+	default:
+		return 0, fmt.Errorf("videostore: invalid whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("videostore: negative seek position")
+	}
+	c.pos = abs
+	return abs, nil
+}
+
+// Catalog is a set of videos addressable by ID.
+type Catalog struct {
+	videos map[string]*Video
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{videos: make(map[string]*Video)} }
+
+// Add registers a video; the ID must be 11 characters, as on YouTube.
+func (c *Catalog) Add(v *Video) error {
+	if len(v.ID) != 11 {
+		return fmt.Errorf("videostore: video ID %q must be 11 characters", v.ID)
+	}
+	if len(v.Formats) == 0 {
+		return fmt.Errorf("videostore: video %s has no formats", v.ID)
+	}
+	c.videos[v.ID] = v
+	return nil
+}
+
+// Get looks up a video by ID.
+func (c *Catalog) Get(id string) (*Video, error) {
+	v, ok := c.videos[id]
+	if !ok {
+		return nil, fmt.Errorf("videostore: unknown video %q", id)
+	}
+	return v, nil
+}
+
+// IDs returns the catalog's video IDs (unordered).
+func (c *Catalog) IDs() []string {
+	ids := make([]string, 0, len(c.videos))
+	for id := range c.videos {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// DefaultCatalog returns a catalog with the reference videos used by the
+// examples and experiments: a 5-minute HD clip mirroring the paper's
+// testbed videos, plus a short clip for quick tests.
+func DefaultCatalog() *Catalog {
+	c := NewCatalog()
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(c.Add(&Video{
+		ID:       "qjT4T2gU9sM",
+		Title:    "Testbed HD Reference Clip",
+		Author:   "msplayer-testbed",
+		Duration: 5 * time.Minute,
+		Formats:  []Format{HD720, SD360},
+	}))
+	must(c.Add(&Video{
+		ID:       "shortclip01",
+		Title:    "Short Clip",
+		Author:   "msplayer-testbed",
+		Duration: 30 * time.Second,
+		Formats:  []Format{HD720, SD360},
+	}))
+	return c
+}

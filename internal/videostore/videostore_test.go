@@ -1,0 +1,163 @@
+package videostore
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFormatByteMath(t *testing.T) {
+	f := HD720 // 2.5 Mb/s = 312500 B/s
+	if got := f.BytesFor(40 * time.Second); got != 12_500_000 {
+		t.Errorf("BytesFor(40s) = %d, want 12500000", got)
+	}
+	if got := f.PlaybackFor(312_500); got != time.Second {
+		t.Errorf("PlaybackFor(312500) = %v, want 1s", got)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	f := func(ms uint32) bool {
+		d := time.Duration(ms%3_600_000) * time.Millisecond
+		back := HD720.PlaybackFor(HD720.BytesFor(d))
+		diff := back - d
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 10*time.Millisecond // one byte of rounding slack
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVideoFormatLookup(t *testing.T) {
+	v := &Video{ID: "qjT4T2gU9sM", Formats: []Format{HD720, SD360}}
+	got, err := v.Format(22)
+	if err != nil || got.Quality != "720p" {
+		t.Fatalf("Format(22) = %+v, %v", got, err)
+	}
+	if _, err := v.Format(99); err == nil {
+		t.Fatal("Format(99) should fail")
+	}
+}
+
+func TestContentDeterministicAcrossReplicas(t *testing.T) {
+	v := &Video{ID: "qjT4T2gU9sM", Duration: 10 * time.Second, Formats: []Format{HD720}}
+	a := v.Content(HD720)
+	b := v.Content(HD720)
+	bufA := make([]byte, 4096)
+	bufB := make([]byte, 4096)
+	if _, err := a.ReadAt(bufA, 12345); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReadAt(bufB, 12345); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA, bufB) {
+		t.Fatal("replicas disagree on content bytes")
+	}
+}
+
+func TestContentDiffersAcrossVideos(t *testing.T) {
+	v1 := &Video{ID: "qjT4T2gU9sM", Duration: 10 * time.Second}
+	v2 := &Video{ID: "aaaaaaaaaaa", Duration: 10 * time.Second}
+	b1 := make([]byte, 1024)
+	b2 := make([]byte, 1024)
+	v1.Content(HD720).ReadAt(b1, 0)
+	v2.Content(HD720).ReadAt(b2, 0)
+	if bytes.Equal(b1, b2) {
+		t.Fatal("different videos produced identical content")
+	}
+}
+
+func TestContentReadAtMatchesSequentialRead(t *testing.T) {
+	v := &Video{ID: "qjT4T2gU9sM", Duration: time.Second}
+	c := v.Content(HD720)
+	all, err := io.ReadAll(v.Content(HD720))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(all)) != c.Size() {
+		t.Fatalf("sequential read %d bytes, want %d", len(all), c.Size())
+	}
+	probe := make([]byte, 100)
+	for _, off := range []int64{0, 1, 999, c.Size() - 100} {
+		if _, err := c.ReadAt(probe, off); err != nil {
+			t.Fatalf("ReadAt(%d): %v", off, err)
+		}
+		if !bytes.Equal(probe, all[off:off+100]) {
+			t.Fatalf("ReadAt(%d) disagrees with sequential read", off)
+		}
+	}
+}
+
+func TestContentReadAtEOF(t *testing.T) {
+	v := &Video{ID: "qjT4T2gU9sM", Duration: time.Second}
+	c := v.Content(HD720)
+	buf := make([]byte, 10)
+	if _, err := c.ReadAt(buf, c.Size()); err != io.EOF {
+		t.Fatalf("ReadAt past end = %v, want io.EOF", err)
+	}
+	n, err := c.ReadAt(buf, c.Size()-5)
+	if n != 5 || err != io.EOF {
+		t.Fatalf("short tail read = (%d, %v), want (5, EOF)", n, err)
+	}
+}
+
+func TestContentSeek(t *testing.T) {
+	v := &Video{ID: "qjT4T2gU9sM", Duration: time.Second}
+	c := v.Content(HD720)
+	if pos, err := c.Seek(100, io.SeekStart); err != nil || pos != 100 {
+		t.Fatalf("SeekStart = (%d, %v)", pos, err)
+	}
+	if pos, err := c.Seek(-10, io.SeekEnd); err != nil || pos != c.Size()-10 {
+		t.Fatalf("SeekEnd = (%d, %v)", pos, err)
+	}
+	if _, err := c.Seek(-1, io.SeekStart); err == nil {
+		t.Fatal("negative seek should fail")
+	}
+	if _, err := c.Seek(0, 42); err == nil {
+		t.Fatal("bad whence should fail")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	if err := c.Add(&Video{ID: "short", Formats: []Format{HD720}}); err == nil {
+		t.Fatal("short ID accepted")
+	}
+	if err := c.Add(&Video{ID: "elevenchars"}); err == nil {
+		t.Fatal("video with no formats accepted")
+	}
+	v := &Video{ID: "elevenchars", Duration: time.Minute, Formats: []Format{HD720}}
+	if err := c.Add(v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("elevenchars")
+	if err != nil || got != v {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if _, err := c.Get("missingmiss"); err == nil {
+		t.Fatal("Get of missing video should fail")
+	}
+	if n := len(c.IDs()); n != 1 {
+		t.Fatalf("IDs length = %d, want 1", n)
+	}
+}
+
+func TestDefaultCatalog(t *testing.T) {
+	c := DefaultCatalog()
+	v, err := c.Get("qjT4T2gU9sM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Duration != 5*time.Minute {
+		t.Errorf("reference clip duration = %v", v.Duration)
+	}
+	if _, err := v.Format(22); err != nil {
+		t.Error("reference clip missing HD720")
+	}
+}

@@ -1,0 +1,231 @@
+package msplayer
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/videostore"
+)
+
+// steadyProfile returns a deterministic testbed (no rate variation) so
+// integration assertions are tight.
+func steadyProfile(seed int64) Profile {
+	p := TestbedProfile(seed)
+	p.WiFi.Sigma = 0
+	p.LTE.Sigma = 0
+	return p
+}
+
+func newTB(t *testing.T, p Profile) *Testbed {
+	t.Helper()
+	tb, err := NewTestbed(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	return tb
+}
+
+func TestPreBufferMSPlayerBeatsSinglePaths(t *testing.T) {
+	times := map[PathSelection]time.Duration{}
+	for _, sel := range []PathSelection{BothPaths, WiFiOnly, LTEOnly} {
+		tb := newTB(t, steadyProfile(1))
+		sched := NewHarmonicScheduler(256<<10, 0.05)
+		if sel != BothPaths {
+			sched = NewBulkScheduler()
+		}
+		m, err := tb.Stream(context.Background(), SessionConfig{
+			Scheduler:          sched,
+			Paths:              sel,
+			StopAfterPreBuffer: true,
+		})
+		if err != nil {
+			t.Fatalf("selection %d: %v", sel, err)
+		}
+		if !m.PreBufferDone {
+			t.Fatalf("selection %d: pre-buffer did not complete", sel)
+		}
+		times[sel] = m.PreBufferTime
+	}
+	t.Logf("pre-buffer times: msplayer=%v wifi=%v lte=%v",
+		times[BothPaths], times[WiFiOnly], times[LTEOnly])
+	if times[BothPaths] >= times[WiFiOnly] || times[BothPaths] >= times[LTEOnly] {
+		t.Fatalf("MSPlayer (%v) not faster than single paths (%v, %v)",
+			times[BothPaths], times[WiFiOnly], times[LTEOnly])
+	}
+	// 40 s of 2.5 Mb/s video over ~17.5 Mb/s aggregate: several seconds.
+	if times[BothPaths] < 4*time.Second || times[BothPaths] > 12*time.Second {
+		t.Fatalf("MSPlayer pre-buffer = %v, expected 4-12 s", times[BothPaths])
+	}
+	// WiFi-only: 12.5 MB at ~9.5 Mb/s ≈ 11 s + bootstrap.
+	if times[WiFiOnly] < 9*time.Second || times[WiFiOnly] > 16*time.Second {
+		t.Fatalf("WiFi pre-buffer = %v, expected 9-16 s", times[WiFiOnly])
+	}
+}
+
+func TestStreamDeliversExactBytes(t *testing.T) {
+	tb := newTB(t, steadyProfile(2))
+	var sink bytes.Buffer
+	m, err := tb.Stream(context.Background(), SessionConfig{
+		Scheduler: NewHarmonicScheduler(256<<10, 0.05),
+		Paths:     BothPaths,
+		Video:     "shortclip01",
+		Sink:      &sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := videostore.DefaultCatalog().Get("shortclip01")
+	want := v.Size(videostore.HD720)
+	if m.TotalBytes != want {
+		t.Fatalf("TotalBytes = %d, want %d", m.TotalBytes, want)
+	}
+	if int64(sink.Len()) != want {
+		t.Fatalf("sink length = %d, want %d", sink.Len(), want)
+	}
+	// Byte-exact check against the deterministic content.
+	expect := make([]byte, want)
+	v.Content(videostore.HD720).ReadAt(expect, 0)
+	if !bytes.Equal(sink.Bytes(), expect) {
+		t.Fatal("delivered stream differs from source content")
+	}
+	if len(m.Stalls) != 0 {
+		t.Fatalf("unexpected stalls: %+v", m.Stalls)
+	}
+}
+
+func TestRefillCyclesMeasured(t *testing.T) {
+	tb := newTB(t, steadyProfile(3))
+	m, err := tb.Stream(context.Background(), SessionConfig{
+		Scheduler:        NewHarmonicScheduler(256<<10, 0.05),
+		Paths:            BothPaths,
+		StopAfterRefills: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Refills) < 2 {
+		t.Fatalf("refills = %d, want >= 2", len(m.Refills))
+	}
+	for i, r := range m.Refills {
+		if r.Duration <= 0 || r.Duration > 20*time.Second {
+			t.Fatalf("refill %d duration = %v", i, r.Duration)
+		}
+		// ~10 s of refill at 2.5 Mb/s ≈ 3.1 MB, plus up to one MaxChunk
+		// of overshoot per path (the final chunk crosses the goal).
+		if r.Bytes < 2<<20 || r.Bytes > 9<<20 {
+			t.Fatalf("refill %d bytes = %d", i, r.Bytes)
+		}
+	}
+}
+
+func TestWiFiCarriesMajorityOfTraffic(t *testing.T) {
+	tb := newTB(t, steadyProfile(4))
+	m, err := tb.Stream(context.Background(), SessionConfig{
+		Scheduler:          NewHarmonicScheduler(256<<10, 0.05),
+		Paths:              BothPaths,
+		StopAfterPreBuffer: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := m.Share("wifi", PhasePreBuffer)
+	t.Logf("wifi pre-buffer share = %.3f", share)
+	// WiFi is both slightly faster and bootstraps ~0.5 s earlier; the
+	// paper measures ~60-64%.
+	if share < 0.5 || share > 0.8 {
+		t.Fatalf("wifi share = %.3f, want 0.5-0.8", share)
+	}
+}
+
+func TestServerFailoverMidStream(t *testing.T) {
+	tb := newTB(t, steadyProfile(5))
+	p, err := tb.NewSession(SessionConfig{
+		Scheduler: NewHarmonicScheduler(256<<10, 0.05),
+		Paths:     BothPaths,
+		Video:     "shortclip01",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the primary WiFi replica shortly after the stream starts.
+	go func() {
+		tb.Clock().Sleep(1500 * time.Millisecond)
+		tb.Cluster().Kill("video1.youtube.wifi.test:443")
+	}()
+	m, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatalf("stream failed despite failover replica: %v", err)
+	}
+	v, _ := videostore.DefaultCatalog().Get("shortclip01")
+	if m.TotalBytes != v.Size(videostore.HD720) {
+		t.Fatalf("TotalBytes = %d", m.TotalBytes)
+	}
+	wifi := m.Paths[0]
+	if wifi.Failures == 0 {
+		t.Error("expected at least one failed request on wifi")
+	}
+	if wifi.Failovers == 0 && wifi.Rebootstraps == 0 {
+		t.Error("expected a failover or rebootstrap on wifi")
+	}
+}
+
+func TestInterfaceOutageStreamSurvivesOnLTE(t *testing.T) {
+	tb := newTB(t, steadyProfile(6))
+	p, err := tb.NewSession(SessionConfig{
+		Scheduler: NewHarmonicScheduler(256<<10, 0.05),
+		Paths:     BothPaths,
+		Video:     "shortclip01",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		tb.Clock().Sleep(1200 * time.Millisecond)
+		tb.WiFi().SetAlive(false) // walk out of WiFi range, never return
+	}()
+	m, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatalf("stream failed despite LTE path: %v", err)
+	}
+	v, _ := videostore.DefaultCatalog().Get("shortclip01")
+	if m.TotalBytes != v.Size(videostore.HD720) {
+		t.Fatalf("TotalBytes = %d, want full clip", m.TotalBytes)
+	}
+	if m.Paths[1].Bytes == 0 {
+		t.Fatal("LTE carried no traffic")
+	}
+}
+
+func TestSinglePathConfigRejected(t *testing.T) {
+	tb := newTB(t, steadyProfile(7))
+	if _, err := tb.Stream(context.Background(), SessionConfig{Paths: PathSelection(42),
+		Scheduler: NewHarmonicScheduler(0, 0)}); err == nil {
+		t.Fatal("bogus path selection accepted")
+	}
+	if _, err := tb.Stream(context.Background(), SessionConfig{Paths: BothPaths}); err == nil {
+		t.Fatal("missing scheduler accepted")
+	}
+}
+
+func TestFirstVideoByteOrderMatchesHeadStart(t *testing.T) {
+	tb := newTB(t, steadyProfile(8))
+	m, err := tb.Stream(context.Background(), SessionConfig{
+		Scheduler:          NewHarmonicScheduler(256<<10, 0.05),
+		Paths:              BothPaths,
+		StopAfterPreBuffer: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wifi, lte := m.Paths[0], m.Paths[1]
+	if !wifi.FirstByteSet || !lte.FirstByteSet {
+		t.Fatalf("first-byte times missing: %+v %+v", wifi, lte)
+	}
+	if wifi.FirstVideoByte >= lte.FirstVideoByte {
+		t.Fatalf("wifi first byte (%v) should precede lte (%v)",
+			wifi.FirstVideoByte, lte.FirstVideoByte)
+	}
+}

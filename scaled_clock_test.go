@@ -1,0 +1,45 @@
+package msplayer
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestScaledRealTimeMode runs a short session against the scaled
+// real-time clock (the interactive demo mode) and checks that the two
+// clock modes agree on the emulated outcome.
+func TestScaledRealTimeMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time mode sleeps for real")
+	}
+	p := steadyProfile(9)
+	// Moderate compression: at aggressive factors (>~100x) the OS timer
+	// granularity (tens of microseconds per sleep) inflates emulated
+	// delays; 50x keeps the distortion within ~20%.
+	p.RealTimeScale = 50
+	tb := newTB(t, p)
+	wall := time.Now()
+	m, err := tb.Stream(context.Background(), SessionConfig{
+		Scheduler:          NewHarmonicScheduler(256<<10, 0.05),
+		Paths:              BothPaths,
+		Buffer:             BufferConfig{PreBufferTarget: 20 * time.Second},
+		StopAfterPreBuffer: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.PreBufferDone {
+		t.Fatal("pre-buffering did not complete in real-time mode")
+	}
+	// ~4-6 emulated seconds at 50x is ~100 ms of wall time; allow
+	// generous slack for timer granularity.
+	if elapsed := time.Since(wall); elapsed > 10*time.Second {
+		t.Fatalf("scaled mode took %v of wall time", elapsed)
+	}
+	// Emulated outcome comparable to the virtual-clock mode: 20 s of
+	// video over ~16 Mb/s aggregate plus bootstrap.
+	if m.PreBufferTime < 2*time.Second || m.PreBufferTime > 12*time.Second {
+		t.Fatalf("scaled-mode pre-buffer = %v", m.PreBufferTime)
+	}
+}

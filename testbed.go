@@ -1,0 +1,268 @@
+package msplayer
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/handshake"
+	"repro/internal/netem"
+	"repro/internal/netem/trace"
+	"repro/internal/origin"
+	"repro/internal/videostore"
+)
+
+// LinkProfile describes one access network of the testbed.
+type LinkProfile struct {
+	// Name is the network name ("wifi", "lte").
+	Name string
+	// RateMbps is the mean access-link rate in megabits per second.
+	RateMbps float64
+	// RTT is the round-trip time of the access link.
+	RTT time.Duration
+	// Sigma is the lognormal per-interval rate variation (0 = steady).
+	Sigma float64
+	// VaryEvery is the rate-resample interval for the variation.
+	VaryEvery time.Duration
+	// Jitter adds uniform random per-segment delay in [0, Jitter).
+	Jitter time.Duration
+	// LossProb is the per-segment loss probability.
+	LossProb float64
+}
+
+// Profile is a full testbed configuration.
+type Profile struct {
+	// WiFi and LTE are the two access networks of the paper's client.
+	WiFi LinkProfile
+	LTE  LinkProfile
+	// Video selects the streamed clip from the default catalog.
+	Video string
+	// Itag selects the format (22 = 720p).
+	Itag int
+	// ServerDelay is extra one-way distance to the origin servers.
+	ServerDelay time.Duration
+	// Handshake sets the web proxy / video server Δ₁, Δ₂ terms.
+	Handshake handshake.Params
+	// ReplicasPerNetwork is the video-server replica count per network.
+	ReplicasPerNetwork int
+	// Throttle optionally enables Trickle-style server pacing.
+	Throttle *origin.ThrottleConfig
+	// Catalog overrides the served videos (default: reference catalog).
+	Catalog *videostore.Catalog
+	// Seed varies the stochastic components between repetitions.
+	Seed int64
+	// RealTimeScale, when > 0, runs the testbed against a scaled
+	// real-time clock instead of the virtual discrete-event clock.
+	RealTimeScale float64
+}
+
+// TestbedProfile returns the emulated-testbed configuration of §5,
+// calibrated so the absolute pre-buffering times and the Table 1 WiFi
+// traffic share land in the paper's range: a home-WiFi-like 9.5 Mb/s /
+// 25 ms path, an LTE-like 7 Mb/s / 70 ms path (RTT 2-3× WiFi, as
+// measured in the paper), and the 5-minute 720p reference clip.
+func TestbedProfile(seed int64) Profile {
+	return Profile{
+		WiFi: LinkProfile{Name: "wifi", RateMbps: 9.5, RTT: 25 * time.Millisecond,
+			Sigma: 0.22, VaryEvery: 500 * time.Millisecond},
+		LTE: LinkProfile{Name: "lte", RateMbps: 7.0, RTT: 70 * time.Millisecond,
+			Sigma: 0.30, VaryEvery: 400 * time.Millisecond},
+		Video:              "qjT4T2gU9sM",
+		Itag:               22,
+		ServerDelay:        2 * time.Millisecond,
+		Handshake:          handshake.Params{Delta1: 4 * time.Millisecond, Delta2: 3 * time.Millisecond},
+		ReplicasPerNetwork: 2,
+		Seed:               seed,
+	}
+}
+
+// YouTubeProfile returns the §6 configuration: same interfaces but a
+// more distant, more variable service (higher server delay and rate
+// variance, occasional jitter), approximating the public YouTube
+// infrastructure reached across the Internet.
+func YouTubeProfile(seed int64) Profile {
+	p := TestbedProfile(seed)
+	p.ServerDelay = 10 * time.Millisecond
+	p.WiFi.Sigma = 0.30
+	p.LTE.Sigma = 0.40
+	p.WiFi.Jitter = 2 * time.Millisecond
+	p.LTE.Jitter = 5 * time.Millisecond
+	p.Handshake = handshake.Params{Delta1: 6 * time.Millisecond, Delta2: 5 * time.Millisecond}
+	return p
+}
+
+// PathSelection picks which interfaces a session uses.
+type PathSelection int
+
+// Path selections for Stream.
+const (
+	// BothPaths streams over WiFi and LTE simultaneously (MSPlayer).
+	BothPaths PathSelection = iota
+	// WiFiOnly is the single-path WiFi baseline.
+	WiFiOnly
+	// LTEOnly is the single-path LTE baseline.
+	LTEOnly
+)
+
+// Testbed is a running emulated environment: two shaped access networks
+// and a replicated YouTube-like origin, sharing one emulated clock.
+type Testbed struct {
+	profile Profile
+	clock   *netem.Clock
+	network *netem.Network
+	cluster *origin.Cluster
+	wifi    *netem.Interface
+	lte     *netem.Interface
+}
+
+// NewTestbed deploys a testbed from the profile.
+func NewTestbed(p Profile) (*Testbed, error) {
+	if p.Itag == 0 {
+		p.Itag = 22
+	}
+	if p.Video == "" {
+		p.Video = "qjT4T2gU9sM"
+	}
+	var clock *netem.Clock
+	if p.RealTimeScale > 0 {
+		clock = netem.NewScaledClock(p.RealTimeScale)
+	} else {
+		clock = netem.NewVirtualClock()
+	}
+	network := netem.NewNetwork(clock)
+	cluster, err := origin.Deploy(network, origin.ClusterConfig{
+		Catalog:            p.Catalog,
+		Networks:           []string{p.WiFi.Name, p.LTE.Name},
+		ReplicasPerNetwork: p.ReplicasPerNetwork,
+		Handshake:          p.Handshake,
+		ServerDelay:        p.ServerDelay,
+		Throttle:           p.Throttle,
+	})
+	if err != nil {
+		clock.Stop()
+		return nil, err
+	}
+	tb := &Testbed{profile: p, clock: clock, network: network, cluster: cluster}
+	tb.wifi = tb.makeInterface(p.WiFi, p.Seed)
+	tb.lte = tb.makeInterface(p.LTE, p.Seed+101)
+	return tb, nil
+}
+
+func (tb *Testbed) makeInterface(lp LinkProfile, seed int64) *netem.Interface {
+	mk := func(dirSeed int64) netem.LinkParams {
+		params := netem.LinkParams{
+			Rate:      netem.Mbps(lp.RateMbps),
+			Delay:     lp.RTT / 2,
+			Jitter:    lp.Jitter,
+			LossProb:  lp.LossProb,
+			SlowStart: true,
+			Seed:      dirSeed,
+		}
+		if lp.Sigma > 0 {
+			params.Trace = trace.Lognormal(trace.Constant(netem.Mbps(lp.RateMbps)),
+				lp.Sigma, lp.VaryEvery, dirSeed)
+		}
+		return params
+	}
+	return tb.network.NewInterface(lp.Name, mk(seed), mk(seed+7))
+}
+
+// Clock exposes the testbed's emulated clock.
+func (tb *Testbed) Clock() *netem.Clock { return tb.clock }
+
+// Network exposes the underlying emulated network.
+func (tb *Testbed) Network() *netem.Network { return tb.network }
+
+// Cluster exposes the emulated YouTube origin (for failure injection).
+func (tb *Testbed) Cluster() *origin.Cluster { return tb.cluster }
+
+// WiFi returns the WiFi interface (for mobility injection).
+func (tb *Testbed) WiFi() *netem.Interface { return tb.wifi }
+
+// LTE returns the LTE interface.
+func (tb *Testbed) LTE() *netem.Interface { return tb.lte }
+
+// Close tears the testbed down.
+func (tb *Testbed) Close() {
+	tb.cluster.Close()
+	tb.clock.Stop()
+}
+
+// SessionConfig configures one streaming session on a testbed.
+type SessionConfig struct {
+	// Scheduler is required; see the New*Scheduler constructors.
+	Scheduler Scheduler
+	// Paths selects MSPlayer (BothPaths) or a single-path baseline.
+	Paths PathSelection
+	// Buffer overrides the paper's 40/10/+10 s thresholds.
+	Buffer BufferConfig
+	// StopAfterPreBuffer ends the session at pre-buffer completion.
+	StopAfterPreBuffer bool
+	// StopAfterRefills ends the session after N re-buffering cycles.
+	StopAfterRefills int
+	// MaxOutOfOrder overrides the out-of-order chunk bound (default 1).
+	MaxOutOfOrder int
+	// Sink receives the in-order video bytes (nil to discard).
+	Sink io.Writer
+	// Video/Itag override the testbed profile's clip.
+	Video string
+	Itag  int
+}
+
+// NewSession builds a core player for cfg without starting it, for
+// callers that need access to the player while it runs (examples).
+func (tb *Testbed) NewSession(cfg SessionConfig) (*core.Player, error) {
+	video := cfg.Video
+	if video == "" {
+		video = tb.profile.Video
+	}
+	itag := cfg.Itag
+	if itag == 0 {
+		itag = tb.profile.Itag
+	}
+	wifiProxy, err := tb.cluster.ProxyAddr(tb.profile.WiFi.Name)
+	if err != nil {
+		return nil, err
+	}
+	lteProxy, err := tb.cluster.ProxyAddr(tb.profile.LTE.Name)
+	if err != nil {
+		return nil, err
+	}
+	var paths []core.PathConfig
+	switch cfg.Paths {
+	case BothPaths:
+		paths = []core.PathConfig{
+			{Iface: tb.wifi, ProxyAddr: wifiProxy},
+			{Iface: tb.lte, ProxyAddr: lteProxy},
+		}
+	case WiFiOnly:
+		paths = []core.PathConfig{{Iface: tb.wifi, ProxyAddr: wifiProxy}}
+	case LTEOnly:
+		paths = []core.PathConfig{{Iface: tb.lte, ProxyAddr: lteProxy}}
+	default:
+		return nil, fmt.Errorf("msplayer: unknown path selection %d", cfg.Paths)
+	}
+	return core.NewPlayer(core.Config{
+		Clock:              tb.clock,
+		VideoID:            video,
+		Itag:               itag,
+		Scheduler:          cfg.Scheduler,
+		Buffer:             cfg.Buffer,
+		Paths:              paths,
+		MaxOutOfOrder:      cfg.MaxOutOfOrder,
+		Sink:               cfg.Sink,
+		StopAfterPreBuffer: cfg.StopAfterPreBuffer,
+		StopAfterRefills:   cfg.StopAfterRefills,
+	})
+}
+
+// Stream runs a session to completion and returns its metrics.
+func (tb *Testbed) Stream(ctx context.Context, cfg SessionConfig) (*Metrics, error) {
+	p, err := tb.NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(ctx)
+}
