@@ -79,14 +79,14 @@ func main() {
 	}
 
 	if *outage > 0 {
-		go func() {
+		defer tb.Inject(func() {
 			tb.Clock().Sleep(30 * time.Second)
 			fmt.Println("-- WiFi interface down")
 			tb.WiFi().SetAlive(false)
 			tb.Clock().Sleep(*outage)
 			fmt.Println("-- WiFi interface back up")
 			tb.WiFi().SetAlive(true)
-		}()
+		})()
 	}
 
 	fmt.Printf("streaming %s (%s scheduler, %s paths, %s profile)\n",

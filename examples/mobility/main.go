@@ -22,13 +22,14 @@ func run(label string, sel msplayer.PathSelection) {
 	defer tb.Close()
 
 	// 60 s into the session, WiFi disappears for 50 s: long enough to
-	// drain a full playout buffer.
-	go func() {
+	// drain a full playout buffer. Testbed.Inject makes the outage land
+	// at a deterministic virtual instant.
+	defer tb.Inject(func() {
 		tb.Clock().Sleep(60 * time.Second)
 		tb.WiFi().SetAlive(false)
 		tb.Clock().Sleep(50 * time.Second)
 		tb.WiFi().SetAlive(true)
-	}()
+	})()
 
 	m, err := tb.Stream(context.Background(), msplayer.SessionConfig{
 		Scheduler: msplayer.NewHarmonicScheduler(msplayer.DefaultBaseChunk, msplayer.DefaultDelta),

@@ -7,10 +7,12 @@ import (
 	"time"
 )
 
-// smokeOpt keeps repetition counts small: these tests assert the shape
-// of each experiment, not tight statistics (benchall runs the full
-// repetition counts).
-func smokeOpt() Options { return Options{Reps: 3, Seed: 42} }
+// smokeOpt keeps repetition counts moderate: these tests assert the
+// shape of each experiment, not tight statistics (benchall runs the
+// full repetition counts). The deterministic virtual clock made each
+// repetition cheap, so the smoke runs afford more reps and more
+// parallel testbeds than the seed did.
+func smokeOpt() Options { return Options{Reps: 6, Seed: 42, Parallel: 8} }
 
 func sink(t *testing.T) io.Writer {
 	if testing.Verbose() {
@@ -69,6 +71,9 @@ func TestFig2MSPlayerWins(t *testing.T) {
 }
 
 func TestMobilityMSPlayerAvoidsStalls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-clip outage runs are the slowest smoke tests")
+	}
 	res := Mobility(sink(t), Options{Reps: 2, Seed: 7})
 	if len(res) != 2 {
 		t.Fatalf("results = %d", len(res))
@@ -106,7 +111,10 @@ func TestFig5LargerChunksRefillFaster(t *testing.T) {
 	// than 256KB on the same path and MSPlayer fastest. (The 20s row's
 	// MSPlayer and WiFi-256KB distributions overlap, in the paper as
 	// here, so the well-separated 40s row is the robust smoke check.)
-	opt := Options{Reps: 2, Seed: 5}
+	if testing.Short() {
+		t.Skip("steady-state refill sessions are among the slowest smoke tests")
+	}
+	opt := Options{Reps: 3, Seed: 5, Parallel: 8}
 	rows := Fig5For(sink(t), opt, 40*time.Second)
 	if len(rows) == 0 {
 		t.Fatal("no rows")
@@ -121,5 +129,4 @@ func TestFig5LargerChunksRefillFaster(t *testing.T) {
 		t.Errorf("MSPlayer (%.2f) should beat single-path 256KB (wifi %.2f, lte %.2f)",
 			r.MSPlayer.Summary.Median, r.WiFi256.Summary.Median, r.LTE256.Summary.Median)
 	}
-	_ = time.Second
 }

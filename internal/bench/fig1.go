@@ -74,9 +74,15 @@ func measureBootstrap(rtt time.Duration, params handshake.Params) (eta, psi time
 	}
 	defer inner.Close()
 
+	// Register the measuring goroutine and spawn the minimal web proxy
+	// through the clock, so the virtual clock only advances when both
+	// sides are parked and the measured η/ψ are deterministic.
+	clock.Register()
+	defer clock.Unregister()
+
 	// Minimal web-proxy: handshake, then one HTTP response with a
 	// JSON-sized body.
-	go func() {
+	clock.Go(func() {
 		c, err := inner.Accept()
 		if err != nil {
 			return
@@ -92,7 +98,7 @@ func measureBootstrap(rtt time.Duration, params handshake.Params) (eta, psi time
 		body := make([]byte, fig1JSONSize)
 		fmt.Fprintf(c, "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n", len(body))
 		c.Write(body)
-	}()
+	})
 
 	link := netem.LinkParams{Rate: netem.Mbps(20), Delay: rtt / 2, SlowStart: true}
 	iface := network.NewInterface("probe", link, link)

@@ -73,12 +73,12 @@ func mobilityRun(seed int64, sel msplayer.PathSelection) (stallSecs float64, com
 	defer tb.Close()
 
 	// WiFi drops 30 s into the session and returns 45 s later.
-	go func() {
+	defer tb.Inject(func() {
 		tb.Clock().Sleep(30 * time.Second)
 		tb.WiFi().SetAlive(false)
 		tb.Clock().Sleep(45 * time.Second)
 		tb.WiFi().SetAlive(true)
-	}()
+	})()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()

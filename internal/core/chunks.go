@@ -4,6 +4,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"repro/internal/netem"
 )
 
 // Span is a half-open byte range [Off, Off+Size) of the video stream.
@@ -29,7 +31,7 @@ type chunkManager struct {
 	deliverMu sync.Mutex
 
 	mu   sync.Mutex
-	cond *sync.Cond
+	cond *netem.Cond // clock-aware: paths parked in acquire are jumpable
 
 	total    int64 // content length; -1 until the first bootstrap
 	next     int64 // next unassigned offset
@@ -53,7 +55,7 @@ type chunkManager struct {
 	limit func() int64
 }
 
-func newChunkManager(maxOOO int, sink io.Writer) *chunkManager {
+func newChunkManager(clock *netem.Clock, maxOOO int, sink io.Writer) *chunkManager {
 	if maxOOO < 1 {
 		maxOOO = 1
 	}
@@ -64,7 +66,7 @@ func newChunkManager(maxOOO int, sink io.Writer) *chunkManager {
 		maxOOO:   maxOOO,
 		sink:     sink,
 	}
-	cm.cond = sync.NewCond(&cm.mu)
+	cm.cond = netem.NewCond(clock, &cm.mu)
 	return cm
 }
 
@@ -157,7 +159,11 @@ func (cm *chunkManager) acquire(i int, want int64) (Span, bool) {
 			cm.next = s.End()
 			return s, true
 		}
-		cm.cond.Wait()
+		if !cm.cond.Wait() {
+			// Emulation clock stopped: no further deliveries or gate
+			// flips will ever signal this wait.
+			return Span{}, false
+		}
 	}
 }
 

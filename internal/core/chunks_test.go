@@ -9,7 +9,7 @@ import (
 
 func TestChunkManagerInOrderDelivery(t *testing.T) {
 	var sink bytes.Buffer
-	cm := newChunkManager(1, &sink)
+	cm := newChunkManager(nil, 1, &sink)
 	cm.setGate(true)
 	cm.setTotal(100)
 
@@ -55,7 +55,7 @@ func TestChunkManagerInOrderDelivery(t *testing.T) {
 }
 
 func TestChunkManagerOutOfOrderLimitBlocks(t *testing.T) {
-	cm := newChunkManager(1, nil)
+	cm := newChunkManager(nil, 1, nil)
 	cm.setGate(true)
 	cm.setTotal(1000)
 
@@ -89,7 +89,7 @@ func TestChunkManagerOutOfOrderLimitBlocks(t *testing.T) {
 }
 
 func TestChunkManagerRetryPriority(t *testing.T) {
-	cm := newChunkManager(1, nil)
+	cm := newChunkManager(nil, 1, nil)
 	cm.setGate(true)
 	cm.setTotal(1000)
 	s, _ := cm.acquire(0, 100)
@@ -102,7 +102,7 @@ func TestChunkManagerRetryPriority(t *testing.T) {
 }
 
 func TestChunkManagerRetryBypassesGateAndLimit(t *testing.T) {
-	cm := newChunkManager(1, nil)
+	cm := newChunkManager(nil, 1, nil)
 	cm.setGate(true)
 	cm.setTotal(300)
 	a, _ := cm.acquire(0, 100)
@@ -117,7 +117,7 @@ func TestChunkManagerRetryBypassesGateAndLimit(t *testing.T) {
 }
 
 func TestChunkManagerGateBlocksFreshWork(t *testing.T) {
-	cm := newChunkManager(1, nil)
+	cm := newChunkManager(nil, 1, nil)
 	cm.setTotal(1000) // gate starts closed
 	got := make(chan Span, 1)
 	go func() {
@@ -140,7 +140,7 @@ func TestChunkManagerGateBlocksFreshWork(t *testing.T) {
 }
 
 func TestChunkManagerStopUnblocks(t *testing.T) {
-	cm := newChunkManager(1, nil)
+	cm := newChunkManager(nil, 1, nil)
 	cm.setGate(true) // no total yet: acquire must wait
 	done := make(chan bool, 1)
 	go func() {
@@ -162,7 +162,7 @@ func TestChunkManagerStopUnblocks(t *testing.T) {
 func TestChunkManagerOnDeliverFrontier(t *testing.T) {
 	var mu sync.Mutex
 	var frontiers []int64
-	cm := newChunkManager(2, nil)
+	cm := newChunkManager(nil, 2, nil)
 	cm.onDeliver = func(f int64) {
 		mu.Lock()
 		frontiers = append(frontiers, f)
@@ -185,7 +185,7 @@ func TestChunkManagerOnDeliverFrontier(t *testing.T) {
 
 func TestChunkManagerConcurrentPathsDeliverAllBytes(t *testing.T) {
 	var sink bytes.Buffer
-	cm := newChunkManager(1, &sink)
+	cm := newChunkManager(nil, 1, &sink)
 	cm.setGate(true)
 	total := int64(1 << 20)
 	cm.setTotal(total)

@@ -48,12 +48,24 @@ func newPath(id int, cfg PathConfig, pl *Player) *path {
 	return &path{id: id, cfg: cfg, player: pl, client: httpx.NewClient(cfg.Iface)}
 }
 
-// backoff sleeps an exponentially growing emulated delay, capped at 2 s,
-// returning false if the context was cancelled.
-func (p *path) backoff(ctx context.Context, attempt int) bool {
+// errClockStopped ends retry loops when the emulation is torn down
+// mid-session: sleeps on a stopped clock return immediately, so
+// retrying without this sentinel would hot-loop.
+var errClockStopped = errors.New("core: emulation clock stopped")
+
+// backoff sleeps an exponentially growing emulated delay, capped at
+// 2 s, returning a non-nil error if the context was cancelled or the
+// clock stopped.
+func (p *path) backoff(ctx context.Context, attempt int) error {
 	d := 250 * time.Millisecond << uint(min(attempt, 3))
 	p.player.clock.Sleep(d)
-	return ctx.Err() == nil
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if p.player.clock.Stopped() {
+		return errClockStopped
+	}
+	return nil
 }
 
 // bootstrap fetches video metadata from the network's web proxy,
@@ -72,8 +84,8 @@ func (p *path) bootstrap(ctx context.Context) error {
 			}
 		}
 		if err != nil {
-			if !p.backoff(ctx, attempt) {
-				return ctx.Err()
+			if berr := p.backoff(ctx, attempt); berr != nil {
+				return berr
 			}
 			continue
 		}
@@ -118,8 +130,8 @@ func (p *path) failover(ctx context.Context, attempt int) error {
 		p.url = p.info.PlaybackURL(p.servers[p.serverIdx], p.player.cfg.Itag)
 		return nil
 	}
-	if !p.backoff(ctx, attempt) {
-		return ctx.Err()
+	if err := p.backoff(ctx, attempt); err != nil {
+		return err
 	}
 	p.player.metrics.rebootstrap(p.id)
 	return p.bootstrap(ctx)

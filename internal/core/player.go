@@ -74,12 +74,20 @@ type Player struct {
 	cm      *chunkManager
 	metrics *metricsRecorder
 
-	mu       sync.Mutex
-	buffer   *PlayoutBuffer
-	start    time.Time
-	doneOnce sync.Once
-	done     chan struct{}
-	gaterCh  chan struct{}
+	mu     sync.Mutex
+	buffer *PlayoutBuffer
+	start  time.Time
+
+	// Session lifecycle state, guarded by smu and signalled through the
+	// clock-aware scond so Run and the gater park clock-visibly.
+	smu         sync.Mutex
+	scond       *netem.Cond
+	sessionDone bool // stop condition reached
+	cancelled   bool // Run's context fired
+	pathsExited bool // every path and the gater returned
+	bufferReady bool // first bootstrap created the playout buffer
+	kicked      bool // gate turned OFF since the gater last looked
+	doneOnce    sync.Once
 }
 
 // NewPlayer validates cfg and builds a session (not yet started).
@@ -91,12 +99,11 @@ func NewPlayer(cfg Config) (*Player, error) {
 		cfg.MaxOutOfOrder = 1
 	}
 	p := &Player{
-		cfg:     cfg,
-		clock:   cfg.Clock,
-		done:    make(chan struct{}),
-		gaterCh: make(chan struct{}, 1),
+		cfg:   cfg,
+		clock: cfg.Clock,
 	}
-	p.cm = newChunkManager(cfg.MaxOutOfOrder, cfg.Sink)
+	p.scond = netem.NewCond(cfg.Clock, &p.smu)
+	p.cm = newChunkManager(cfg.Clock, cfg.MaxOutOfOrder, cfg.Sink)
 	p.cm.setGate(true) // pre-buffering starts fetching immediately
 	p.cm.onDeliver = p.onDeliver
 	networks := make([]string, len(cfg.Paths))
@@ -116,8 +123,8 @@ func NewPlayer(cfg Config) (*Player, error) {
 func (p *Player) onBootstrap(info *origin.VideoInfo, contentLength int64) {
 	p.cm.setTotal(contentLength)
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.buffer != nil {
+		p.mu.Unlock()
 		return
 	}
 	var bps float64
@@ -129,10 +136,15 @@ func (p *Player) onBootstrap(info *origin.VideoInfo, contentLength int64) {
 	videoLen := time.Duration(info.LengthSeconds) * time.Second
 	p.buffer = NewPlayoutBuffer(p.cfg.Buffer, bps, videoLen, p.start, p.onGate)
 	buf := p.buffer
+	p.mu.Unlock()
 	p.cm.setLimit(func() int64 { return buf.GoalOffset(p.clock.Now()) })
 	if b, ok := p.cfg.Scheduler.(*BulkScheduler); ok {
 		b.SetGoal(func() int64 { return buf.GoalBytes(p.clock.Now()) })
 	}
+	p.smu.Lock()
+	p.bufferReady = true
+	p.scond.Broadcast()
+	p.smu.Unlock()
 }
 
 // onGate reacts to buffer gate flips: ON/OFF propagates to the chunk
@@ -141,10 +153,10 @@ func (p *Player) onBootstrap(info *origin.VideoInfo, contentLength int64) {
 func (p *Player) onGate(on bool) {
 	p.cm.setGate(on)
 	if !on {
-		select {
-		case p.gaterCh <- struct{}{}:
-		default:
-		}
+		p.smu.Lock()
+		p.kicked = true
+		p.scond.Broadcast()
+		p.smu.Unlock()
 	}
 }
 
@@ -183,33 +195,39 @@ func (p *Player) phase() Phase {
 }
 
 func (p *Player) finish() {
-	p.doneOnce.Do(func() { close(p.done) })
+	p.doneOnce.Do(func() {
+		p.smu.Lock()
+		p.sessionDone = true
+		p.scond.Broadcast()
+		p.smu.Unlock()
+	})
+}
+
+// over reports whether the session should stop driving new work.
+func (p *Player) over() bool {
+	p.smu.Lock()
+	defer p.smu.Unlock()
+	return p.sessionDone || p.cancelled
 }
 
 // gater drives the time-based ON transitions: it sleeps until the
 // buffer drains to LowWater and flips fetching back on.
-func (p *Player) gater(ctx context.Context) {
+func (p *Player) gater() {
 	for {
-		select {
-		case <-ctx.Done():
+		if p.over() || p.clock.Stopped() {
 			return
-		case <-p.done:
-			return
-		default:
 		}
 		p.mu.Lock()
 		buf := p.buffer
 		p.mu.Unlock()
 		if buf == nil {
-			// Wait for the first bootstrap.
-			select {
-			case <-p.gaterCh:
-			case <-time.After(time.Millisecond):
-			case <-ctx.Done():
-				return
-			case <-p.done:
-				return
+			// Wait for the first bootstrap. A false Wait means the clock
+			// stopped; the loop's top re-check exits then.
+			p.smu.Lock()
+			if !p.bufferReady && !p.sessionDone && !p.cancelled {
+				_ = p.scond.Wait()
 			}
+			p.smu.Unlock()
 			continue
 		}
 		now := p.clock.Now()
@@ -227,64 +245,108 @@ func (p *Player) gater(ctx context.Context) {
 			continue
 		}
 		// Delivery-driven period: wait for a gate-off kick.
-		select {
-		case <-p.gaterCh:
-		case <-ctx.Done():
-			return
-		case <-p.done:
-			return
+		p.smu.Lock()
+		if !p.kicked && !p.sessionDone && !p.cancelled {
+			_ = p.scond.Wait()
 		}
+		p.kicked = false
+		p.smu.Unlock()
 	}
 }
 
 // Run executes the session until its stop condition (or ctx
 // cancellation) and returns the collected metrics.
+//
+// The calling goroutine registers with the emulation clock for the
+// duration of the session, and every goroutine Run spawns is registered
+// too, so in virtual mode the whole session advances deterministically.
 func (p *Player) Run(ctx context.Context) (*Metrics, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	clock := p.clock
+	clock.Register()
+	defer clock.Unregister()
+
 	p.mu.Lock()
-	p.start = p.clock.Now()
+	p.start = clock.Now()
 	p.mu.Unlock()
 	p.metrics.start = p.start
 
 	paths := make([]*path, len(p.cfg.Paths))
-	var wg sync.WaitGroup
+	// The last fetch loop to exit raises pathsExited itself, on its own
+	// still-registered goroutine: paths exiting is an emulated-time
+	// event, and relaying it through an unregistered watcher would open
+	// a window for nondeterministic clock jumps before Run observes it.
+	// The gater is excluded from the count — it legitimately outlives
+	// paths that fail before the first bootstrap.
+	livePaths := len(p.cfg.Paths)
+	var allWg sync.WaitGroup
 	for i, pc := range p.cfg.Paths {
 		paths[i] = newPath(i, pc, p)
-		wg.Add(1)
-		go func(pt *path) {
-			defer wg.Done()
+		pt := paths[i]
+		allWg.Add(1)
+		clock.Go(func() {
+			defer allWg.Done()
 			pt.run(ctx)
-		}(paths[i])
+			p.smu.Lock()
+			livePaths--
+			if livePaths == 0 {
+				p.pathsExited = true
+				p.scond.Broadcast()
+			}
+			p.smu.Unlock()
+		})
 	}
-	wg.Add(1)
+	allWg.Add(1)
+	clock.Go(func() {
+		defer allWg.Done()
+		p.gater()
+	})
+
+	// Relay external cancellation into the session's clock-visible
+	// state. The watcher is intentionally unregistered: it only runs on
+	// an event originating outside emulated time.
 	go func() {
-		defer wg.Done()
-		p.gater(ctx)
+		<-ctx.Done()
+		p.smu.Lock()
+		p.cancelled = true
+		p.scond.Broadcast()
+		p.smu.Unlock()
 	}()
 
-	// A session with unreachable networks would otherwise hang: watch
-	// for all paths exiting without completion.
-	pathsDone := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(pathsDone)
-	}()
+	stopped := false
+	p.smu.Lock()
+	for !p.sessionDone && !p.cancelled && !p.pathsExited {
+		if !p.scond.Wait() {
+			stopped = true // clock stopped mid-session (testbed closed)
+			break
+		}
+	}
+	sessionDone, pathsExited := p.sessionDone, p.pathsExited
+	p.smu.Unlock()
 
 	var runErr error
-	select {
-	case <-p.done:
-	case <-ctx.Done():
-		runErr = ctx.Err()
-	case <-pathsDone:
+	switch {
+	case sessionDone:
+	case stopped:
+		runErr = errClockStopped
+	case pathsExited:
 		if !p.cm.Done() {
 			runErr = errors.New("core: all paths exited before the session completed")
 		}
+	default:
+		runErr = ctx.Err()
 	}
 	p.cm.stop()
 	cancel()
-	wg.Wait()
+	// Suspend this goroutine's registration (at whatever depth the
+	// caller established) while joining the workers: they must be able
+	// to advance virtual time (e.g. out of backoff sleeps) while Run is
+	// parked in a wait the clock cannot see.
+	depth := clock.Suspend()
+	allWg.Wait()
+	clock.Resume(depth)
 	for _, pt := range paths {
 		pt.client.CloseIdleConnections()
 	}

@@ -169,72 +169,6 @@ func Server(conn net.Conn, clock Sleeper, p Params) error {
 	return writeMsg(conn, msgFinished)
 }
 
-// Listener wraps an inner listener so that accepted connections complete
-// the server-side exchange before being handed to the application (an
-// http.Server, typically). Handshakes run concurrently; a connection
-// whose handshake fails is dropped.
-type Listener struct {
-	inner  net.Listener
-	clock  Sleeper
-	params Params
-	ready  chan net.Conn
-	done   chan struct{}
-}
-
-// NewListener starts accepting and handshaking connections from inner.
-func NewListener(inner net.Listener, clock Sleeper, p Params) *Listener {
-	l := &Listener{
-		inner:  inner,
-		clock:  clock,
-		params: p,
-		ready:  make(chan net.Conn, 16),
-		done:   make(chan struct{}),
-	}
-	go l.acceptLoop()
-	return l
-}
-
-func (l *Listener) acceptLoop() {
-	for {
-		c, err := l.inner.Accept()
-		if err != nil {
-			return
-		}
-		go func(c net.Conn) {
-			if err := Server(c, l.clock, l.params); err != nil {
-				c.Close()
-				return
-			}
-			select {
-			case l.ready <- c:
-			case <-l.done:
-				c.Close()
-			}
-		}(c)
-	}
-}
-
-// Accept implements net.Listener, returning connections that have
-// completed the handshake.
-func (l *Listener) Accept() (net.Conn, error) {
-	select {
-	case c := <-l.ready:
-		return c, nil
-	case <-l.done:
-		return nil, fmt.Errorf("handshake: listener closed")
-	}
-}
-
-// Close implements net.Listener.
-func (l *Listener) Close() error {
-	select {
-	case <-l.done:
-		return nil
-	default:
-		close(l.done)
-	}
-	return l.inner.Close()
-}
-
-// Addr implements net.Listener.
-func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+// Serving the handshake behind a listener lives in package httpx
+// (httpx.Serve), which runs the exchange on clock-registered
+// goroutines so the deterministic virtual clock can account for it.

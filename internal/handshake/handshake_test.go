@@ -2,9 +2,6 @@ package handshake
 
 import (
 	"context"
-	"io"
-	"net"
-	"net/http"
 	"testing"
 	"time"
 
@@ -77,56 +74,6 @@ func TestMeasuredEtaMatchesClosedForm(t *testing.T) {
 	}
 }
 
-// TestListenerServesHTTPAfterHandshake checks that an http.Server runs
-// unmodified behind the handshake listener and that a client that also
-// runs the handshake in its dialer completes requests.
-func TestListenerServesHTTPAfterHandshake(t *testing.T) {
-	clock := netem.NewVirtualClock()
-	defer clock.Stop()
-	n := netem.NewNetwork(clock)
-	inner, err := n.Listen("proxy.test:443", 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	p := Params{Delta1: time.Millisecond, Delta2: time.Millisecond}
-	hl := NewListener(inner, clock, p)
-	defer hl.Close()
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/ping", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "pong")
-	})
-	srv := &http.Server{Handler: mux}
-	go srv.Serve(hl)
-	defer srv.Close()
-
-	iface := n.NewInterface("wifi",
-		netem.LinkParams{Rate: netem.Mbps(20), Delay: 5 * time.Millisecond},
-		netem.LinkParams{Rate: netem.Mbps(20), Delay: 5 * time.Millisecond})
-	client := &http.Client{Transport: &http.Transport{
-		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
-			c, err := iface.DialContext(ctx, network, addr)
-			if err != nil {
-				return nil, err
-			}
-			if err := Client(c); err != nil {
-				c.Close()
-				return nil, err
-			}
-			return c, nil
-		},
-	}}
-	resp, err := client.Get("http://proxy.test:443/ping")
-	if err != nil {
-		t.Fatal(err)
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if string(body) != "pong" {
-		t.Fatalf("body = %q", body)
-	}
-}
-
 // TestServerRejectsGarbage ensures a non-handshake client is dropped.
 func TestServerRejectsGarbage(t *testing.T) {
 	clock := netem.NewVirtualClock()
@@ -160,15 +107,17 @@ func TestFasterPathFinishesBootstrapFirst(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		go func(l net.Listener) {
+		l := inner
+		clock.Go(func() {
 			for {
 				c, err := l.Accept()
 				if err != nil {
 					return
 				}
-				go Server(c, clock, p)
+				conn := c
+				clock.Go(func() { Server(conn, clock, p) })
 			}
-		}(inner)
+		})
 	}
 	wifi := n.NewInterface("wifi",
 		netem.LinkParams{Rate: netem.Mbps(20), Delay: 12 * time.Millisecond},
@@ -183,11 +132,16 @@ func TestFasterPathFinishesBootstrapFirst(t *testing.T) {
 	}
 	results := make(chan result, 2)
 	start := clock.Now()
+	// Register the spawning goroutine until both clients are up, so the
+	// clock cannot run the first client's sleeps before the second
+	// client exists — the bootstraps really run concurrently.
+	clock.Register()
 	for _, tc := range []struct {
 		iface *netem.Interface
 		addr  string
 	}{{wifi, "w.test:443"}, {lte, "l.test:443"}} {
-		go func(iface *netem.Interface, addr string) {
+		iface, addr := tc.iface, tc.addr
+		clock.Go(func() {
 			conn, err := iface.DialContext(context.Background(), "tcp", addr)
 			if err != nil {
 				t.Errorf("dial: %v", err)
@@ -199,8 +153,9 @@ func TestFasterPathFinishesBootstrapFirst(t *testing.T) {
 				t.Errorf("handshake: %v", err)
 			}
 			results <- result{iface.Name(), clock.Now().Sub(start)}
-		}(tc.iface, tc.addr)
+		})
 	}
+	clock.Unregister()
 	etas := map[string]time.Duration{}
 	for i := 0; i < 2; i++ {
 		r := <-results

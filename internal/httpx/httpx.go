@@ -1,16 +1,29 @@
 // Package httpx provides the HTTP plumbing MSPlayer uses on each path:
 // an http.Client bound to one emulated interface that completes the
-// secure-connection handshake inside its dialer, plus HTTP range-request
-// helpers. Connections are persistent, so each range request after the
-// first costs one request round trip, exactly as in the paper.
+// secure-connection handshake inside its dialer, HTTP range-request
+// helpers, and an HTTP/1.1 server for the emulated origin.
+//
+// Both ends are built for the deterministic virtual clock: the client
+// Transport performs the whole round trip — dial, handshake, request
+// write, response and body reads — on the calling goroutine, and the
+// Server runs its accept loop and per-connection loops on goroutines
+// registered with the emulation clock. No goroutine in the HTTP path
+// ever parks outside the clock's waiter accounting, which is what lets
+// virtual time jump deterministically (net/http's Transport and Server
+// would park their internal goroutines on plain channels, invisible to
+// the clock). Connections are persistent, so each range request after
+// the first costs one request round trip, exactly as in the paper.
 package httpx
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/handshake"
 	"repro/internal/netem"
@@ -24,24 +37,235 @@ func NewClient(iface *netem.Interface) *http.Client {
 	return &http.Client{Transport: NewTransport(iface)}
 }
 
-// NewTransport builds the underlying http.Transport for NewClient;
-// exposed so callers can tune connection pooling.
-func NewTransport(iface *netem.Interface) *http.Transport {
-	return &http.Transport{
-		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
-			c, err := iface.DialContext(ctx, network, addr)
-			if err != nil {
-				return nil, err
-			}
-			if err := handshake.Client(c); err != nil {
-				c.Close()
-				return nil, fmt.Errorf("httpx: secure handshake with %s: %w", addr, err)
-			}
-			return c, nil
-		},
-		MaxIdleConnsPerHost: 4,
-		ForceAttemptHTTP2:   false,
+// maxIdlePerHost bounds pooled idle connections per server address.
+const maxIdlePerHost = 4
+
+// Transport is an http.RoundTripper that speaks HTTP/1.1 directly over
+// emulated connections, entirely on the calling goroutine. See the
+// package comment for why this replaces http.Transport here.
+type Transport struct {
+	iface *netem.Interface
+
+	mu   sync.Mutex
+	idle map[string][]*persistConn
+}
+
+// NewTransport builds the transport underlying NewClient; exposed so
+// callers can share one connection pool across clients.
+func NewTransport(iface *netem.Interface) *Transport {
+	return &Transport{iface: iface, idle: make(map[string][]*persistConn)}
+}
+
+// persistConn is one pooled connection with its read buffer (which may
+// hold bytes of the next response and so must persist with the conn).
+type persistConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+type connAborter interface{ Abort(err error) }
+
+func abortConn(c net.Conn, err error) {
+	if a, ok := c.(connAborter); ok {
+		a.Abort(err)
+		return
 	}
+	c.Close()
+}
+
+// RoundTrip implements http.RoundTripper. The returned response body
+// streams straight from the emulated connection; fully draining and
+// closing it returns the connection to the keep-alive pool.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	ctx := req.Context()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	addr := req.URL.Host
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		addr = net.JoinHostPort(addr, "80")
+	}
+	for attempt := 0; ; attempt++ {
+		pc, reused, err := t.getConn(ctx, addr)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := t.roundTrip(ctx, req, pc, addr)
+		if err != nil {
+			// A pooled conn may have been aborted since it was cached
+			// (mobility event, server kill) — and if one was, its pooled
+			// siblings almost certainly were too. Flush the pool for
+			// this address and retry once on a genuinely fresh dial, as
+			// net/http does for reused conns — and like net/http, only
+			// when the request body can be replayed.
+			replayable := req.Body == nil || req.Body == http.NoBody
+			if !replayable && req.GetBody != nil {
+				// Rewind the consumed body before re-sending.
+				if body, gerr := req.GetBody(); gerr == nil {
+					req.Body = body
+					replayable = true
+				}
+			}
+			if reused && replayable && attempt == 0 && ctx.Err() == nil {
+				t.dropIdle(addr)
+				continue
+			}
+			return nil, err
+		}
+		return resp, nil
+	}
+}
+
+func (t *Transport) roundTrip(ctx context.Context, req *http.Request, pc *persistConn, addr string) (*http.Response, error) {
+	// Watch for cancellation until the body is closed: aborting the conn
+	// wakes any clock-visible read the caller is parked in. The state
+	// CAS decides the race between the watcher aborting and the body
+	// completing, so a conn the watcher touched is never repooled.
+	done := make(chan struct{})
+	state := &reqState{}
+	go func() {
+		select {
+		case <-ctx.Done():
+			if state.v.CompareAndSwap(reqActive, reqAborted) {
+				abortConn(pc.conn, ctx.Err())
+			}
+		case <-done:
+		}
+	}()
+	fail := func(err error) (*http.Response, error) {
+		close(done)
+		pc.conn.Close()
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+		}
+		return nil, err
+	}
+
+	if err := req.Write(pc.conn); err != nil {
+		return fail(fmt.Errorf("httpx: writing request: %w", err))
+	}
+	resp, err := http.ReadResponse(pc.br, req)
+	if err != nil {
+		return fail(fmt.Errorf("httpx: reading response: %w", err))
+	}
+	resp.Body = &bodyGuard{rc: resp.Body, t: t, pc: pc, addr: addr,
+		done: done, state: state, reusable: !resp.Close}
+	return resp, nil
+}
+
+// reqState arbitrates one request's end-of-life between the
+// cancellation watcher and the body owner.
+type reqState struct{ v atomic.Int32 }
+
+const (
+	reqActive    = 0 // request in flight
+	reqAborted   = 1 // watcher won: conn aborted, must not be reused
+	reqCompleted = 2 // body owner won: conn may be pooled
+)
+
+func (t *Transport) getConn(ctx context.Context, addr string) (pc *persistConn, reused bool, err error) {
+	t.mu.Lock()
+	if pcs := t.idle[addr]; len(pcs) > 0 {
+		pc := pcs[len(pcs)-1]
+		t.idle[addr] = pcs[:len(pcs)-1]
+		t.mu.Unlock()
+		return pc, true, nil
+	}
+	t.mu.Unlock()
+	conn, err := t.iface.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := handshake.Client(conn); err != nil {
+		conn.Close()
+		return nil, false, fmt.Errorf("httpx: secure handshake with %s: %w", addr, err)
+	}
+	return &persistConn{conn: conn, br: bufio.NewReaderSize(conn, 16<<10)}, false, nil
+}
+
+// dropIdle discards every pooled connection to addr.
+func (t *Transport) dropIdle(addr string) {
+	t.mu.Lock()
+	pcs := t.idle[addr]
+	delete(t.idle, addr)
+	t.mu.Unlock()
+	for _, pc := range pcs {
+		pc.conn.Close()
+	}
+}
+
+func (t *Transport) putIdle(addr string, pc *persistConn) {
+	t.mu.Lock()
+	if len(t.idle[addr]) < maxIdlePerHost {
+		t.idle[addr] = append(t.idle[addr], pc)
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	pc.conn.Close()
+}
+
+// CloseIdleConnections implements the optional interface used by
+// http.Client.CloseIdleConnections.
+func (t *Transport) CloseIdleConnections() {
+	t.mu.Lock()
+	idle := t.idle
+	t.idle = make(map[string][]*persistConn)
+	t.mu.Unlock()
+	for _, pcs := range idle {
+		for _, pc := range pcs {
+			pc.conn.Close()
+		}
+	}
+}
+
+// bodyGuard tracks whether a response body was fully drained, deciding
+// between pooling and closing the underlying connection, and releases
+// the per-request cancellation watcher.
+type bodyGuard struct {
+	rc       io.ReadCloser
+	t        *Transport
+	pc       *persistConn
+	addr     string
+	done     chan struct{}
+	state    *reqState
+	reusable bool
+	sawEOF   bool
+	closed   bool
+}
+
+func (b *bodyGuard) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	if err == io.EOF {
+		b.sawEOF = true
+	}
+	return n, err
+}
+
+func (b *bodyGuard) Close() error {
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	close(b.done)
+	completed := b.state.v.CompareAndSwap(reqActive, reqCompleted)
+	if !b.sawEOF && completed && b.reusable {
+		// The conn is a pooling candidate: tolerate an undrained body
+		// that has in fact ended (e.g. a JSON decoder stopping at the
+		// final token). Only probe then — on a doomed conn the read
+		// could block until the peer's next paced segment.
+		var tmp [1]byte
+		if n, err := b.rc.Read(tmp[:]); n == 0 && err == io.EOF {
+			b.sawEOF = true
+		}
+	}
+	err := b.rc.Close()
+	if completed && b.sawEOF && b.reusable && err == nil {
+		b.t.putIdle(b.addr, b.pc)
+	} else {
+		b.pc.conn.Close()
+	}
+	return err
 }
 
 // StatusError reports an unexpected HTTP status code, letting callers

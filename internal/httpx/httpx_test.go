@@ -12,8 +12,8 @@ import (
 	"repro/internal/netem"
 )
 
-// testServer runs an http.Server behind the handshake listener on an
-// emulated network and returns an interface to reach it.
+// testServer runs the httpx server (with handshake) on an emulated
+// network and returns an interface to reach it.
 func testServer(t *testing.T, h http.Handler) *netem.Interface {
 	t.Helper()
 	clock := netem.NewVirtualClock()
@@ -23,10 +23,7 @@ func testServer(t *testing.T, h http.Handler) *netem.Interface {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hl := handshake.NewListener(inner, clock, handshake.Params{})
-	t.Cleanup(func() { hl.Close() })
-	srv := &http.Server{Handler: h}
-	go srv.Serve(hl)
+	srv := Serve(clock, inner, h, handshake.Params{})
 	t.Cleanup(func() { srv.Close() })
 	lp := netem.LinkParams{Rate: netem.Mbps(20), Delay: 5 * time.Millisecond}
 	return n.NewInterface("wifi", lp, lp)
@@ -123,12 +120,22 @@ func TestGetRangeInvalidRange(t *testing.T) {
 }
 
 func TestGetRangeContextCancel(t *testing.T) {
-	iface := testServer(t, blobHandler(make([]byte, 1<<20)))
+	// A handler that never responds: the fetch can only end through
+	// cancellation. (With the deterministic virtual clock any finite
+	// emulated transfer completes in microseconds of wall time, so a
+	// wall-clock cancel can no longer race a normal download.)
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	mux := http.NewServeMux()
+	mux.HandleFunc("/hang", func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	})
+	iface := testServer(t, mux)
 	client := NewClient(iface)
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := GetRange(ctx, client, "http://srv.test:443/blob", 0, 1<<20-1)
+		_, err := GetRange(ctx, client, "http://srv.test:443/hang", 0, 1<<20-1)
 		done <- err
 	}()
 	time.Sleep(10 * time.Millisecond)

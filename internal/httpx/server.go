@@ -1,0 +1,196 @@
+package httpx
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime/debug"
+	"strconv"
+
+	"repro/internal/handshake"
+	"repro/internal/netem"
+)
+
+// Server is a minimal HTTP/1.1 server for the emulated origin. Every
+// goroutine it spawns — the accept loop and one loop per connection —
+// is registered with the emulation clock, and all their blocking
+// (accepts, handshake processing delays, request reads, paced response
+// writes, handler think time) is clock-visible, so the virtual clock can
+// account for the whole server side deterministically.
+type Server struct {
+	clock *netem.Clock
+	l     net.Listener
+	h     http.Handler
+	hs    handshake.Params
+}
+
+// Serve starts serving h on l, completing the emulated TLS-style
+// handshake (with processing delays hs) on every accepted connection
+// before reading requests. Close the returned server to stop.
+func Serve(clock *netem.Clock, l net.Listener, h http.Handler, hs handshake.Params) *Server {
+	s := &Server{clock: clock, l: l, h: h, hs: hs}
+	clock.Go(s.acceptLoop)
+	return s
+}
+
+// Close stops the accept loop and, when l is a netem Listener, aborts
+// established connections (ErrServerDown), which unblocks and terminates
+// the per-connection loops.
+func (s *Server) Close() error { return s.l.Close() }
+
+// Addr returns the listen address.
+func (s *Server) Addr() net.Addr { return s.l.Addr() }
+
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		conn := c
+		s.clock.Go(func() { s.serveConn(conn) })
+	}
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer c.Close()
+	// Contain handler panics to this connection, as net/http's server
+	// does: the conn dies, the process (and the experiment) survives.
+	defer func() {
+		if e := recover(); e != nil {
+			fmt.Fprintf(os.Stderr, "httpx: panic serving %v: %v\n%s", c.RemoteAddr(), e, debug.Stack())
+		}
+	}()
+	if err := handshake.Server(c, s.clock, s.hs); err != nil {
+		return
+	}
+	br := bufio.NewReaderSize(c, 16<<10)
+	for {
+		req, err := http.ReadRequest(br)
+		if err != nil {
+			return
+		}
+		req.RemoteAddr = c.RemoteAddr().String()
+		w := &responseWriter{conn: c, isHead: req.Method == http.MethodHead, header: make(http.Header)}
+		s.h.ServeHTTP(w, req)
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		if !w.finish() || req.Close {
+			return
+		}
+	}
+}
+
+// responseWriter streams a response over the emulated connection so the
+// handler's write pattern (and any pacing it applies) reaches the link
+// shaper unbuffered beyond a small coalescing window. Bodies without a
+// declared Content-Length use chunked transfer encoding to keep the
+// connection reusable.
+type responseWriter struct {
+	conn        net.Conn
+	bw          *bufio.Writer
+	header      http.Header
+	isHead      bool
+	wroteHeader bool
+	status      int
+	chunked     bool
+	hasCL       bool
+	declaredCL  int64 // parsed Content-Length when hasCL
+	written     int64 // body bytes actually framed
+}
+
+// Header implements http.ResponseWriter.
+func (w *responseWriter) Header() http.Header { return w.header }
+
+// WriteHeader implements http.ResponseWriter.
+func (w *responseWriter) WriteHeader(status int) {
+	if w.wroteHeader {
+		return
+	}
+	w.wroteHeader = true
+	w.status = status
+	w.bw = bufio.NewWriterSize(w.conn, 4<<10)
+	if cl := w.header.Get("Content-Length"); cl != "" {
+		n, err := strconv.ParseInt(cl, 10, 64)
+		w.hasCL = err == nil && n >= 0
+		w.declaredCL = n
+		if !w.hasCL {
+			// A malformed handler-set length must not reach the wire
+			// next to the chunked framing we fall back to.
+			w.header.Del("Content-Length")
+		}
+	}
+	if !w.hasCL && !w.isHead && bodyAllowed(status) {
+		w.header.Set("Transfer-Encoding", "chunked")
+		w.chunked = true
+	}
+	text := http.StatusText(status)
+	if text == "" {
+		text = "status"
+	}
+	fmt.Fprintf(w.bw, "HTTP/1.1 %03d %s\r\n", status, text)
+	w.header.Write(w.bw)
+	io.WriteString(w.bw, "\r\n")
+}
+
+func bodyAllowed(status int) bool {
+	return status >= 200 && status != http.StatusNoContent && status != http.StatusNotModified
+}
+
+// Write implements http.ResponseWriter. Body bytes for HEAD requests
+// and bodiless statuses (204/304) are swallowed, as net/http does —
+// putting them on the wire would desync the keep-alive framing.
+func (w *responseWriter) Write(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if len(b) == 0 || w.isHead || !bodyAllowed(w.status) {
+		return len(b), nil
+	}
+	w.written += int64(len(b))
+	if w.chunked {
+		if _, err := fmt.Fprintf(w.bw, "%x\r\n", len(b)); err != nil {
+			return 0, err
+		}
+		n, err := w.bw.Write(b)
+		if err != nil {
+			return n, err
+		}
+		if _, err := io.WriteString(w.bw, "\r\n"); err != nil {
+			return n, err
+		}
+		return n, nil
+	}
+	return w.bw.Write(b)
+}
+
+// finish completes the response and reports whether the connection can
+// carry another request.
+func (w *responseWriter) finish() bool {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.chunked {
+		io.WriteString(w.bw, "0\r\n\r\n")
+	}
+	if w.bw.Flush() != nil {
+		return false
+	}
+	if w.header.Get("Connection") == "close" {
+		return false
+	}
+	if w.hasCL && !w.isHead && bodyAllowed(w.status) && w.written != w.declaredCL {
+		// Short (or long) write against the declared Content-Length: the
+		// client would wait forever for the remainder, so kill the conn
+		// as net/http's server does.
+		return false
+	}
+	// Without length framing the client can only detect the body's end
+	// by connection close.
+	return w.hasCL || w.chunked || w.isHead || !bodyAllowed(w.status)
+}

@@ -2,8 +2,8 @@ package netem
 
 import (
 	"container/heap"
+	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -11,6 +11,20 @@ import (
 // (propagation, pacing, server think time, playout draining) must be
 // expressed through a Clock so that virtual and scaled-real-time modes
 // behave identically apart from wall-clock duration.
+//
+// In virtual mode the Clock is a deterministic discrete-event scheduler
+// driven by waiter accounting: every emulation participant registers
+// (Register / Go), parks only through clock-visible primitives (Sleep,
+// SleepUntil, Cond.Wait), and the moment every registered participant is
+// parked the clock jumps straight to the earliest pending deadline. There
+// is no background advancer goroutine and no wall-clock polling: virtual
+// runs are CPU-bound and their event order is independent of machine
+// load.
+//
+// Goroutines that never registered (tests, example main functions) may
+// still call the blocking primitives: they are accounted as transient
+// participants for the duration of the park, so casual use "just works",
+// at the cost of the determinism guarantee that full registration gives.
 type Clock struct {
 	mu       sync.Mutex
 	virt     time.Duration // current virtual offset from base
@@ -18,24 +32,24 @@ type Clock struct {
 	sleepers sleeperHeap
 	seq      int64 // tiebreaker for heap ordering stability
 
-	activity atomic.Uint64 // bumped on every externally visible event
-	stopped  atomic.Bool
+	parts int            // registered participants plus holds
+	idle  int            // participants currently parked in clock-visible waits
+	regs  map[uint64]int // goroutine id -> registration count
+
+	stopped bool
+	done    chan struct{} // closed by Stop; interrupts realtime sleeps
 
 	// realtime mode
 	realtime  bool
 	scale     float64
 	realStart time.Time
-
-	// virtual mode advancer tuning
-	tick time.Duration // real polling period of the advancer
-
-	done chan struct{}
 }
 
 type sleeper struct {
-	deadline time.Duration
-	seq      int64
-	ch       chan struct{}
+	deadline  time.Duration
+	seq       int64
+	ch        chan struct{}
+	transient bool // auto-registered for the duration of this sleep
 }
 
 type sleeperHeap []*sleeper
@@ -58,17 +72,32 @@ func (h *sleeperHeap) Pop() any {
 	return s
 }
 
-// NewVirtualClock returns a discrete-event clock. Time only advances when
-// every registered waiter is asleep; it then jumps to the earliest pending
-// deadline. Call Stop when the emulation is finished.
+// goid returns the current goroutine's id, parsed from the runtime stack
+// header ("goroutine N [running]: ..."). Goroutine ids are never reused,
+// so registration entries cannot be inherited by unrelated goroutines.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	var id uint64
+	for _, b := range buf[len("goroutine "):n] {
+		if b < '0' || b > '9' {
+			break
+		}
+		id = id*10 + uint64(b-'0')
+	}
+	return id
+}
+
+// NewVirtualClock returns a deterministic discrete-event clock. Time only
+// advances when every registered participant is parked in a clock-visible
+// wait; it then jumps to the earliest pending deadline. Call Stop when
+// the emulation is finished.
 func NewVirtualClock() *Clock {
-	c := &Clock{
+	return &Clock{
 		base: time.Unix(1_700_000_000, 0), // arbitrary fixed epoch for determinism
-		tick: 50 * time.Microsecond,
+		regs: make(map[uint64]int),
 		done: make(chan struct{}),
 	}
-	go c.advance()
-	return c
 }
 
 // NewScaledClock returns a real-time clock compressed by scale: an
@@ -87,21 +116,144 @@ func NewScaledClock(scale float64) *Clock {
 	}
 }
 
-// Stop terminates the clock. Pending sleepers are woken immediately; the
-// emulation is expected to be torn down afterwards.
-func (c *Clock) Stop() {
-	if c.stopped.Swap(true) {
+// Register marks the current goroutine as an emulation participant: the
+// virtual clock refuses to jump while any participant is running, so
+// everything the goroutine does between parks happens at a frozen
+// virtual instant. Registration nests; pair every Register with an
+// Unregister on the same goroutine. No-op in realtime mode.
+func (c *Clock) Register() {
+	if c.realtime {
 		return
 	}
-	if !c.realtime {
-		close(c.done)
+	g := goid()
+	c.mu.Lock()
+	if c.regs[g] == 0 {
+		c.parts++
+	}
+	c.regs[g]++
+	c.mu.Unlock()
+}
+
+// Unregister removes the current goroutine's innermost registration.
+func (c *Clock) Unregister() {
+	if c.realtime {
+		return
+	}
+	g := goid()
+	c.mu.Lock()
+	if c.regs[g] > 0 {
+		c.regs[g]--
+		if c.regs[g] == 0 {
+			delete(c.regs, g)
+			c.parts--
+			c.maybeAdvanceLocked()
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Suspend removes the current goroutine's registration entirely —
+// across all nesting levels — returning a token for Resume. Use it
+// around a wait the clock cannot see (e.g. joining worker goroutines
+// whose progress needs virtual time): while suspended the goroutine
+// does not hold up jumps, whatever registration depth its callers
+// established.
+func (c *Clock) Suspend() int {
+	if c.realtime {
+		return 0
+	}
+	g := goid()
+	c.mu.Lock()
+	depth := c.regs[g]
+	if depth > 0 {
+		delete(c.regs, g)
+		c.parts--
+		c.maybeAdvanceLocked()
+	}
+	c.mu.Unlock()
+	return depth
+}
+
+// Resume restores a registration removed by Suspend.
+func (c *Clock) Resume(depth int) {
+	if c.realtime || depth <= 0 {
+		return
+	}
+	g := goid()
+	c.mu.Lock()
+	if c.regs[g] == 0 {
+		c.parts++
+	}
+	c.regs[g] += depth
+	c.mu.Unlock()
+}
+
+// Hold blocks virtual-time jumps until Release, without registering a
+// goroutine. It covers handoff windows where work has been scheduled but
+// the goroutine that will perform it has not started executing yet.
+func (c *Clock) Hold() {
+	if c.realtime {
+		return
 	}
 	c.mu.Lock()
+	c.parts++
+	c.mu.Unlock()
+}
+
+// Release undoes one Hold.
+func (c *Clock) Release() {
+	if c.realtime {
+		return
+	}
+	c.mu.Lock()
+	if c.parts > 0 {
+		c.parts--
+	}
+	c.maybeAdvanceLocked()
+	c.mu.Unlock()
+}
+
+// Go runs fn on a new goroutine registered with the clock. The clock
+// cannot jump between the call and fn starting to execute, so events fn
+// schedules are anchored to the virtual instant of the spawn.
+func (c *Clock) Go(fn func()) {
+	c.Hold()
+	go func() {
+		c.Register()
+		c.Release()
+		defer c.Unregister()
+		fn()
+	}()
+}
+
+// Stop terminates the clock. Pending sleepers are woken immediately (in
+// both clock modes); the emulation is expected to be torn down
+// afterwards.
+func (c *Clock) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	close(c.done)
 	for _, s := range c.sleepers {
 		close(s.ch)
 	}
 	c.sleepers = nil
 	c.mu.Unlock()
+}
+
+// Stopped reports whether Stop has been called. Blocking primitives
+// return immediately on a stopped clock, so loops that wait for an
+// emulated instant must check this to avoid spinning during teardown.
+func (c *Clock) Stopped() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // Now returns the current emulated time.
@@ -115,11 +267,6 @@ func (c *Clock) Now() time.Time {
 	return c.base.Add(c.virt)
 }
 
-// Bump records externally visible activity. The virtual advancer refuses
-// to jump time while activity is still happening, so CPU-bound work
-// between events is given a chance to finish and schedule its own waits.
-func (c *Clock) Bump() { c.activity.Add(1) }
-
 // Sleep blocks for an emulated duration d.
 func (c *Clock) Sleep(d time.Duration) {
 	if d <= 0 {
@@ -128,87 +275,172 @@ func (c *Clock) Sleep(d time.Duration) {
 	c.SleepUntil(c.Now().Add(d))
 }
 
-// SleepUntil blocks until the emulated instant t.
+// SleepUntil blocks until the emulated instant t. In virtual mode the
+// caller becomes a parked waiter with a deadline; in realtime mode it
+// sleeps for the scaled wall duration, interruptibly by Stop.
 func (c *Clock) SleepUntil(t time.Time) {
 	if c.realtime {
 		emuLeft := t.Sub(c.Now())
 		if emuLeft <= 0 {
 			return
 		}
-		time.Sleep(time.Duration(float64(emuLeft) / c.scale))
+		timer := time.NewTimer(time.Duration(float64(emuLeft) / c.scale))
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-c.done:
+		}
 		return
 	}
-	deadline := t.Sub(c.base)
+	g := goid()
 	c.mu.Lock()
-	if c.stopped.Load() || deadline <= c.virt {
+	deadline := t.Sub(c.base)
+	if c.stopped || deadline <= c.virt {
 		c.mu.Unlock()
 		return
 	}
-	s := &sleeper{deadline: deadline, seq: c.seq, ch: make(chan struct{})}
+	s := &sleeper{deadline: deadline, seq: c.seq, ch: make(chan struct{}), transient: c.regs[g] == 0}
 	c.seq++
 	heap.Push(&c.sleepers, s)
+	if s.transient {
+		c.parts++
+	}
+	c.idle++
+	c.maybeAdvanceLocked()
 	c.mu.Unlock()
-	c.Bump() // registering a sleeper is itself activity
 	<-s.ch
 }
 
-// advance is the virtual-mode coordinator: after enough consecutive
-// quiet polling ticks (no Bump calls) it jumps time to the earliest
-// pending deadline and wakes every sleeper that is due.
-//
-// The quiet requirement scales with the size of the jump. Small jumps
-// (segment arrivals, sub-second pacing) commit after two quiet ticks; a
-// spurious one merely adds jitter-sized noise. Large jumps (idle drain
-// periods, outage timers) demand milliseconds of quiet, so a goroutine
-// that is runnable but momentarily descheduled — e.g. inside the HTTP
-// transport's channel handoffs, which register no sleepers — cannot be
-// leapt over.
-func (c *Clock) advance() {
-	var lastAct uint64
-	quiet := 0
-	for {
-		select {
-		case <-c.done:
-			return
-		default:
-		}
-		time.Sleep(c.tick)
-		act := c.activity.Load()
-		if act != lastAct {
-			lastAct = act
-			quiet = 0
-			continue
-		}
-		quiet++
-		c.mu.Lock()
-		if len(c.sleepers) == 0 {
-			c.mu.Unlock()
-			continue
-		}
-		earliest := c.sleepers[0].deadline
-		jump := earliest - c.virt
-		required := 2
-		switch {
-		case jump > 10*time.Second:
-			required = 100 // ~5 ms of real quiet
-		case jump > time.Second:
-			required = 60
-		case jump > 100*time.Millisecond:
-			required = 20
-		}
-		if quiet < required {
-			c.mu.Unlock()
-			continue
-		}
-		if earliest > c.virt {
+// maybeAdvanceLocked jumps virtual time to the earliest pending deadline
+// when every participant is parked, waking every sleeper that becomes
+// due. Waking a registered sleeper leaves idle < parts, ending the loop
+// until that goroutine parks again; a woken transient sleeper vanishes
+// from the accounting entirely (it may never touch the clock again), so
+// the condition is re-evaluated and further jumps may fire immediately.
+// Callers must hold c.mu.
+func (c *Clock) maybeAdvanceLocked() {
+	for !c.stopped && !c.realtime && c.idle == c.parts && len(c.sleepers) > 0 {
+		if earliest := c.sleepers[0].deadline; earliest > c.virt {
 			c.virt = earliest
 		}
 		for len(c.sleepers) > 0 && c.sleepers[0].deadline <= c.virt {
 			s := heap.Pop(&c.sleepers).(*sleeper)
+			c.idle--
+			if s.transient {
+				c.parts--
+			}
 			close(s.ch)
 		}
-		c.mu.Unlock()
-		quiet = 0
-		lastAct = c.activity.Add(1) // the jump itself counts as activity
 	}
+}
+
+// Cond is a clock-aware condition variable: waiting parks the caller in
+// a clock-visible state (so virtual time can advance past it), and
+// signalling transfers the waiter back to the running state before the
+// signaller can park, closing the wake-up race that would otherwise let
+// the clock jump over a goroutine that is about to resume.
+//
+// Usage mirrors sync.Cond, with one extra rule: Signal and Broadcast
+// must also be called with L held. A nil clock degrades to plain
+// condition-variable behaviour (used by unit tests that exercise data
+// structures without an emulation clock).
+type Cond struct {
+	clock   *Clock
+	L       sync.Locker
+	waiters []condWaiter
+}
+
+type condWaiter struct {
+	ch        chan struct{}
+	transient bool
+	accounted bool
+}
+
+// NewCond returns a Cond bound to clock whose Wait/Signal/Broadcast are
+// guarded by l. clock may be nil.
+func NewCond(clock *Clock, l sync.Locker) *Cond {
+	return &Cond{clock: clock, L: l}
+}
+
+// Wait atomically unlocks L and parks until woken by Signal or
+// Broadcast, then relocks L before returning. Unlike sync.Cond there
+// are no spurious wakeups, but callers should still re-check their
+// predicate in a loop.
+//
+// Wait returns false when the clock has been stopped (at entry, or
+// while parked): the wait's wake-up condition may never be signalled
+// once the emulation is torn down, so callers must treat false as an
+// abort rather than re-checking and waiting again.
+func (cv *Cond) Wait() bool {
+	w := condWaiter{ch: make(chan struct{})}
+	var stopCh <-chan struct{}
+	if c := cv.clock; c != nil {
+		stopCh = c.done
+		if c.realtime {
+			if c.Stopped() {
+				return false
+			}
+		} else {
+			g := goid()
+			c.mu.Lock()
+			if c.stopped {
+				c.mu.Unlock()
+				return false
+			}
+			w.transient = c.regs[g] == 0
+			if w.transient {
+				c.parts++
+			}
+			c.idle++
+			w.accounted = true
+			c.maybeAdvanceLocked()
+			c.mu.Unlock()
+		}
+	}
+	cv.waiters = append(cv.waiters, w)
+	cv.L.Unlock()
+	ok := true
+	select {
+	case <-w.ch:
+	case <-stopCh: // nil (blocks forever) when no clock is attached
+		ok = false
+	}
+	cv.L.Lock()
+	return ok
+}
+
+// Signal wakes the longest-waiting goroutine, if any. L must be held.
+func (cv *Cond) Signal() {
+	if len(cv.waiters) == 0 {
+		return
+	}
+	w := cv.waiters[0]
+	cv.waiters = cv.waiters[1:]
+	cv.wake(w)
+}
+
+// Broadcast wakes every waiter. L must be held.
+func (cv *Cond) Broadcast() {
+	ws := cv.waiters
+	cv.waiters = nil
+	for _, w := range ws {
+		cv.wake(w)
+	}
+}
+
+// wake returns the waiter to the running state before releasing it, so
+// the clock sees it as active from the instant of the signal.
+func (cv *Cond) wake(w condWaiter) {
+	if w.accounted {
+		c := cv.clock
+		c.mu.Lock()
+		if !c.stopped {
+			c.idle--
+			if w.transient {
+				c.parts--
+			}
+		}
+		c.mu.Unlock()
+	}
+	close(w.ch)
 }

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
@@ -31,14 +32,17 @@ func TestVirtualClockOrdersConcurrentSleepers(t *testing.T) {
 	base := c.Now()
 	delays := []time.Duration{300 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond}
 	for i, d := range delays {
+		i, d := i, d
 		wg.Add(1)
-		go func(i int, d time.Duration) {
+		// Clock.Go registers each sleeper before any of them can park,
+		// so no deadline fires until all three are asleep.
+		c.Go(func() {
 			defer wg.Done()
 			c.SleepUntil(base.Add(d))
 			mu.Lock()
 			order = append(order, i)
 			mu.Unlock()
-		}(i, d)
+		})
 	}
 	wg.Wait()
 	want := []int{1, 2, 0} // by ascending deadline
@@ -80,16 +84,39 @@ func TestScaledClockCompressesSleep(t *testing.T) {
 func TestClockStopWakesSleepers(t *testing.T) {
 	c := NewVirtualClock()
 	done := make(chan struct{})
-	go func() {
+	c.Go(func() {
 		c.SleepUntil(c.Now().Add(time.Hour))
 		close(done)
-	}()
+	})
 	time.Sleep(5 * time.Millisecond)
 	c.Stop()
 	select {
 	case <-done:
 	case <-time.After(2 * time.Second):
 		t.Fatal("sleeper not released by Stop")
+	}
+}
+
+// TestScaledClockStopInterruptsSleep checks the realtime mode: Stop must
+// wake goroutines parked in scaled wall-clock sleeps, or Testbed.Close
+// on a RealTimeScale run would leak goroutines stuck in time.Sleep.
+func TestScaledClockStopInterruptsSleep(t *testing.T) {
+	c := NewScaledClock(1) // plain real time
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(time.Hour)
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	real := time.Now()
+	c.Stop()
+	select {
+	case <-done:
+		if wall := time.Since(real); wall > time.Second {
+			t.Fatalf("Stop took %v to interrupt a realtime sleep", wall)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("realtime sleeper not released by Stop")
 	}
 }
 
@@ -105,5 +132,203 @@ func TestSleepUntilPastReturnsImmediately(t *testing.T) {
 	case <-done:
 	case <-time.After(2 * time.Second):
 		t.Fatal("SleepUntil in the past blocked")
+	}
+}
+
+// TestVirtualClockWaitsForActiveParticipants verifies the waiter
+// accounting: a registered participant that is runnable (not parked)
+// pins virtual time, even while other participants sleep.
+func TestVirtualClockWaitsForActiveParticipants(t *testing.T) {
+	c := NewVirtualClock()
+	defer c.Stop()
+
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	var wake time.Time
+	var wg sync.WaitGroup
+	wg.Add(2)
+	c.Go(func() {
+		defer wg.Done()
+		c.Sleep(50 * time.Millisecond)
+		wake = c.Now()
+	})
+	c.Go(func() {
+		defer wg.Done()
+		close(parked)
+		<-release // deliberately invisible: holds the clock still
+	})
+	<-parked
+	time.Sleep(20 * time.Millisecond) // real time: no jump may happen
+	if got := c.Now().Sub(c.base); got != 0 {
+		t.Fatalf("clock advanced %v while a participant was runnable", got)
+	}
+	close(release)
+	wg.Wait()
+	if got := wake.Sub(c.base); got != 50*time.Millisecond {
+		t.Fatalf("sleeper woke at +%v, want +50ms", got)
+	}
+}
+
+// TestVirtualClockDeterministicTimestamps runs the same multi-goroutine
+// sleep schedule twice and requires bit-identical wake timestamps — the
+// property the waiter-accounted clock guarantees and the old
+// quiet-polling advancer could not.
+func TestVirtualClockDeterministicTimestamps(t *testing.T) {
+	run := func() []time.Duration {
+		c := NewVirtualClock()
+		defer c.Stop()
+		var mu sync.Mutex
+		var wakes []time.Duration
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			g := g
+			wg.Add(1)
+			c.Go(func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(g) + 1))
+				for i := 0; i < 25; i++ {
+					c.Sleep(time.Duration(rng.Intn(5000)+1) * time.Microsecond)
+					mu.Lock()
+					wakes = append(wakes, c.Now().Sub(c.base))
+					mu.Unlock()
+				}
+			})
+		}
+		wg.Wait()
+		return wakes
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("wake counts differ: %d vs %d", len(a), len(b))
+	}
+	// Per-goroutine schedules are independent, so the multiset of wake
+	// times must match exactly; the final instant must too.
+	counts := map[time.Duration]int{}
+	for _, d := range a {
+		counts[d]++
+	}
+	for _, d := range b {
+		counts[d]--
+	}
+	for d, n := range counts {
+		if n != 0 {
+			t.Fatalf("wake time %v seen %+d more times in first run", d, n)
+		}
+	}
+	if a[len(a)-1] != b[len(b)-1] {
+		t.Fatalf("final virtual instants differ: %v vs %v", a[len(a)-1], b[len(b)-1])
+	}
+}
+
+// TestClockConcurrentRegisterSleepStop hammers registration, sleeping
+// and Stop from many goroutines; run with -race. Every sleeper must be
+// released, by jump or by Stop.
+func TestClockConcurrentRegisterSleepStop(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		c := NewVirtualClock()
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			g := g
+			wg.Add(1)
+			c.Go(func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					c.Sleep(time.Duration(g*7+i%5+1) * time.Millisecond)
+				}
+			})
+			// Unregistered transient sleepers racing with the registered
+			// ones and with Stop.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					c.Sleep(time.Duration(i%3+1) * time.Millisecond)
+				}
+			}()
+		}
+		if round%2 == 0 {
+			time.Sleep(time.Duration(round%5) * time.Millisecond)
+			c.Stop()
+		}
+		wg.Wait()
+		c.Stop()
+	}
+}
+
+// TestCondWaitReleasedByStop checks that Stop unwedges Cond waiters:
+// their wake-up condition may never be signalled once the emulation is
+// torn down, so Wait must return false instead of parking forever.
+func TestCondWaitReleasedByStop(t *testing.T) {
+	c := NewVirtualClock()
+	var mu sync.Mutex
+	cond := NewCond(c, &mu)
+	done := make(chan bool, 1)
+	c.Go(func() {
+		mu.Lock()
+		ok := cond.Wait()
+		mu.Unlock()
+		done <- ok
+	})
+	time.Sleep(5 * time.Millisecond)
+	c.Stop()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Cond.Wait returned true after Stop")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Cond.Wait not released by Stop")
+	}
+	// Waiting on an already-stopped clock must not park at all.
+	mu.Lock()
+	ok := cond.Wait()
+	mu.Unlock()
+	if ok {
+		t.Fatal("Cond.Wait on a stopped clock returned true")
+	}
+}
+
+// TestCondSignalTransfersCredit checks the Cond handoff: a consumer
+// parked on a Cond must not be jumped over once signalled, so a
+// producer-consumer pair observes production and consumption at the
+// same virtual instant.
+func TestCondSignalTransfersCredit(t *testing.T) {
+	c := NewVirtualClock()
+	defer c.Stop()
+
+	var mu sync.Mutex
+	cond := NewCond(c, &mu)
+	ready := false
+	var consumedAt time.Time
+	var producedAt time.Time
+	var wg sync.WaitGroup
+	wg.Add(2)
+	c.Go(func() {
+		defer wg.Done()
+		mu.Lock()
+		for !ready {
+			cond.Wait()
+		}
+		mu.Unlock()
+		consumedAt = c.Now()
+		c.Sleep(time.Millisecond)
+	})
+	c.Go(func() {
+		defer wg.Done()
+		c.Sleep(10 * time.Millisecond)
+		mu.Lock()
+		ready = true
+		producedAt = c.Now()
+		cond.Signal()
+		mu.Unlock()
+		// A second sleeper with a nearer deadline than anything the
+		// consumer will set: if the signal failed to transfer credit,
+		// the clock could jump here before the consumer reads Now.
+		c.Sleep(time.Microsecond)
+	})
+	wg.Wait()
+	if !consumedAt.Equal(producedAt) {
+		t.Fatalf("consumer observed %v, producer signalled at %v",
+			consumedAt.Sub(c.base), producedAt.Sub(c.base))
 	}
 }

@@ -5,20 +5,44 @@
 // are subject to per-direction bandwidth pacing, propagation delay,
 // jitter, random loss (modelled as head-of-line retransmission penalty),
 // time-varying rate traces, and an optional TCP-like slow-start ramp.
-// Real net/http clients and servers run unmodified on top of it, so the
-// full HTTP range-request machinery of MSPlayer is exercised end to end.
+// HTTP clients and servers run on top of it unmodified, so the full
+// range-request machinery of MSPlayer is exercised end to end.
 //
 // All emulated waiting goes through a Clock. The Clock has two modes:
 //
-//   - Virtual (the default): a discrete-event "time warp" clock. When
-//     every participant is blocked waiting for an emulated instant, the
-//     clock jumps straight to the earliest pending deadline. Hours of
-//     emulated streaming complete in seconds of real time while every
-//     timing relationship (RTT overhead per range request, pacing,
-//     head-start between paths) is preserved exactly.
+//   - Virtual (the default): a deterministic discrete-event clock driven
+//     by waiter accounting. Every emulation participant — pipe readers
+//     and writers, HTTP fetch loops, origin request handlers, playout
+//     drain timers — registers with the clock (Clock.Register or
+//     Clock.Go) and parks only through clock-visible primitives:
+//     Sleep/SleepUntil for deadline waits and Cond for emulated-I/O
+//     waits. The instant every registered participant is parked, the
+//     clock jumps to the earliest pending deadline and wakes the
+//     sleepers that become due. There are no wall-clock sleeps and no
+//     quiescence polling, so hours of emulated streaming complete as
+//     fast as the CPU allows and the event order is bit-for-bit
+//     reproducible across machines and load conditions.
 //
 //   - Scaled real time: emulated durations are divided by a constant
-//     factor and slept for real. Useful for interactive demos.
+//     factor and slept for real (interruptibly by Clock.Stop). Useful
+//     for interactive demos.
+//
+// Three rules keep virtual runs deterministic:
+//
+//  1. Registered goroutines must never park invisibly (bare channel
+//     operations, time.Sleep): the clock would refuse to jump while they
+//     wait, or jump while they are about to run. Park through the Clock
+//     or a Cond instead.
+//  2. Goroutines are spawned with Clock.Go (or under a Hold), so the
+//     clock cannot jump during the handoff between spawner and spawnee.
+//  3. Wake-ups transfer accounting to the wakee at signal time
+//     (Cond.Signal pre-credits the waiter), so there is no window in
+//     which a runnable goroutine is invisible to the clock.
+//
+// Unregistered goroutines may still use the blocking primitives: they
+// are accounted as transient participants while parked. This keeps
+// casual use (tests, example main functions, injected failure events)
+// working, at reduced determinism while such a goroutine is runnable.
 //
 // The emulator is a fluid model at a configurable pacing quantum
 // (default 20 ms of line time per delivery segment): transfer durations,

@@ -43,9 +43,8 @@ func (n *Network) Listen(addr string, extraDelay time.Duration) (*Listener, erro
 		network:    n,
 		addr:       Addr(addr),
 		extraDelay: extraDelay,
-		pending:    make(chan *Conn, 64),
-		done:       make(chan struct{}),
 	}
+	l.cond = NewCond(n.clock, &l.mu)
 	n.listeners[addr] = l
 	return l, nil
 }
@@ -171,17 +170,20 @@ func (i *Interface) forget(c *Conn) {
 }
 
 // Listener accepts emulated connections. It implements net.Listener, so
-// an http.Server can Serve on it directly.
+// an http.Server can Serve on it directly. Accept waits are
+// clock-visible: a goroutine parked in Accept does not hold up virtual
+// time, and a dialing goroutine hands the connection over before it can
+// park again, keeping delivery deterministic.
 type Listener struct {
 	network    *Network
 	addr       Addr
 	extraDelay time.Duration
-	pending    chan *Conn
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[*Conn]struct{}
-	done   chan struct{}
+	mu      sync.Mutex
+	cond    *Cond
+	pending []*Conn
+	closed  bool
+	conns   map[*Conn]struct{}
 }
 
 func (l *Listener) deliver(c *Conn) error {
@@ -194,22 +196,28 @@ func (l *Listener) deliver(c *Conn) error {
 		l.conns = make(map[*Conn]struct{})
 	}
 	l.conns[c] = struct{}{}
+	l.pending = append(l.pending, c)
+	l.cond.Signal()
 	l.mu.Unlock()
-	select {
-	case l.pending <- c:
-		return nil
-	case <-l.done:
-		return ErrServerDown
-	}
+	return nil
 }
 
 // Accept implements net.Listener.
 func (l *Listener) Accept() (net.Conn, error) {
-	select {
-	case c := <-l.pending:
-		return c, nil
-	case <-l.done:
-		return nil, &net.OpError{Op: "accept", Net: "netem", Addr: l.addr, Err: errClosedConn}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.closed {
+			return nil, &net.OpError{Op: "accept", Net: "netem", Addr: l.addr, Err: errClosedConn}
+		}
+		if len(l.pending) > 0 {
+			c := l.pending[0]
+			l.pending = l.pending[1:]
+			return c, nil
+		}
+		if !l.cond.Wait() {
+			return nil, &net.OpError{Op: "accept", Net: "netem", Addr: l.addr, Err: errClosedConn}
+		}
 	}
 }
 
@@ -223,9 +231,10 @@ func (l *Listener) Close() error {
 		return nil
 	}
 	l.closed = true
-	close(l.done)
+	l.pending = nil
 	conns := l.conns
 	l.conns = nil
+	l.cond.Broadcast()
 	l.mu.Unlock()
 
 	l.network.mu.Lock()

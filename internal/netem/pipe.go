@@ -28,7 +28,7 @@ type direction struct {
 	rng    *rand.Rand
 
 	mu       sync.Mutex
-	cond     *sync.Cond // signalled on enqueue, read, close, abort
+	cond     *Cond // clock-aware; signalled on enqueue, read, close, abort
 	queue    []segment
 	buffered int // bytes written but not yet read (send buffer accounting)
 	unread   int // offset into queue[0].data already consumed
@@ -55,7 +55,7 @@ func newDirection(clock *Clock, p LinkParams) *direction {
 		params: p.withDefaults(),
 		rng:    rand.New(rand.NewSource(p.Seed + 1)),
 	}
-	d.cond = sync.NewCond(&d.mu)
+	d.cond = NewCond(clock, &d.mu)
 	now := clock.Now()
 	d.lastActivity = now
 	d.lastDeparture = now
@@ -108,8 +108,12 @@ func (d *direction) write(p []byte) (int, error) {
 			}
 			// Send buffer full: space is freed only by reads, and a
 			// reader waiting out an arrival wakes through the clock, so
-			// a plain condition wait cannot deadlock.
-			d.cond.Wait()
+			// this wait cannot deadlock. A false return means the clock
+			// stopped and the reader will never drain.
+			if !d.cond.Wait() {
+				d.mu.Unlock()
+				return written, errClosedConn
+			}
 		}
 
 		now := d.clock.Now()
@@ -164,7 +168,6 @@ func (d *direction) write(p []byte) (int, error) {
 		written += segBytes
 		d.cond.Broadcast()
 		d.mu.Unlock()
-		d.clock.Bump()
 	}
 	return written, nil
 }
@@ -184,13 +187,22 @@ func (d *direction) read(p []byte) (int, error) {
 				d.mu.Unlock()
 				return 0, errEOF
 			}
-			d.cond.Wait()
+			ok := d.cond.Wait()
 			d.mu.Unlock()
+			if !ok {
+				return 0, errClosedConn
+			}
 			continue
 		}
 		head := d.queue[0]
 		now := d.clock.Now()
 		if head.arrival.After(now) {
+			if d.clock.Stopped() {
+				// Teardown: SleepUntil would return immediately and the
+				// arrival instant will never come.
+				d.mu.Unlock()
+				return 0, errClosedConn
+			}
 			arrival := head.arrival
 			d.mu.Unlock()
 			d.clock.SleepUntil(arrival)
@@ -215,7 +227,6 @@ func (d *direction) read(p []byte) (int, error) {
 		d.buffered -= n
 		d.cond.Broadcast()
 		d.mu.Unlock()
-		d.clock.Bump()
 		return n, nil
 	}
 }
@@ -226,7 +237,6 @@ func (d *direction) close() {
 	d.closed = true
 	d.cond.Broadcast()
 	d.mu.Unlock()
-	d.clock.Bump()
 }
 
 // abort poisons the direction with a hard error for both ends.
@@ -237,5 +247,4 @@ func (d *direction) abort(err error) {
 	}
 	d.cond.Broadcast()
 	d.mu.Unlock()
-	d.clock.Bump()
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/handshake"
+	"repro/internal/httpx"
 	"repro/internal/netem"
 	"repro/internal/origin/dnsx"
 	"repro/internal/videostore"
@@ -78,10 +79,9 @@ type Cluster struct {
 }
 
 type serverInstance struct {
-	addr     string
-	network  string
-	listener *handshake.Listener
-	httpSrv  *http.Server
+	addr    string
+	network string
+	srv     *httpx.Server
 }
 
 // Deploy builds and starts a cluster on n.
@@ -129,11 +129,12 @@ func (c *Cluster) start(addr, network string, h http.Handler) error {
 	if err != nil {
 		return fmt.Errorf("origin: listen %s: %w", addr, err)
 	}
-	hl := handshake.NewListener(inner, c.net.Clock(), c.cfg.Handshake)
-	srv := &http.Server{Handler: h}
-	go srv.Serve(hl)
+	// httpx.Serve runs the whole server side — handshake processing,
+	// request reads, response writes — on clock-registered goroutines,
+	// keeping the virtual clock's waiter accounting exact.
+	srv := httpx.Serve(c.net.Clock(), inner, h, c.cfg.Handshake)
 	c.mu.Lock()
-	c.servers[addr] = &serverInstance{addr: addr, network: network, listener: hl, httpSrv: srv}
+	c.servers[addr] = &serverInstance{addr: addr, network: network, srv: srv}
 	c.mu.Unlock()
 	return nil
 }
@@ -181,8 +182,7 @@ func (c *Cluster) Kill(addr string) error {
 	if !ok {
 		return fmt.Errorf("origin: unknown server %q", addr)
 	}
-	inst.httpSrv.Close()
-	inst.listener.Close()
+	inst.srv.Close()
 	return nil
 }
 
@@ -196,7 +196,6 @@ func (c *Cluster) Close() {
 	c.servers = make(map[string]*serverInstance)
 	c.mu.Unlock()
 	for _, inst := range insts {
-		inst.httpSrv.Close()
-		inst.listener.Close()
+		inst.srv.Close()
 	}
 }

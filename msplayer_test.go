@@ -151,10 +151,10 @@ func TestServerFailoverMidStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Kill the primary WiFi replica shortly after the stream starts.
-	go func() {
+	defer tb.Inject(func() {
 		tb.Clock().Sleep(1500 * time.Millisecond)
 		tb.Cluster().Kill("video1.youtube.wifi.test:443")
-	}()
+	})()
 	m, err := p.Run(context.Background())
 	if err != nil {
 		t.Fatalf("stream failed despite failover replica: %v", err)
@@ -182,10 +182,10 @@ func TestInterfaceOutageStreamSurvivesOnLTE(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go func() {
+	defer tb.Inject(func() {
 		tb.Clock().Sleep(1200 * time.Millisecond)
 		tb.WiFi().SetAlive(false) // walk out of WiFi range, never return
-	}()
+	})()
 	m, err := p.Run(context.Background())
 	if err != nil {
 		t.Fatalf("stream failed despite LTE path: %v", err)
@@ -196,6 +196,40 @@ func TestInterfaceOutageStreamSurvivesOnLTE(t *testing.T) {
 	}
 	if m.Paths[1].Bytes == 0 {
 		t.Fatal("LTE carried no traffic")
+	}
+}
+
+// TestSessionsAreDeterministic runs the identical stochastic session
+// twice and requires bit-identical virtual-time results: the
+// waiter-accounted clock advances only when every registered
+// participant is parked, so nothing in the emulation depends on
+// scheduling or machine load.
+func TestSessionsAreDeterministic(t *testing.T) {
+	run := func() *Metrics {
+		tb := newTB(t, TestbedProfile(12345)) // rate variation + jitter on
+		m, err := tb.Stream(context.Background(), SessionConfig{
+			Scheduler:          NewHarmonicScheduler(256<<10, 0.05),
+			Paths:              BothPaths,
+			StopAfterPreBuffer: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if a.PreBufferTime != b.PreBufferTime {
+		t.Fatalf("pre-buffer times differ across identical runs: %v vs %v",
+			a.PreBufferTime, b.PreBufferTime)
+	}
+	if a.TotalBytes != b.TotalBytes {
+		t.Fatalf("total bytes differ: %d vs %d", a.TotalBytes, b.TotalBytes)
+	}
+	for i := range a.Paths {
+		pa, pb := a.Paths[i], b.Paths[i]
+		if pa.Bytes != pb.Bytes || pa.Chunks != pb.Chunks || pa.FirstVideoByte != pb.FirstVideoByte {
+			t.Fatalf("path %d stats differ: %+v vs %+v", i, pa, pb)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -51,10 +52,16 @@ type Profile struct {
 	Throttle *origin.ThrottleConfig
 	// Catalog overrides the served videos (default: reference catalog).
 	Catalog *videostore.Catalog
-	// Seed varies the stochastic components between repetitions.
+	// Seed varies the stochastic components between repetitions. In
+	// virtual-clock mode a profile is fully deterministic per seed:
+	// repeated runs produce bit-identical metrics regardless of machine
+	// or load, because virtual time only advances when every registered
+	// emulation participant is parked.
 	Seed int64
 	// RealTimeScale, when > 0, runs the testbed against a scaled
 	// real-time clock instead of the virtual discrete-event clock.
+	// Real-time runs sleep for wall-clock time (divided by the scale)
+	// and are therefore subject to OS timer granularity.
 	RealTimeScale float64
 }
 
@@ -184,7 +191,29 @@ func (tb *Testbed) WiFi() *netem.Interface { return tb.wifi }
 // LTE returns the LTE interface.
 func (tb *Testbed) LTE() *netem.Interface { return tb.lte }
 
-// Close tears the testbed down.
+// Inject spawns fn on a clock-registered goroutine, for fault
+// injection (Interface.SetAlive, Cluster.Kill) at deterministic virtual
+// instants. It also registers the calling goroutine — which must be the
+// one that goes on to drive the session — so the clock cannot run fn's
+// sleeps in the window before Stream/Run registers the session
+// participants. The returned release function drops that registration;
+// defer it:
+//
+//	defer tb.Inject(func() {
+//		tb.Clock().Sleep(30 * time.Second)
+//		tb.WiFi().SetAlive(false)
+//	})()
+//	m, err := tb.Stream(ctx, cfg)
+func (tb *Testbed) Inject(fn func()) (release func()) {
+	tb.clock.Register()
+	tb.clock.Go(fn)
+	var once sync.Once
+	return func() { once.Do(tb.clock.Unregister) }
+}
+
+// Close tears the testbed down: origin servers shut down (aborting
+// their connections) and the clock stops, waking any remaining sleepers
+// in either clock mode.
 func (tb *Testbed) Close() {
 	tb.cluster.Close()
 	tb.clock.Stop()
