@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/fleet"
+)
+
+// FleetSmoke runs a small fixed-seed fleet scenario — a population of
+// concurrent sessions sharing one origin in one virtual-time world —
+// and prints its report. It is the scale-path counterpart of the
+// figure benches: it does not reproduce a paper figure, but exercises
+// the multi-session engine end to end and returns the report so tests
+// can assert on (and diff) its deterministic summary.
+func FleetSmoke(w io.Writer, opt Options) (*fleet.Report, error) {
+	opt = opt.withDefaults()
+	header(w, "Fleet smoke: flash-crowd pre-buffering at population scale")
+	sc, err := fleet.Builtin("flashcrowd", 16, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := fleet.Run(context.Background(), sc)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprint(w, rep)
+	return rep, nil
+}

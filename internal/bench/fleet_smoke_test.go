@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestFleetSmokeDeterministic runs the fleet smoke scenario twice at a
+// fixed seed and asserts the rendered QoE summaries are byte-identical
+// — the determinism contract the fleet engine makes — plus basic shape
+// checks on the population's pre-buffering results.
+func TestFleetSmokeDeterministic(t *testing.T) {
+	rep1, err := FleetSmoke(sink(t), Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := FleetSmoke(sink(t), Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := rep1.String(), rep2.String(); a != b {
+		t.Fatalf("fleet summaries differ across identical runs:\n--- run 1\n%s--- run 2\n%s", a, b)
+	}
+	if rep1.Fleet.Errored != 0 {
+		t.Fatalf("%d sessions errored", rep1.Fleet.Errored)
+	}
+	if rep1.Fleet.PreBuffered != rep1.Fleet.Sessions {
+		t.Fatalf("pre-buffered %d/%d sessions", rep1.Fleet.PreBuffered, rep1.Fleet.Sessions)
+	}
+	p50, p99 := rep1.Fleet.PreBuffer.Quantile(0.5), rep1.Fleet.PreBuffer.Quantile(0.99)
+	if p50 <= 0 || p99 < p50 {
+		t.Fatalf("implausible pre-buffer percentiles: p50=%.2f p99=%.2f", p50, p99)
+	}
+	if f := rep1.Fleet.Fairness(); f < 0.8 {
+		t.Fatalf("fairness %.3f implausibly low for identical sessions", f)
+	}
+	// A changed seed must change the summary (the flip side of the
+	// determinism contract).
+	rep3, err := FleetSmoke(sink(t), Options{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.String() == rep1.String() {
+		t.Fatal("different seed produced an identical summary")
+	}
+}

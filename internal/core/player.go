@@ -88,6 +88,16 @@ type Player struct {
 	bufferReady bool // first bootstrap created the playout buffer
 	kicked      bool // gate turned OFF since the gater last looked
 	doneOnce    sync.Once
+
+	// Byte accounting snapshotted at the stop-condition instant (see
+	// finish): teardown after that instant races in-flight transfers
+	// against connection aborts, so bytes counted after it would differ
+	// run to run. The stop condition itself fires at a deterministic
+	// virtual instant on a registered goroutine, making the snapshot —
+	// and therefore Metrics — bit-identical per seed. Guarded by smu.
+	finElapsed time.Duration
+	finBytes   int64
+	finPaths   []PathStats
 }
 
 // NewPlayer validates cfg and builds a session (not yet started).
@@ -196,7 +206,16 @@ func (p *Player) phase() Phase {
 
 func (p *Player) finish() {
 	p.doneOnce.Do(func() {
+		p.mu.Lock()
+		start := p.start
+		p.mu.Unlock()
+		elapsed := p.clock.Now().Sub(start)
+		bytes := p.cm.Frontier()
+		paths := p.metrics.snapshot()
 		p.smu.Lock()
+		p.finElapsed = elapsed
+		p.finBytes = bytes
+		p.finPaths = paths
 		p.sessionDone = true
 		p.scond.Broadcast()
 		p.smu.Unlock()
@@ -354,14 +373,26 @@ func (p *Player) Run(ctx context.Context) (*Metrics, error) {
 }
 
 func (p *Player) collect() *Metrics {
-	m := &Metrics{
-		Scheduler: p.cfg.Scheduler.Name(),
-		Paths:     p.metrics.snapshot(),
-		Elapsed:   p.clock.Now().Sub(p.start),
+	m := &Metrics{Scheduler: p.cfg.Scheduler.Name()}
+	p.smu.Lock()
+	done := p.sessionDone
+	if done {
+		m.Paths = p.finPaths
+		m.Elapsed = p.finElapsed
+		m.TotalBytes = p.finBytes
 	}
+	p.smu.Unlock()
 	p.mu.Lock()
 	buf := p.buffer
+	start := p.start
 	p.mu.Unlock()
+	if !done {
+		// Aborted teardown (cancel, clock stop, paths lost): report the
+		// live state; such sessions carry an error anyway.
+		m.Paths = p.metrics.snapshot()
+		m.Elapsed = p.clock.Now().Sub(start)
+		m.TotalBytes = p.cm.Frontier()
+	}
 	if buf != nil {
 		if d, ok := buf.PreBufferTime(); ok {
 			m.PreBufferTime = d
@@ -370,7 +401,6 @@ func (p *Player) collect() *Metrics {
 		m.Refills = buf.Refills()
 		m.Stalls = buf.Stalls()
 	}
-	m.TotalBytes = p.cm.Frontier()
 	return m
 }
 

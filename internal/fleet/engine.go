@@ -1,0 +1,212 @@
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/netem/trace"
+	"repro/internal/origin"
+)
+
+// SessionResult is the outcome of one session in a fleet run.
+type SessionResult struct {
+	// Cohort and Index identify the session within the scenario.
+	Cohort string
+	Index  int
+	// Arrival is the session's start offset from scenario start.
+	Arrival time.Duration
+	// Metrics is the session's QoE result (nil on spawn error).
+	Metrics *msplayer.Metrics
+	// Err is the session error, if any.
+	Err error
+}
+
+// Run executes a scenario: one shared testbed (origin cluster + virtual
+// clock), one client and session per cohort member, all concurrent, and
+// returns the aggregated report. Deterministic per scenario seed: the
+// clock only advances when every session's goroutines are parked, and
+// every random draw derives from Scenario.Seed, so two runs produce
+// byte-identical reports.
+func Run(ctx context.Context, sc Scenario) (*Report, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	var profile msplayer.Profile
+	if sc.Profile != nil {
+		profile = *sc.Profile
+		profile.Seed = sc.Seed
+	} else {
+		profile = msplayer.TestbedProfile(sc.Seed)
+	}
+	tb, err := msplayer.NewTestbed(profile)
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+
+	clock := tb.Clock()
+	// The driver registers so virtual time stays pinned at the scenario
+	// epoch until every session goroutine is spawned and parked on its
+	// arrival deadline; otherwise early arrivals could burn virtual time
+	// before late cohorts exist.
+	clock.Register()
+	start := clock.Now()
+
+	results := make([][]SessionResult, len(sc.Cohorts))
+	var wg sync.WaitGroup
+	for ci := range sc.Cohorts {
+		co := &sc.Cohorts[ci]
+		results[ci] = make([]SessionResult, co.Sessions)
+		arrivalRng := rand.New(rand.NewSource(mix(sc.Seed, int64(ci), -1)))
+		arrivals, err := co.Arrival.times(co.Sessions, arrivalRng)
+		if err != nil {
+			clock.Unregister()
+			return nil, err
+		}
+		for i := 0; i < co.Sessions; i++ {
+			i := i
+			sessSeed := mix(sc.Seed, int64(ci), int64(i))
+			slot := &results[ci][i]
+			slot.Cohort = co.Name
+			slot.Index = i
+			slot.Arrival = arrivals[i]
+			wg.Add(1)
+			clock.Go(func() {
+				defer wg.Done()
+				slot.Metrics, slot.Err = runSession(ctx, tb, &profile, co, i, arrivals[i], sessSeed, start)
+			})
+		}
+	}
+	// Park outside the clock's accounting while the sessions drain; they
+	// must be free to advance virtual time.
+	depth := clock.Suspend()
+	wg.Wait()
+	clock.Resume(depth)
+	clock.Unregister()
+
+	return buildReport(sc, results, quiescedLoads(tb.Cluster())), nil
+}
+
+// runSession executes one cohort member: wait for its arrival instant,
+// attach a client with per-session links (degrade events compiled in),
+// arm down events, and stream.
+func runSession(ctx context.Context, tb *msplayer.Testbed, profile *msplayer.Profile,
+	co *Cohort, idx int, arrival time.Duration, sessSeed int64, start time.Time) (*msplayer.Metrics, error) {
+	clock := tb.Clock()
+	clock.SleepUntil(start.Add(arrival))
+
+	// The session RNG decides event participation; its draws happen in a
+	// fixed order, so participation is a pure function of the seed.
+	rng := rand.New(rand.NewSource(sessSeed))
+	wifiProf := profile.WiFi
+	if co.WiFi != nil {
+		wifiProf = *co.WiFi
+	}
+	lteProf := profile.LTE
+	if co.LTE != nil {
+		lteProf = *co.LTE
+	}
+
+	var downs []Event
+	for _, ev := range co.Events {
+		affected := ev.Fraction == 0 || ev.Fraction >= 1 || rng.Float64() < ev.Fraction
+		if !affected {
+			continue
+		}
+		onset := start.Add(ev.At + time.Duration(idx)*ev.Stagger)
+		switch ev.Kind {
+		case EventWiFiDegrade:
+			wifiProf.Shape = composeShape(wifiProf.Shape, scaleWindow(onset, ev.Duration, ev.Factor))
+		case EventLTEDegrade:
+			lteProf.Shape = composeShape(lteProf.Shape, scaleWindow(onset, ev.Duration, ev.Factor))
+		case EventWiFiDown, EventLTEDown:
+			ev := ev
+			downs = append(downs, ev)
+		}
+	}
+
+	client := tb.NewClient(wifiProf, lteProf, sessSeed)
+
+	for _, ev := range downs {
+		iface := client.WiFi()
+		if ev.Kind == EventLTEDown {
+			iface = client.LTE()
+		}
+		onset := start.Add(ev.At + time.Duration(idx)*ev.Stagger)
+		end := onset.Add(ev.Duration)
+		release := tb.Inject(func() {
+			if !clock.Now().Before(end) {
+				return // window already over when the session arrived
+			}
+			clock.SleepUntil(onset)
+			iface.SetAlive(false)
+			clock.SleepUntil(end)
+			iface.SetAlive(true)
+		})
+		defer release()
+	}
+
+	sched, err := co.Scheduler.build()
+	if err != nil {
+		return nil, err
+	}
+	return client.Stream(ctx, msplayer.SessionConfig{
+		Scheduler:          sched,
+		Paths:              co.Paths,
+		Buffer:             co.Buffer,
+		Video:              co.Video,
+		Itag:               co.Itag,
+		StopAfterPreBuffer: co.StopAfterPreBuffer,
+		StopAfterRefills:   co.StopAfterRefills,
+	})
+}
+
+// quiescedLoads samples per-server accounting once the origin's books
+// are closed. Session goroutines have joined by the time it is called,
+// but server handlers unwinding from connections aborted at session
+// stop decrement their in-flight counts asynchronously on their own
+// goroutines, so sampling immediately could catch a handler mid-exit.
+// The wait is wall-clock (teardown needs no virtual time) and bounded.
+func quiescedLoads(c *origin.Cluster) []origin.ServerLoad {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		loads := c.Loads()
+		busy := false
+		for _, l := range loads {
+			if l.InFlight != 0 {
+				busy = true
+				break
+			}
+		}
+		if !busy || time.Now().After(deadline) {
+			return loads
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// scaleWindow returns a shape that multiplies the rate by factor inside
+// [onset, onset+d).
+func scaleWindow(onset time.Time, d time.Duration, factor float64) func(trace.Rate) trace.Rate {
+	end := onset.Add(d)
+	return func(base trace.Rate) trace.Rate {
+		return trace.RateFunc(func(t time.Time) float64 {
+			r := base.RateAt(t)
+			if !t.Before(onset) && t.Before(end) {
+				return r * factor
+			}
+			return r
+		})
+	}
+}
+
+// composeShape chains shape transforms (inner first).
+func composeShape(inner, outer func(trace.Rate) trace.Rate) func(trace.Rate) trace.Rate {
+	if inner == nil {
+		return outer
+	}
+	return func(base trace.Rate) trace.Rate { return outer(inner(base)) }
+}

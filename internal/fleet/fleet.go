@@ -1,0 +1,266 @@
+// Package fleet is a scenario-driven multi-session simulation engine on
+// top of the MSPlayer testbed: it spawns whole populations of concurrent
+// streaming sessions — organised into cohorts with their own link
+// profiles, schedulers, arrival processes and mid-session events —
+// against one shared origin cluster in one virtual-time world, and
+// aggregates per-session metrics into cohort- and fleet-level QoE
+// reports (pre-buffer percentiles, stall rates, re-buffer cycles,
+// per-path traffic split, Jain fairness).
+//
+// Every stochastic component of a run derives from the scenario seed
+// through per-session sub-seeds, so a fleet run is deterministic: two
+// runs of the same scenario with the same seed produce byte-identical
+// reports. A quick start:
+//
+//	report, err := fleet.Run(context.Background(), fleet.FlashCrowd(200, 1))
+//	if err != nil { ... }
+//	fmt.Print(report)
+//
+// or, from the command line:
+//
+//	go run ./cmd/fleet -scenario flashcrowd -sessions 200 -seed 1
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro"
+)
+
+// SchedulerSpec names a chunk scheduler declaratively, so scenarios can
+// be described (and compared in A/B cohorts) without holding live
+// scheduler state.
+type SchedulerSpec struct {
+	// Kind is "harmonic", "ewma", "ratio", "fixed" or "bulk".
+	Kind string
+	// Chunk is the base (or fixed) chunk size; DefaultBaseChunk if 0.
+	Chunk int64
+	// Delta is the throughput-variation parameter δ of the dynamic
+	// schedulers; DefaultDelta if 0.
+	Delta float64
+	// Alpha is the EWMA weight α; DefaultAlpha if 0.
+	Alpha float64
+}
+
+// build instantiates a fresh scheduler for one session.
+func (s SchedulerSpec) build() (msplayer.Scheduler, error) {
+	chunk := s.Chunk
+	if chunk == 0 {
+		chunk = msplayer.DefaultBaseChunk
+	}
+	delta := s.Delta
+	if delta == 0 {
+		delta = msplayer.DefaultDelta
+	}
+	alpha := s.Alpha
+	if alpha == 0 {
+		alpha = msplayer.DefaultAlpha
+	}
+	switch s.Kind {
+	case "", "harmonic":
+		return msplayer.NewHarmonicScheduler(chunk, delta), nil
+	case "ewma":
+		return msplayer.NewEWMAScheduler(chunk, delta, alpha), nil
+	case "ratio":
+		return msplayer.NewRatioScheduler(chunk), nil
+	case "fixed":
+		return msplayer.NewFixedScheduler(chunk), nil
+	case "bulk":
+		return msplayer.NewBulkScheduler(), nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown scheduler kind %q", s.Kind)
+	}
+}
+
+// Arrival process kinds.
+const (
+	// ArrivalBatch starts every session at Start (default).
+	ArrivalBatch = "batch"
+	// ArrivalSpread spaces sessions evenly over [Start, Start+Window).
+	ArrivalSpread = "spread"
+	// ArrivalPoisson draws exponential inter-arrival times with mean
+	// Window/n over [Start, ...), the classic flash-crowd model.
+	ArrivalPoisson = "poisson"
+)
+
+// ArrivalSpec describes when a cohort's sessions start.
+type ArrivalSpec struct {
+	// Kind is ArrivalBatch, ArrivalSpread or ArrivalPoisson.
+	Kind string
+	// Start is the offset of the first arrival from scenario start.
+	Start time.Duration
+	// Window is the span arrivals spread over (spread/poisson).
+	Window time.Duration
+}
+
+// times returns n arrival offsets (ascending for spread, arrival-order
+// for poisson), deterministic per rng state.
+func (a ArrivalSpec) times(n int, rng *rand.Rand) ([]time.Duration, error) {
+	out := make([]time.Duration, n)
+	switch a.Kind {
+	case "", ArrivalBatch:
+		for i := range out {
+			out[i] = a.Start
+		}
+	case ArrivalSpread:
+		for i := range out {
+			if n > 1 {
+				out[i] = a.Start + time.Duration(int64(a.Window)*int64(i)/int64(n))
+			} else {
+				out[i] = a.Start
+			}
+		}
+	case ArrivalPoisson:
+		mean := float64(a.Window) / float64(n)
+		t := float64(a.Start)
+		for i := range out {
+			t += rng.ExpFloat64() * mean
+			out[i] = time.Duration(t)
+		}
+	default:
+		return nil, fmt.Errorf("fleet: unknown arrival kind %q", a.Kind)
+	}
+	return out, nil
+}
+
+// Event kinds.
+const (
+	// EventWiFiDown / EventLTEDown take the interface down for Duration
+	// (aborting its connections, as mobility does).
+	EventWiFiDown = "wifi-down"
+	EventLTEDown  = "lte-down"
+	// EventWiFiDegrade / EventLTEDegrade scale the link rate by Factor
+	// for Duration (compiled into the link's rate profile).
+	EventWiFiDegrade = "wifi-degrade"
+	EventLTEDegrade  = "lte-degrade"
+)
+
+// Event is a mid-session disturbance applied to some or all of a
+// cohort's sessions.
+type Event struct {
+	// Kind selects the disturbance (see the Event* constants).
+	Kind string
+	// At is the event's onset, offset from scenario start.
+	At time.Duration
+	// Duration is how long the disturbance lasts.
+	Duration time.Duration
+	// Factor is the rate multiplier for degrade events (e.g. 0.1).
+	Factor float64
+	// Fraction of the cohort's sessions affected (default 1.0). Which
+	// sessions are hit is drawn from each session's own RNG, so the
+	// choice is deterministic per scenario seed.
+	Fraction float64
+	// Stagger delays the onset by session-index × Stagger, turning a
+	// simultaneous event into a wave sweeping through the cohort.
+	Stagger time.Duration
+}
+
+func (e Event) validate() error {
+	switch e.Kind {
+	case EventWiFiDown, EventLTEDown:
+	case EventWiFiDegrade, EventLTEDegrade:
+		if e.Factor < 0 {
+			return fmt.Errorf("fleet: event %q has negative factor", e.Kind)
+		}
+	default:
+		return fmt.Errorf("fleet: unknown event kind %q", e.Kind)
+	}
+	if e.Duration <= 0 {
+		return fmt.Errorf("fleet: event %q has no duration", e.Kind)
+	}
+	if e.Fraction < 0 || e.Fraction > 1 {
+		return fmt.Errorf("fleet: event %q fraction %v outside [0,1]", e.Kind, e.Fraction)
+	}
+	return nil
+}
+
+// Cohort is a homogeneous group of sessions within a scenario.
+type Cohort struct {
+	// Name labels the cohort in reports.
+	Name string
+	// Sessions is the number of sessions in the cohort.
+	Sessions int
+	// Scheduler picks the chunk scheduler (default harmonic).
+	Scheduler SchedulerSpec
+	// Paths selects MSPlayer (BothPaths) or a single-path baseline.
+	Paths msplayer.PathSelection
+	// Arrival describes when sessions start (default: all at once).
+	Arrival ArrivalSpec
+	// WiFi/LTE override the scenario profile's link profiles for this
+	// cohort's clients (nil = inherit).
+	WiFi *msplayer.LinkProfile
+	LTE  *msplayer.LinkProfile
+	// Video/Itag override the streamed clip (default: profile's).
+	Video string
+	Itag  int
+	// Buffer overrides the playout thresholds.
+	Buffer msplayer.BufferConfig
+	// StopAfterPreBuffer ends sessions at pre-buffer completion (the
+	// start-up-latency measurement mode; cheap at scale).
+	StopAfterPreBuffer bool
+	// StopAfterRefills ends sessions after N re-buffering cycles.
+	StopAfterRefills int
+	// Events are mid-session disturbances applied to this cohort.
+	Events []Event
+}
+
+// Scenario is a declarative description of one fleet run.
+type Scenario struct {
+	// Name and Description label the scenario in reports.
+	Name        string
+	Description string
+	// Seed drives every stochastic component of the run.
+	Seed int64
+	// Profile is the base testbed configuration; nil uses
+	// msplayer.TestbedProfile(Seed).
+	Profile *msplayer.Profile
+	// Cohorts are the session populations (at least one).
+	Cohorts []Cohort
+}
+
+func (sc Scenario) validate() error {
+	if len(sc.Cohorts) == 0 {
+		return fmt.Errorf("fleet: scenario %q has no cohorts", sc.Name)
+	}
+	for ci, co := range sc.Cohorts {
+		if co.Sessions <= 0 {
+			return fmt.Errorf("fleet: cohort %d (%q) has %d sessions", ci, co.Name, co.Sessions)
+		}
+		if _, err := co.Scheduler.build(); err != nil {
+			return fmt.Errorf("fleet: cohort %q: %w", co.Name, err)
+		}
+		if _, err := co.Arrival.times(1, rand.New(rand.NewSource(1))); err != nil {
+			return fmt.Errorf("fleet: cohort %q: %w", co.Name, err)
+		}
+		for _, ev := range co.Events {
+			if err := ev.validate(); err != nil {
+				return fmt.Errorf("fleet: cohort %q: %w", co.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalSessions returns the scenario's session count across cohorts.
+func (sc Scenario) TotalSessions() int {
+	n := 0
+	for _, co := range sc.Cohorts {
+		n += co.Sessions
+	}
+	return n
+}
+
+// mix derives a sub-seed from seed and a path of indices (splitmix64
+// finalisation), decorrelating per-cohort and per-session randomness.
+func mix(seed int64, parts ...int64) int64 {
+	z := uint64(seed)
+	for _, p := range parts {
+		z += uint64(p)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+	}
+	return int64(z)
+}

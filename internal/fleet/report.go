@@ -1,0 +1,217 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/origin"
+	"repro/internal/stats"
+)
+
+// Aggregate is a mergeable QoE summary over a set of sessions. Cohort
+// aggregates merge into the fleet aggregate via stats.Digest, so the
+// fleet percentiles are computed over the union of sessions, not
+// averaged over cohorts.
+type Aggregate struct {
+	// Sessions, Completed and Errored count the set's outcomes.
+	Sessions  int
+	Completed int
+	Errored   int
+	// PreBuffered counts sessions that finished pre-buffering;
+	// PreBuffer digests their start-up times in seconds.
+	PreBuffered int
+	PreBuffer   stats.Digest
+	// StalledSessions counts sessions with at least one underrun;
+	// Stalls and Refills total the events across sessions.
+	StalledSessions int
+	Stalls          int
+	Refills         int
+	// Goodput digests per-session delivered goodput in Mb/s.
+	Goodput stats.Digest
+	// WiFiBytes / TotalBytes hold the per-path traffic split.
+	WiFiBytes  int64
+	TotalBytes int64
+
+	// Jain's index needs only Σx and Σx² over per-session goodput, so
+	// the aggregate stays bounded no matter the fleet size.
+	gpSum, gpSumSq float64
+	gpN            int
+}
+
+// add folds one session result into the aggregate.
+func (a *Aggregate) add(r SessionResult) {
+	a.Sessions++
+	if r.Err != nil || r.Metrics == nil {
+		a.Errored++
+		return
+	}
+	a.Completed++
+	m := r.Metrics
+	if m.PreBufferDone {
+		a.PreBuffered++
+		a.PreBuffer.Add(m.PreBufferTime.Seconds())
+	}
+	if len(m.Stalls) > 0 {
+		a.StalledSessions++
+	}
+	a.Stalls += len(m.Stalls)
+	a.Refills += len(m.Refills)
+	for _, p := range m.Paths {
+		a.TotalBytes += p.Bytes
+		if p.Network == "wifi" {
+			a.WiFiBytes += p.Bytes
+		}
+	}
+	if m.Elapsed > 0 {
+		gp := float64(m.TotalBytes) * 8 / 1e6 / m.Elapsed.Seconds()
+		a.Goodput.Add(gp)
+		a.gpSum += gp
+		a.gpSumSq += gp * gp
+		a.gpN++
+	}
+}
+
+// merge folds o into a (counter addition plus digest merging).
+func (a *Aggregate) merge(o *Aggregate) {
+	a.Sessions += o.Sessions
+	a.Completed += o.Completed
+	a.Errored += o.Errored
+	a.PreBuffered += o.PreBuffered
+	a.PreBuffer.Merge(&o.PreBuffer)
+	a.StalledSessions += o.StalledSessions
+	a.Stalls += o.Stalls
+	a.Refills += o.Refills
+	a.Goodput.Merge(&o.Goodput)
+	a.WiFiBytes += o.WiFiBytes
+	a.TotalBytes += o.TotalBytes
+	a.gpSum += o.gpSum
+	a.gpSumSq += o.gpSumSq
+	a.gpN += o.gpN
+}
+
+// StallRate is the fraction of completed sessions that stalled.
+func (a *Aggregate) StallRate() float64 {
+	if a.Completed == 0 {
+		return 0
+	}
+	return float64(a.StalledSessions) / float64(a.Completed)
+}
+
+// Fairness is Jain's index over per-session goodput: (Σx)² / (n·Σx²),
+// 1 when every session got an equal share.
+func (a *Aggregate) Fairness() float64 {
+	if a.gpN == 0 || a.gpSumSq == 0 {
+		return 0
+	}
+	return a.gpSum * a.gpSum / (float64(a.gpN) * a.gpSumSq)
+}
+
+// WiFiShare is the fraction of bytes carried over WiFi.
+func (a *Aggregate) WiFiShare() float64 {
+	if a.TotalBytes == 0 {
+		return 0
+	}
+	return float64(a.WiFiBytes) / float64(a.TotalBytes)
+}
+
+// CohortReport is one cohort's aggregate.
+type CohortReport struct {
+	Name string
+	Agg  Aggregate
+}
+
+// Report is the outcome of a fleet run.
+type Report struct {
+	// Scenario/Description/Seed echo the scenario.
+	Scenario    string
+	Description string
+	Seed        int64
+	// Elapsed is the virtual duration from scenario start to the last
+	// session's completion (max over sessions of arrival + session
+	// elapsed — derived from per-session metrics, which are snapshotted
+	// at each session's deterministic stop instant).
+	Elapsed time.Duration
+	// Cohorts holds per-cohort aggregates, in scenario order; Fleet is
+	// their merged union.
+	Cohorts []CohortReport
+	Fleet   Aggregate
+	// Loads snapshots per-origin-server request accounting.
+	Loads []origin.ServerLoad
+	// Results holds the raw per-session outcomes, indexed
+	// [cohort][session], for tests and downstream analysis.
+	Results [][]SessionResult
+}
+
+// buildReport aggregates raw session results deterministically: cohorts
+// in scenario order, sessions in index order.
+func buildReport(sc Scenario, results [][]SessionResult, loads []origin.ServerLoad) *Report {
+	rep := &Report{
+		Scenario:    sc.Name,
+		Description: sc.Description,
+		Seed:        sc.Seed,
+		Loads:       loads,
+		Results:     results,
+	}
+	for ci := range results {
+		cr := CohortReport{Name: sc.Cohorts[ci].Name}
+		for i := range results[ci] {
+			r := results[ci][i]
+			cr.Agg.add(r)
+			// Errored sessions carry live-clock (nondeterministic)
+			// elapsed readings; only clean completions bound Elapsed.
+			if r.Err == nil && r.Metrics != nil {
+				if end := r.Arrival + r.Metrics.Elapsed; end > rep.Elapsed {
+					rep.Elapsed = end
+				}
+			}
+		}
+		rep.Cohorts = append(rep.Cohorts, cr)
+		rep.Fleet.merge(&cr.Agg)
+	}
+	return rep
+}
+
+// String renders the report as a fixed-format text block; two runs of
+// the same scenario and seed render byte-identically.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %q seed=%d: %d sessions, %d cohorts, virtual elapsed %.3fs\n",
+		r.Scenario, r.Seed, r.Fleet.Sessions, len(r.Cohorts), r.Elapsed.Seconds())
+	if r.Description != "" {
+		fmt.Fprintf(&b, "  %s\n", r.Description)
+	}
+	for i := range r.Cohorts {
+		writeAggregate(&b, fmt.Sprintf("cohort %q", r.Cohorts[i].Name), &r.Cohorts[i].Agg)
+	}
+	if len(r.Cohorts) > 1 {
+		writeAggregate(&b, "fleet", &r.Fleet)
+	}
+	var total int64
+	for _, l := range r.Loads {
+		total += l.Total
+	}
+	fmt.Fprintf(&b, "origin load: %d servers, %d requests\n", len(r.Loads), total)
+	for _, l := range r.Loads {
+		fmt.Fprintf(&b, "  %-32s %-5s reqs=%d\n", l.Addr, l.Network, l.Total)
+	}
+	return b.String()
+}
+
+func writeAggregate(b *strings.Builder, title string, a *Aggregate) {
+	fmt.Fprintf(b, "%s (%d sessions: %d ok, %d err)\n", title, a.Sessions, a.Completed, a.Errored)
+	if a.PreBuffered > 0 {
+		fmt.Fprintf(b, "  pre-buffer: %d/%d done  p50=%.3fs p95=%.3fs p99=%.3fs mean=%.3fs\n",
+			a.PreBuffered, a.Sessions,
+			a.PreBuffer.Quantile(0.50), a.PreBuffer.Quantile(0.95),
+			a.PreBuffer.Quantile(0.99), a.PreBuffer.Mean())
+	} else {
+		fmt.Fprintf(b, "  pre-buffer: 0/%d done\n", a.Sessions)
+	}
+	fmt.Fprintf(b, "  stalls: %d sessions (%.1f%%), %d events; re-buffer cycles: %d\n",
+		a.StalledSessions, a.StallRate()*100, a.Stalls, a.Refills)
+	fmt.Fprintf(b, "  goodput: mean=%.2f Mb/s p50=%.2f p95=%.2f  fairness(Jain)=%.4f\n",
+		a.Goodput.Mean(), a.Goodput.Quantile(0.50), a.Goodput.Quantile(0.95), a.Fairness())
+	fmt.Fprintf(b, "  split: wifi %.1f%% / lte %.1f%%  (%.1f MB total)\n",
+		a.WiFiShare()*100, (1-a.WiFiShare())*100, float64(a.TotalBytes)/1e6)
+}

@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro"
+)
+
+// Builtin returns a named built-in scenario sized to sessions and seed.
+// Names: see BuiltinNames.
+func Builtin(name string, sessions int, seed int64) (Scenario, error) {
+	f, ok := builtins[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("fleet: unknown scenario %q (have %v)", name, BuiltinNames())
+	}
+	return f(sessions, seed), nil
+}
+
+// BuiltinNames lists the built-in scenarios, sorted.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var builtins = map[string]func(int, int64) Scenario{
+	"ramp":       LoadRamp,
+	"flashcrowd": FlashCrowd,
+	"wifiwave":   WiFiWave,
+	"abtest":     SchedulerAB,
+}
+
+// shortPlayBuffer is the playout configuration for full plays of the
+// 30-second reference clip: a 10 s start-up goal and small refills, so
+// steady-state ON/OFF cycling is exercised within the clip.
+var shortPlayBuffer = msplayer.BufferConfig{
+	PreBufferTarget: 10 * time.Second,
+	LowWater:        4 * time.Second,
+	RefillSize:      4 * time.Second,
+	StallRecovery:   2 * time.Second,
+}
+
+// FlashCrowd is a burst-arrival start-up-latency study: every session
+// requests the 5-minute 720p clip within a two-second Poisson burst and
+// runs until pre-buffering completes, measuring the population's
+// start-up-time distribution under a thundering herd at the origin.
+func FlashCrowd(sessions int, seed int64) Scenario {
+	if sessions <= 0 {
+		sessions = 200
+	}
+	return Scenario{
+		Name:        "flashcrowd",
+		Description: "poisson burst of pre-buffering sessions against one origin",
+		Seed:        seed,
+		Cohorts: []Cohort{{
+			Name:               "crowd",
+			Sessions:           sessions,
+			Paths:              msplayer.BothPaths,
+			Scheduler:          SchedulerSpec{Kind: "harmonic"},
+			Arrival:            ArrivalSpec{Kind: ArrivalPoisson, Window: 2 * time.Second},
+			StopAfterPreBuffer: true,
+		}},
+	}
+}
+
+// LoadRamp is a steady-state load ramp: three cohorts of full plays of
+// the short reference clip arrive in successive ten-second waves
+// (quarter, half, quarter of the population), exercising ON/OFF playout
+// cycling and cross-session fairness as origin load rises and falls.
+func LoadRamp(sessions int, seed int64) Scenario {
+	if sessions <= 0 {
+		sessions = 60
+	}
+	quarter := sessions / 4
+	if quarter < 1 {
+		quarter = 1
+	}
+	mid := sessions - 2*quarter
+	cohort := func(name string, n int, start time.Duration) Cohort {
+		return Cohort{
+			Name:      name,
+			Sessions:  n,
+			Paths:     msplayer.BothPaths,
+			Scheduler: SchedulerSpec{Kind: "harmonic"},
+			Arrival:   ArrivalSpec{Kind: ArrivalSpread, Start: start, Window: 10 * time.Second},
+			Video:     "shortclip01",
+			Buffer:    shortPlayBuffer,
+		}
+	}
+	return Scenario{
+		Name:        "ramp",
+		Description: "three arrival waves of full short-clip plays (load ramp)",
+		Seed:        seed,
+		Cohorts: []Cohort{
+			cohort("wave1", quarter, 0),
+			cohort("wave2", mid, 10*time.Second),
+			cohort("wave3", quarter, 20*time.Second),
+		},
+	}
+}
+
+// WiFiWave is a degradation wave: full plays of the short clip arrive
+// over five seconds, then a WiFi rate collapse (to 8% of nominal for
+// twelve seconds) sweeps through 60% of the population, one session
+// every 250 ms — the cohort must shift traffic to LTE to keep playing.
+func WiFiWave(sessions int, seed int64) Scenario {
+	if sessions <= 0 {
+		sessions = 60
+	}
+	return Scenario{
+		Name:        "wifiwave",
+		Description: "WiFi degradation wave sweeping 60% of full-play sessions",
+		Seed:        seed,
+		Cohorts: []Cohort{{
+			Name:      "wave",
+			Sessions:  sessions,
+			Paths:     msplayer.BothPaths,
+			Scheduler: SchedulerSpec{Kind: "harmonic"},
+			Arrival:   ArrivalSpec{Kind: ArrivalSpread, Window: 5 * time.Second},
+			Video:     "shortclip01",
+			Buffer:    shortPlayBuffer,
+			Events: []Event{{
+				Kind:     EventWiFiDegrade,
+				At:       8 * time.Second,
+				Duration: 12 * time.Second,
+				Factor:   0.08,
+				Fraction: 0.6,
+				Stagger:  250 * time.Millisecond,
+			}},
+		}},
+	}
+}
+
+// SchedulerAB is a mixed-scheduler A/B study: two same-size cohorts
+// start together under identical links, one on the paper's harmonic
+// dynamic scheduler and one on a fixed 256 KB commercial-player-style
+// scheduler, comparing start-up latency distributions head to head.
+func SchedulerAB(sessions int, seed int64) Scenario {
+	if sessions <= 0 {
+		sessions = 40
+	}
+	half := sessions / 2
+	if half < 1 {
+		half = 1
+	}
+	cohort := func(name string, spec SchedulerSpec, n int) Cohort {
+		return Cohort{
+			Name:               name,
+			Sessions:           n,
+			Paths:              msplayer.BothPaths,
+			Scheduler:          spec,
+			Arrival:            ArrivalSpec{Kind: ArrivalSpread, Window: time.Second},
+			StopAfterPreBuffer: true,
+		}
+	}
+	return Scenario{
+		Name:        "abtest",
+		Description: "harmonic vs fixed-256KB schedulers, same links, same arrivals",
+		Seed:        seed,
+		Cohorts: []Cohort{
+			cohort("harmonic", SchedulerSpec{Kind: "harmonic"}, half),
+			cohort("fixed256", SchedulerSpec{Kind: "fixed", Chunk: 256 << 10}, sessions-half),
+		},
+	}
+}

@@ -22,10 +22,18 @@ type ackPoint struct {
 
 // direction carries bytes one way between two conns: pacing state on the
 // write side, an arrival-ordered queue on the read side.
+//
+// Randomness invariant: the jitter/loss rng is a per-instance
+// *rand.Rand derived from LinkParams.Seed (itself derived from the
+// testbed or scenario seed), only ever touched under d.mu. No global
+// rand is consulted anywhere in the emulator, so runs with hundreds of
+// concurrent sessions stay bit-identical per seed: one direction's draw
+// sequence depends only on its own byte stream, never on scheduling
+// order against other directions.
 type direction struct {
 	clock  *Clock
 	params LinkParams
-	rng    *rand.Rand
+	rng    *rand.Rand // per-instance, seeded; guarded by mu
 
 	mu       sync.Mutex
 	cond     *Cond // clock-aware; signalled on enqueue, read, close, abort

@@ -87,6 +87,12 @@ func Outage(base Rate, start time.Time, d time.Duration) Rate {
 // lognormal noise resampled every interval. Sigma is the standard
 // deviation of the underlying normal; 0.2–0.4 reproduces the per-chunk
 // throughput spread reported for home WiFi and LTE links.
+//
+// Randomness invariant: the multiplier is a pure function of (seed,
+// slot) — a fresh *rand.Rand is derived per slot and no state is shared
+// between calls — so concurrent queries from any number of sessions
+// return identical values for identical instants, keeping fleet runs
+// bit-identical per seed.
 func Lognormal(base Rate, sigma float64, interval time.Duration, seed int64) Rate {
 	if interval <= 0 {
 		interval = 200 * time.Millisecond
@@ -102,6 +108,11 @@ func Lognormal(base Rate, sigma float64, interval time.Duration, seed int64) Rat
 // RandomWalk produces a mean-reverting multiplicative random walk around
 // mean, bounded to [min, max], resampled every interval. It mimics LTE
 // cell-load dynamics: sustained excursions rather than white noise.
+//
+// Randomness invariant: each step's rng is derived from (seed, slot)
+// and the walk state is guarded by a mutex; replaying from the anchor
+// makes any query a deterministic function of (seed, anchor slot,
+// query slot) regardless of query interleaving across sessions.
 func RandomWalk(mean, min, max float64, interval time.Duration, seed int64) Rate {
 	if interval <= 0 {
 		interval = 500 * time.Millisecond

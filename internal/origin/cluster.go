@@ -73,7 +73,8 @@ type Cluster struct {
 	resolver *dnsx.Resolver
 
 	mu      sync.Mutex
-	servers map[string]*serverInstance // addr -> instance
+	servers map[string]*serverInstance // addr -> live instance
+	all     []*serverInstance          // every instance ever started (deploy order)
 	proxies map[string]string          // network -> proxy addr
 	byNet   map[string][]string        // network -> live video server addrs
 }
@@ -82,6 +83,47 @@ type serverInstance struct {
 	addr    string
 	network string
 	srv     *httpx.Server
+	load    serverLoad
+}
+
+// serverLoad is the per-server request accounting behind Cluster.Loads.
+type serverLoad struct {
+	mu       sync.Mutex
+	inFlight int
+	peak     int
+	total    int64
+}
+
+func (l *serverLoad) enter() {
+	l.mu.Lock()
+	l.inFlight++
+	l.total++
+	if l.inFlight > l.peak {
+		l.peak = l.inFlight
+	}
+	l.mu.Unlock()
+}
+
+func (l *serverLoad) exit() {
+	l.mu.Lock()
+	l.inFlight--
+	l.mu.Unlock()
+}
+
+// ServerLoad is a snapshot of one server's request accounting.
+type ServerLoad struct {
+	// Addr and Network identify the server.
+	Addr    string
+	Network string
+	// InFlight is the number of requests currently being handled.
+	InFlight int
+	// Peak is the maximum observed concurrent in-flight count. Note that
+	// requests whose emulated service intervals merely touch at a
+	// boundary instant may or may not be counted as concurrent, so Peak
+	// is a diagnostic rather than a deterministic metric.
+	Peak int
+	// Total counts every request the server has started handling.
+	Total int64
 }
 
 // Deploy builds and starts a cluster on n.
@@ -129,14 +171,45 @@ func (c *Cluster) start(addr, network string, h http.Handler) error {
 	if err != nil {
 		return fmt.Errorf("origin: listen %s: %w", addr, err)
 	}
+	inst := &serverInstance{addr: addr, network: network}
+	// Every request passes through the instance's load accounting, so
+	// per-server utilisation is observable (Cluster.Loads) under
+	// population-scale concurrent fleets.
+	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inst.load.enter()
+		defer inst.load.exit()
+		h.ServeHTTP(w, r)
+	})
 	// httpx.Serve runs the whole server side — handshake processing,
 	// request reads, response writes — on clock-registered goroutines,
 	// keeping the virtual clock's waiter accounting exact.
-	srv := httpx.Serve(c.net.Clock(), inner, h, c.cfg.Handshake)
+	inst.srv = httpx.Serve(c.net.Clock(), inner, counted, c.cfg.Handshake)
 	c.mu.Lock()
-	c.servers[addr] = &serverInstance{addr: addr, network: network, srv: srv}
+	c.servers[addr] = inst
+	c.all = append(c.all, inst)
 	c.mu.Unlock()
 	return nil
+}
+
+// Loads snapshots per-server request accounting, in deployment order.
+// Killed servers stay in the snapshot with their final totals.
+func (c *Cluster) Loads() []ServerLoad {
+	c.mu.Lock()
+	insts := append([]*serverInstance(nil), c.all...)
+	c.mu.Unlock()
+	out := make([]ServerLoad, 0, len(insts))
+	for _, inst := range insts {
+		inst.load.mu.Lock()
+		out = append(out, ServerLoad{
+			Addr:     inst.addr,
+			Network:  inst.network,
+			InFlight: inst.load.inFlight,
+			Peak:     inst.load.peak,
+			Total:    inst.load.total,
+		})
+		inst.load.mu.Unlock()
+	}
+	return out
 }
 
 // liveReplicas returns the not-killed video servers of a network,

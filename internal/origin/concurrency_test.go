@@ -1,0 +1,216 @@
+package origin
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/netem"
+	"repro/internal/videostore"
+)
+
+// decodeJSONBody decodes resp's JSON body into v, closing the body.
+func decodeJSONBody(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// fetchInfoErr is fetchInfo with error return instead of t.Fatal, for
+// use off the test goroutine.
+func fetchInfoErr(cluster *Cluster, iface *netem.Interface, network, videoID string) (*VideoInfo, error) {
+	client := httpx.NewClient(iface)
+	defer client.CloseIdleConnections()
+	proxy, err := cluster.ProxyAddr(network)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Get("http://" + proxy + "/watch?v=" + videoID)
+	if err != nil {
+		return nil, err
+	}
+	var info VideoInfo
+	if err := decodeJSONBody(resp, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// TestConcurrentWatchAndRange drives many concurrent clients — each with
+// its own interface, as a fleet run does — against one shared Cluster:
+// every watch must issue a working token, every range fetch must return
+// the catalog's exact bytes, and the whole run must be race-clean.
+func TestConcurrentWatchAndRange(t *testing.T) {
+	const (
+		clients        = 12
+		rangesPerFetch = 3
+	)
+	clock := netem.NewVirtualClock()
+	t.Cleanup(clock.Stop)
+	n := netem.NewNetwork(clock)
+	cluster, err := Deploy(n, ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+
+	v, _ := videostore.DefaultCatalog().Get("shortclip01")
+	content := v.Content(videostore.HD720)
+
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		i := i
+		network := "wifi"
+		if i%2 == 1 {
+			network = "lte"
+		}
+		iface := n.NewInterface(network,
+			netem.LinkParams{Rate: netem.Mbps(20), Delay: 10 * time.Millisecond, Seed: int64(i)},
+			netem.LinkParams{Rate: netem.Mbps(20), Delay: 10 * time.Millisecond, Seed: int64(i) + 7})
+		wg.Add(1)
+		clock.Go(func() {
+			defer wg.Done()
+			errs[i] = func() error {
+				client := httpx.NewClient(iface)
+				defer client.CloseIdleConnections()
+				proxy, err := cluster.ProxyAddr(network)
+				if err != nil {
+					return err
+				}
+				resp, err := client.Get("http://" + proxy + "/watch?v=shortclip01")
+				if err != nil {
+					return fmt.Errorf("watch: %w", err)
+				}
+				var info VideoInfo
+				err = decodeJSONBody(resp, &info)
+				if err != nil {
+					return fmt.Errorf("decode: %w", err)
+				}
+				if info.Network != network {
+					return fmt.Errorf("network = %q, want %q", info.Network, network)
+				}
+				if len(info.VideoServers) == 0 {
+					return fmt.Errorf("no video servers")
+				}
+				// Tokens issued under contention must verify on every
+				// replica of the issuing network.
+				for r := 0; r < rangesPerFetch; r++ {
+					server := info.VideoServers[r%len(info.VideoServers)]
+					lo := int64(i*1000 + r*100)
+					hi := lo + 499
+					body, err := httpx.GetRange(context.Background(), client,
+						info.PlaybackURL(server, 22), lo, hi)
+					if err != nil {
+						return fmt.Errorf("range %s [%d-%d]: %w", server, lo, hi, err)
+					}
+					want := make([]byte, hi-lo+1)
+					content.ReadAt(want, lo)
+					if len(body) != len(want) {
+						return fmt.Errorf("range length = %d, want %d", len(body), len(want))
+					}
+					for j := range want {
+						if body[j] != want[j] {
+							return fmt.Errorf("content mismatch at offset %d", lo+int64(j))
+						}
+					}
+				}
+				return nil
+			}()
+		})
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+
+	// Load accounting: every request must have been counted, and the
+	// books must close (a handler's deferred exit runs asynchronously
+	// after the client has its response, so wait briefly for zero).
+	deadline := time.Now().Add(2 * time.Second)
+	loads := cluster.Loads()
+	for {
+		busy := false
+		for _, l := range loads {
+			if l.InFlight != 0 {
+				busy = true
+			}
+		}
+		if !busy || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+		loads = cluster.Loads()
+	}
+	var total int64
+	for _, l := range loads {
+		if l.InFlight != 0 {
+			t.Errorf("server %s: %d requests still in flight", l.Addr, l.InFlight)
+		}
+		if l.Total < 0 || int64(l.Peak) > l.Total {
+			t.Errorf("server %s: inconsistent load %+v", l.Addr, l)
+		}
+		total += l.Total
+	}
+	want := int64(clients * (1 + rangesPerFetch)) // one watch + N ranges each
+	if total != want {
+		t.Errorf("total requests = %d, want %d", total, want)
+	}
+}
+
+// TestConcurrentTokenIssuanceDistinct checks that tokens issued to
+// different networks under contention stay network-bound.
+func TestConcurrentTokenIssuanceDistinct(t *testing.T) {
+	cluster, _, wifi, lte := testDeployment(t, ClusterConfig{})
+	type out struct {
+		info *VideoInfo
+		err  error
+	}
+	results := make([]out, 8)
+	var wg sync.WaitGroup
+	for i := range results {
+		i := i
+		iface, network := wifi, "wifi"
+		if i%2 == 1 {
+			iface, network = lte, "lte"
+		}
+		wg.Add(1)
+		cluster.net.Clock().Go(func() {
+			defer wg.Done()
+			info, err := fetchInfoErr(cluster, iface, network, "shortclip01")
+			results[i] = out{info, err}
+		})
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("fetch %d: %v", i, r.err)
+		}
+	}
+	// Cross-network replay must still fail even when both tokens were
+	// minted in the same virtual instant.
+	client := httpx.NewClient(wifi)
+	defer client.CloseIdleConnections()
+	wifiInfo, lteInfo := results[0].info, results[1].info
+	cross := *lteInfo
+	cross.Token = wifiInfo.Token
+	if _, err := httpx.GetRange(context.Background(), client,
+		cross.PlaybackURL(lteInfo.VideoServers[0], 22), 0, 99); err == nil {
+		t.Fatal("cross-network token accepted")
+	}
+	if _, err := httpx.GetRange(context.Background(), client,
+		wifiInfo.PlaybackURL(wifiInfo.VideoServers[0], 22), 0, 99); err != nil {
+		t.Fatalf("legitimate token rejected: %v", err)
+	}
+}

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultDigestCap bounds the number of raw samples a Digest retains for
+// quantile queries before it starts compressing.
+const DefaultDigestCap = 8192
+
+// Digest is a mergeable sample summary: exact count, mean, variance and
+// extrema (maintained with Welford/Chan updates, so they survive any
+// number of merges), plus a bounded sample store for quantiles. Below
+// the cap quantiles are exact; past it the store is deterministically
+// compressed to evenly spaced order statistics, so results remain
+// bit-identical for a given sequence of Add/Merge operations regardless
+// of wall-clock or scheduling — the property fleet reports rely on.
+//
+// Digests combine across cohorts: build one per cohort, then Merge them
+// into a fleet-level digest. A zero-value Digest is ready to use.
+type Digest struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+	capacity int
+	vals     []float64 // retained samples; sorted only when compressed
+	sorted   bool
+}
+
+// NewDigest returns a Digest retaining up to capacity raw samples for
+// quantile queries (DefaultDigestCap if capacity <= 0).
+func NewDigest(capacity int) *Digest {
+	if capacity <= 0 {
+		capacity = DefaultDigestCap
+	}
+	return &Digest{capacity: capacity}
+}
+
+func (d *Digest) cap() int {
+	if d.capacity <= 0 {
+		return DefaultDigestCap
+	}
+	return d.capacity
+}
+
+// Add folds one sample into the digest.
+func (d *Digest) Add(x float64) {
+	d.n++
+	delta := x - d.mean
+	d.mean += delta / float64(d.n)
+	d.m2 += delta * (x - d.mean)
+	if d.n == 1 || x < d.min {
+		d.min = x
+	}
+	if d.n == 1 || x > d.max {
+		d.max = x
+	}
+	d.vals = append(d.vals, x)
+	d.sorted = false
+	if len(d.vals) > 2*d.cap() {
+		d.compress()
+	}
+}
+
+// Merge folds o into d; o is unchanged. Merging preserves exact count,
+// mean, variance and extrema; the quantile store concatenates (and
+// compresses past the cap).
+func (d *Digest) Merge(o *Digest) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if d.n == 0 {
+		d.min, d.max = o.min, o.max
+	} else {
+		if o.min < d.min {
+			d.min = o.min
+		}
+		if o.max > d.max {
+			d.max = o.max
+		}
+	}
+	// Chan et al. parallel variance combination.
+	n1, n2 := float64(d.n), float64(o.n)
+	delta := o.mean - d.mean
+	d.mean += delta * n2 / (n1 + n2)
+	d.m2 += o.m2 + delta*delta*n1*n2/(n1+n2)
+	d.n += o.n
+	d.vals = append(d.vals, o.vals...)
+	d.sorted = false
+	if len(d.vals) > 2*d.cap() {
+		d.compress()
+	}
+}
+
+// compress shrinks the sample store to cap evenly spaced order
+// statistics. Deterministic: depends only on the stored values.
+func (d *Digest) compress() {
+	sort.Float64s(d.vals)
+	c := d.cap()
+	out := make([]float64, c)
+	for i := 0; i < c; i++ {
+		pos := float64(i) / float64(c-1) * float64(len(d.vals)-1)
+		out[i] = d.vals[int(math.Round(pos))]
+	}
+	d.vals = out
+	d.sorted = true
+}
+
+// Count returns the number of samples folded in.
+func (d *Digest) Count() int64 { return d.n }
+
+// Mean returns the exact mean, or 0 when empty.
+func (d *Digest) Mean() float64 { return d.mean }
+
+// Std returns the exact sample standard deviation (n-1 denominator), or
+// 0 with fewer than two samples.
+func (d *Digest) Std() float64 {
+	if d.n < 2 {
+		return 0
+	}
+	return math.Sqrt(d.m2 / float64(d.n-1))
+}
+
+// Min returns the smallest sample, or 0 when empty.
+func (d *Digest) Min() float64 { return d.min }
+
+// Max returns the largest sample, or 0 when empty.
+func (d *Digest) Max() float64 { return d.max }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) from the sample
+// store — exact while the store is below its cap — or 0 when empty.
+func (d *Digest) Quantile(q float64) float64 {
+	if len(d.vals) == 0 {
+		return 0
+	}
+	if !d.sorted {
+		sort.Float64s(d.vals)
+		d.sorted = true
+	}
+	return quantileSorted(d.vals, q)
+}
+
+// Summary renders the digest as a five-number Summary. Quartiles come
+// from the (possibly compressed) sample store; N, Mean and Std are
+// exact.
+func (d *Digest) Summary() Summary {
+	if d.n == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      int(d.n),
+		Min:    d.min,
+		Q1:     d.Quantile(0.25),
+		Median: d.Quantile(0.5),
+		Q3:     d.Quantile(0.75),
+		Max:    d.max,
+		Mean:   d.mean,
+		Std:    d.Std(),
+	}
+}
+
+// Jain returns Jain's fairness index of xs: (Σx)² / (n·Σx²), 1 when all
+// shares are equal, approaching 1/n under maximal unfairness. Empty or
+// all-zero input yields 0.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

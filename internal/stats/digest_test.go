@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDigestEmpty(t *testing.T) {
+	var d Digest
+	if d.Count() != 0 || d.Mean() != 0 || d.Std() != 0 || d.Min() != 0 || d.Max() != 0 {
+		t.Fatalf("empty digest not all-zero: %+v", d.Summary())
+	}
+	if d.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile != 0")
+	}
+	if (d.Summary() != Summary{}) {
+		t.Fatal("empty summary not zero")
+	}
+	// Merging empties is a no-op.
+	d.Merge(nil)
+	d.Merge(&Digest{})
+	if d.Count() != 0 {
+		t.Fatal("merge of empties changed count")
+	}
+}
+
+func TestDigestSingleton(t *testing.T) {
+	var d Digest
+	d.Add(42)
+	if d.Count() != 1 || !almostEq(d.Mean(), 42) || d.Std() != 0 {
+		t.Fatalf("singleton: %+v", d.Summary())
+	}
+	if !almostEq(d.Min(), 42) || !almostEq(d.Max(), 42) || !almostEq(d.Quantile(0.5), 42) {
+		t.Fatalf("singleton quantiles: %+v", d.Summary())
+	}
+
+	// Merge empty into singleton and singleton into empty.
+	var e Digest
+	e.Merge(&d)
+	if e.Count() != 1 || !almostEq(e.Mean(), 42) || !almostEq(e.Min(), 42) {
+		t.Fatalf("empty.Merge(singleton): %+v", e.Summary())
+	}
+	d.Merge(&Digest{})
+	if d.Count() != 1 || !almostEq(d.Mean(), 42) {
+		t.Fatalf("singleton.Merge(empty): %+v", d.Summary())
+	}
+}
+
+// TestDigestMergeMatchesCombined checks that merging two digests agrees
+// with digesting the concatenation — and with the plain slice-based
+// summary functions — while under the retention cap.
+func TestDigestMergeMatchesCombined(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		xs = append(xs, rng.NormFloat64()*3+10)
+	}
+	for i := 0; i < 300; i++ {
+		ys = append(ys, rng.ExpFloat64()*5)
+	}
+	var a, b Digest
+	for _, x := range xs {
+		a.Add(x)
+	}
+	for _, y := range ys {
+		b.Add(y)
+	}
+	a.Merge(&b)
+
+	all := append(append([]float64(nil), xs...), ys...)
+	if a.Count() != int64(len(all)) {
+		t.Fatalf("count = %d, want %d", a.Count(), len(all))
+	}
+	if !almostEq(a.Mean(), Mean(all)) {
+		t.Errorf("mean = %v, want %v", a.Mean(), Mean(all))
+	}
+	if math.Abs(a.Std()-StdDev(all)) > 1e-9 {
+		t.Errorf("std = %v, want %v", a.Std(), StdDev(all))
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 0.99, 1} {
+		if got, want := a.Quantile(q), Quantile(all, q); !almostEq(got, want) {
+			t.Errorf("q%.2f = %v, want %v", q, got, want)
+		}
+	}
+	sum := a.Summary()
+	ref := Summarize(all)
+	if sum.N != ref.N || !almostEq(sum.Median, ref.Median) || !almostEq(sum.Mean, ref.Mean) {
+		t.Errorf("summary = %+v, want %+v", sum, ref)
+	}
+}
+
+// TestDigestCompression feeds more samples than the cap and checks that
+// moments stay exact and quantiles stay close.
+func TestDigestCompression(t *testing.T) {
+	d := NewDigest(64)
+	rng := rand.New(rand.NewSource(3))
+	var all []float64
+	for i := 0; i < 10_000; i++ {
+		x := rng.Float64() * 100
+		all = append(all, x)
+		d.Add(x)
+	}
+	if d.Count() != 10_000 {
+		t.Fatalf("count = %d", d.Count())
+	}
+	if !almostEq(d.Mean(), Mean(all)) {
+		t.Errorf("mean drifted: %v vs %v", d.Mean(), Mean(all))
+	}
+	if math.Abs(d.Std()-StdDev(all)) > 1e-9 {
+		t.Errorf("std drifted: %v vs %v", d.Std(), StdDev(all))
+	}
+	if !almostEq(d.Min(), Quantile(all, 0)) || !almostEq(d.Max(), Quantile(all, 1)) {
+		t.Errorf("extrema drifted")
+	}
+	for _, q := range []float64{0.25, 0.5, 0.95} {
+		got, want := d.Quantile(q), Quantile(all, q)
+		// Uniform [0,100) squeezed through ~150 compress rounds at a tiny
+		// cap: quantiles stay within a few percent of exact.
+		if math.Abs(got-want) > 5.0 {
+			t.Errorf("q%.2f = %v, want about %v", q, got, want)
+		}
+	}
+}
+
+// TestDigestMergeDeterministic: the same Add/Merge sequence must give a
+// byte-identical summary every time, including past compression.
+func TestDigestMergeDeterministic(t *testing.T) {
+	build := func() Summary {
+		parts := make([]*Digest, 4)
+		for p := range parts {
+			parts[p] = NewDigest(32)
+			rng := rand.New(rand.NewSource(int64(p) + 1))
+			for i := 0; i < 1000; i++ {
+				parts[p].Add(rng.NormFloat64())
+			}
+		}
+		total := NewDigest(32)
+		for _, p := range parts {
+			total.Merge(p)
+		}
+		return total.Summary()
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("summaries differ across identical runs:\n%v\n%v", a, b)
+	}
+}
+
+func TestJain(t *testing.T) {
+	if Jain(nil) != 0 {
+		t.Error("Jain(nil) != 0")
+	}
+	if Jain([]float64{0, 0}) != 0 {
+		t.Error("Jain(zeros) != 0")
+	}
+	if !almostEq(Jain([]float64{5}), 1) {
+		t.Error("singleton not perfectly fair")
+	}
+	if !almostEq(Jain([]float64{3, 3, 3, 3}), 1) {
+		t.Error("equal shares not perfectly fair")
+	}
+	// One user hogging everything among n: index = 1/n.
+	if !almostEq(Jain([]float64{10, 0, 0, 0}), 0.25) {
+		t.Errorf("hog index = %v, want 0.25", Jain([]float64{10, 0, 0, 0}))
+	}
+	got := Jain([]float64{1, 2, 3})
+	want := 36.0 / (3 * 14.0)
+	if !almostEq(got, want) {
+		t.Errorf("Jain(1,2,3) = %v, want %v", got, want)
+	}
+}

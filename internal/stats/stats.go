@@ -42,14 +42,20 @@ func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// quantileSorted interpolates the q-th quantile of an ascending slice;
+// the shared core of Quantile and Digest.Quantile.
+func quantileSorted(s []float64, q float64) float64 {
 	if q < 0 {
 		q = 0
 	}
 	if q > 1 {
 		q = 1
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
 	pos := q * float64(len(s)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))

@@ -23,6 +23,18 @@
 //     figure and table of the paper's evaluation on this testbed (see
 //     cmd/benchall and bench_test.go).
 //
+//   - The fleet: package repro/internal/fleet scales the testbed to
+//     whole populations — a declarative Scenario spawns hundreds of
+//     concurrent sessions (cohorts with their own link profiles,
+//     schedulers, arrival processes and mid-session events) against one
+//     origin cluster in one virtual-time world, and aggregates cohort-
+//     and fleet-level QoE (pre-buffer percentiles, stall rate, traffic
+//     split, Jain fairness). Each testbed client (Testbed.NewClient)
+//     owns its access links, so sessions on distinct clients run
+//     concurrently and deterministically. Try:
+//
+//	go run ./cmd/fleet -scenario flashcrowd -sessions 200 -seed 1
+//
 // Quick start:
 //
 //	tb, err := msplayer.NewTestbed(msplayer.TestbedProfile(1))

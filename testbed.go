@@ -31,6 +31,11 @@ type LinkProfile struct {
 	Jitter time.Duration
 	// LossProb is the per-segment loss probability.
 	LossProb float64
+	// Shape optionally post-processes the link's rate profile (after the
+	// base rate and lognormal variation are applied), e.g. to overlay a
+	// deterministic degradation window or outage. Fleet scenarios use it
+	// to compile per-session mid-stream events into the link itself.
+	Shape func(trace.Rate) trace.Rate
 }
 
 // Profile is a full testbed configuration.
@@ -113,15 +118,18 @@ const (
 	LTEOnly
 )
 
-// Testbed is a running emulated environment: two shaped access networks
-// and a replicated YouTube-like origin, sharing one emulated clock.
+// Testbed is a running emulated environment: a replicated YouTube-like
+// origin plus any number of client attachments (each with its own pair
+// of shaped access networks), all sharing one emulated clock. A freshly
+// deployed testbed has one default client, so single-session use needs
+// no extra setup; fleet runs attach one client per concurrent session
+// with NewClient.
 type Testbed struct {
 	profile Profile
 	clock   *netem.Clock
 	network *netem.Network
 	cluster *origin.Cluster
-	wifi    *netem.Interface
-	lte     *netem.Interface
+	client  *Client // default client (session 0)
 }
 
 // NewTestbed deploys a testbed from the profile.
@@ -152,9 +160,33 @@ func NewTestbed(p Profile) (*Testbed, error) {
 		return nil, err
 	}
 	tb := &Testbed{profile: p, clock: clock, network: network, cluster: cluster}
-	tb.wifi = tb.makeInterface(p.WiFi, p.Seed)
-	tb.lte = tb.makeInterface(p.LTE, p.Seed+101)
+	tb.client = tb.NewClient(p.WiFi, p.LTE, p.Seed)
 	return tb, nil
+}
+
+// Client is one emulated subscriber attachment: its own WiFi and LTE
+// access links (with their own shaping, variation and randomness seed)
+// reaching the testbed's shared origin cluster over the shared clock.
+// Clients are cheap and independent — a fleet run attaches hundreds —
+// and sessions started on distinct clients may run concurrently.
+type Client struct {
+	tb   *Testbed
+	wifi *netem.Interface
+	lte  *netem.Interface
+}
+
+// NewClient attaches a new client with its own access links. All of the
+// client's stochastic components (rate variation, jitter, loss) derive
+// from seed, so a fleet of clients with distinct seeds stays
+// deterministic per scenario seed. The link profiles' Name fields must
+// match networks the origin cluster is deployed into (the testbed
+// profile's WiFi/LTE names).
+func (tb *Testbed) NewClient(wifi, lte LinkProfile, seed int64) *Client {
+	return &Client{
+		tb:   tb,
+		wifi: tb.makeInterface(wifi, seed),
+		lte:  tb.makeInterface(lte, seed+101),
+	}
 }
 
 func (tb *Testbed) makeInterface(lp LinkProfile, seed int64) *netem.Interface {
@@ -171,6 +203,13 @@ func (tb *Testbed) makeInterface(lp LinkProfile, seed int64) *netem.Interface {
 			params.Trace = trace.Lognormal(trace.Constant(netem.Mbps(lp.RateMbps)),
 				lp.Sigma, lp.VaryEvery, dirSeed)
 		}
+		if lp.Shape != nil {
+			base := params.Trace
+			if base == nil {
+				base = trace.Constant(netem.Mbps(lp.RateMbps))
+			}
+			params.Trace = lp.Shape(base)
+		}
 		return params
 	}
 	return tb.network.NewInterface(lp.Name, mk(seed), mk(seed+7))
@@ -185,11 +224,24 @@ func (tb *Testbed) Network() *netem.Network { return tb.network }
 // Cluster exposes the emulated YouTube origin (for failure injection).
 func (tb *Testbed) Cluster() *origin.Cluster { return tb.cluster }
 
-// WiFi returns the WiFi interface (for mobility injection).
-func (tb *Testbed) WiFi() *netem.Interface { return tb.wifi }
+// Client returns the testbed's default client.
+func (tb *Testbed) Client() *Client { return tb.client }
 
-// LTE returns the LTE interface.
-func (tb *Testbed) LTE() *netem.Interface { return tb.lte }
+// WiFi returns the default client's WiFi interface (for mobility
+// injection).
+func (tb *Testbed) WiFi() *netem.Interface { return tb.client.WiFi() }
+
+// LTE returns the default client's LTE interface.
+func (tb *Testbed) LTE() *netem.Interface { return tb.client.LTE() }
+
+// WiFi returns the client's WiFi interface.
+func (c *Client) WiFi() *netem.Interface { return c.wifi }
+
+// LTE returns the client's LTE interface.
+func (c *Client) LTE() *netem.Interface { return c.lte }
+
+// Testbed returns the testbed the client is attached to.
+func (c *Client) Testbed() *Testbed { return c.tb }
 
 // Inject spawns fn on a clock-registered goroutine, for fault
 // injection (Interface.SetAlive, Cluster.Kill) at deterministic virtual
@@ -240,9 +292,26 @@ type SessionConfig struct {
 	Itag  int
 }
 
-// NewSession builds a core player for cfg without starting it, for
-// callers that need access to the player while it runs (examples).
+// NewSession builds a core player for cfg on the default client without
+// starting it, for callers that need access to the player while it runs
+// (examples).
 func (tb *Testbed) NewSession(cfg SessionConfig) (*core.Player, error) {
+	return tb.client.NewSession(cfg)
+}
+
+// Stream runs a session on the default client to completion and returns
+// its metrics.
+func (tb *Testbed) Stream(ctx context.Context, cfg SessionConfig) (*Metrics, error) {
+	return tb.client.Stream(ctx, cfg)
+}
+
+// NewSession builds a core player for cfg on this client's access links
+// without starting it. Sessions on distinct clients are independent and
+// may run concurrently; each registers its own goroutines with the
+// shared clock, so a fleet of sessions advances deterministically in
+// one virtual-time world.
+func (c *Client) NewSession(cfg SessionConfig) (*core.Player, error) {
+	tb := c.tb
 	video := cfg.Video
 	if video == "" {
 		video = tb.profile.Video
@@ -251,11 +320,11 @@ func (tb *Testbed) NewSession(cfg SessionConfig) (*core.Player, error) {
 	if itag == 0 {
 		itag = tb.profile.Itag
 	}
-	wifiProxy, err := tb.cluster.ProxyAddr(tb.profile.WiFi.Name)
+	wifiProxy, err := tb.cluster.ProxyAddr(c.wifi.Name())
 	if err != nil {
 		return nil, err
 	}
-	lteProxy, err := tb.cluster.ProxyAddr(tb.profile.LTE.Name)
+	lteProxy, err := tb.cluster.ProxyAddr(c.lte.Name())
 	if err != nil {
 		return nil, err
 	}
@@ -263,13 +332,13 @@ func (tb *Testbed) NewSession(cfg SessionConfig) (*core.Player, error) {
 	switch cfg.Paths {
 	case BothPaths:
 		paths = []core.PathConfig{
-			{Iface: tb.wifi, ProxyAddr: wifiProxy},
-			{Iface: tb.lte, ProxyAddr: lteProxy},
+			{Iface: c.wifi, ProxyAddr: wifiProxy},
+			{Iface: c.lte, ProxyAddr: lteProxy},
 		}
 	case WiFiOnly:
-		paths = []core.PathConfig{{Iface: tb.wifi, ProxyAddr: wifiProxy}}
+		paths = []core.PathConfig{{Iface: c.wifi, ProxyAddr: wifiProxy}}
 	case LTEOnly:
-		paths = []core.PathConfig{{Iface: tb.lte, ProxyAddr: lteProxy}}
+		paths = []core.PathConfig{{Iface: c.lte, ProxyAddr: lteProxy}}
 	default:
 		return nil, fmt.Errorf("msplayer: unknown path selection %d", cfg.Paths)
 	}
@@ -287,9 +356,10 @@ func (tb *Testbed) NewSession(cfg SessionConfig) (*core.Player, error) {
 	})
 }
 
-// Stream runs a session to completion and returns its metrics.
-func (tb *Testbed) Stream(ctx context.Context, cfg SessionConfig) (*Metrics, error) {
-	p, err := tb.NewSession(cfg)
+// Stream runs a session on this client to completion and returns its
+// metrics.
+func (c *Client) Stream(ctx context.Context, cfg SessionConfig) (*Metrics, error) {
+	p, err := c.NewSession(cfg)
 	if err != nil {
 		return nil, err
 	}
