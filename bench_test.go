@@ -13,12 +13,47 @@ package msplayer_test
 // complete rows.
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/fleet"
 )
+
+// BenchmarkFleetFlashcrowd runs a reduced flash-crowd fleet per
+// iteration and reports allocations — the fleet hot path's perf
+// trajectory guard (CI runs it with -benchtime=1x).
+func BenchmarkFleetFlashcrowd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc, err := fleet.Builtin("flashcrowd", 24, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := fleet.Run(context.Background(), sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Fleet.PreBuffer.Quantile(0.5), "prebuf_p50_s")
+	}
+}
+
+// BenchmarkFleetDensecrowd is the population-density counterpart at a
+// CI-friendly session count.
+func BenchmarkFleetDensecrowd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc, err := fleet.Builtin("densecrowd", 100, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fleet.Run(context.Background(), sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // benchOpt keeps per-iteration work bounded; seeds vary per iteration.
 func benchOpt(i int) bench.Options { return bench.Options{Reps: 2, Seed: int64(i)*97 + 1} }

@@ -9,11 +9,13 @@
 //	benchall -table 1
 //	benchall -ablation        # delta/alpha/out-of-order/head-start sweeps
 //	benchall -mobility        # WiFi-outage robustness experiment
+//	benchall -json            # write BENCH_fleet.json / BENCH_figs.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"time"
 
@@ -29,12 +31,46 @@ func main() {
 		reps     = flag.Int("reps", 0, "repetitions per configuration (default: per-experiment)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		parallel = flag.Int("parallel", 0, "concurrent testbeds (default min(4, NumCPU))")
+		jsonOut  = flag.Bool("json", false, "run the perf-trajectory suite and write BENCH_fleet.json / BENCH_figs.json")
+		jsonDir  = flag.String("json-dir", ".", "directory for the -json artifacts")
+		flashN   = flag.Int("json-flash-sessions", 200, "-json: flashcrowd session count")
+		denseN   = flag.Int("json-dense-sessions", 2000, "-json: densecrowd session count")
 	)
 	flag.Parse()
 
 	opt := bench.Options{Reps: *reps, Seed: *seed, Parallel: *parallel}
 	w := os.Stdout
 	start := time.Now()
+
+	if *jsonOut {
+		// The artifacts record headline metrics plus the wall time and
+		// allocation cost of producing them, seeding the perf
+		// trajectory future PRs measure against. Experiments run
+		// sequentially so the allocation accounting is attributable.
+		fmt.Fprintln(w, "fleet benchmarks:")
+		fleetArt, err := bench.FleetArtifact(w, opt, *flashN, *denseN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bench.WriteArtifact(*jsonDir+"/BENCH_fleet.json", fleetArt); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(w, "figure benchmarks:")
+		figOpt := opt
+		if figOpt.Reps == 0 {
+			figOpt.Reps = 3
+		}
+		figsArt, err := bench.FigsArtifact(w, figOpt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bench.WriteArtifact(*jsonDir+"/BENCH_figs.json", figsArt); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "wrote %s/BENCH_fleet.json and %s/BENCH_figs.json in %v\n",
+			*jsonDir, *jsonDir, time.Since(start).Round(time.Second))
+		return
+	}
 
 	// Default repetition counts chosen so a full run finishes in
 	// reasonable wall time; pass -reps 20 to match the paper exactly.

@@ -9,7 +9,9 @@
 //
 //	fleet -list
 //	fleet -scenario flashcrowd -sessions 200 -seed 1
+//	fleet -scenario densecrowd -sessions 2000
 //	fleet -scenario wifiwave -sessions 60
+//	fleet -scenario flashcrowd -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -18,16 +20,22 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
 
 	"repro/internal/fleet"
 )
 
 func main() {
 	var (
-		name     = flag.String("scenario", "flashcrowd", "built-in scenario name (see -list)")
-		sessions = flag.Int("sessions", 0, "total session count (0 = scenario default)")
-		seed     = flag.Int64("seed", 1, "scenario seed; all randomness derives from it")
-		list     = flag.Bool("list", false, "list built-in scenarios and exit")
+		name       = flag.String("scenario", "flashcrowd", "built-in scenario name (see -list)")
+		sessions   = flag.Int("sessions", 0, "total session count (0 = scenario default)")
+		seed       = flag.Int64("seed", 1, "scenario seed; all randomness derives from it")
+		list       = flag.Bool("list", false, "list built-in scenarios and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
+		gogc       = flag.Int("gogc", 400, "GC target percentage; fleet runs churn pooled buffers, so a higher target than Go's default 100 trades heap for fewer collection cycles")
 	)
 	flag.Parse()
 
@@ -38,15 +46,54 @@ func main() {
 		}
 		return
 	}
+	if *gogc > 0 {
+		debug.SetGCPercent(*gogc)
+	}
+	// log.Fatal / os.Exit skip deferred functions, which would leave an
+	// unflushed (unreadable) CPU profile behind — and a failing run is
+	// exactly the one worth profiling. Flush explicitly before every
+	// exit path instead of deferring.
+	stopProfile := func() {}
+	fail := func(format string, args ...any) {
+		stopProfile()
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		os.Exit(1)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("fleet: -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			log.Fatalf("fleet: -cpuprofile: %v", err)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
 
 	sc, err := fleet.Builtin(*name, *sessions, *seed)
 	if err != nil {
-		log.Fatal(err)
+		fail("fleet: %v", err)
 	}
 	report, err := fleet.Run(context.Background(), sc)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
-		os.Exit(1)
+		fail("fleet: %v", err)
 	}
 	fmt.Print(report)
+	stopProfile()
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("fleet: -memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("fleet: -memprofile: %v", err)
+		}
+	}
 }

@@ -22,6 +22,7 @@ import (
 
 	"repro"
 	"repro/internal/bench"
+	"repro/internal/netem"
 )
 
 func main() {
@@ -79,11 +80,11 @@ func main() {
 	}
 
 	if *outage > 0 {
-		defer tb.Inject(func() {
-			tb.Clock().Sleep(30 * time.Second)
+		defer tb.Inject(func(p *netem.Participant) {
+			p.Sleep(30 * time.Second)
 			fmt.Println("-- WiFi interface down")
 			tb.WiFi().SetAlive(false)
-			tb.Clock().Sleep(*outage)
+			p.Sleep(*outage)
 			fmt.Println("-- WiFi interface back up")
 			tb.WiFi().SetAlive(true)
 		})()

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/netem"
 )
 
 func run(label string, sel msplayer.PathSelection) {
@@ -24,10 +25,10 @@ func run(label string, sel msplayer.PathSelection) {
 	// 60 s into the session, WiFi disappears for 50 s: long enough to
 	// drain a full playout buffer. Testbed.Inject makes the outage land
 	// at a deterministic virtual instant.
-	defer tb.Inject(func() {
-		tb.Clock().Sleep(60 * time.Second)
+	defer tb.Inject(func(p *netem.Participant) {
+		p.Sleep(60 * time.Second)
 		tb.WiFi().SetAlive(false)
-		tb.Clock().Sleep(50 * time.Second)
+		p.Sleep(50 * time.Second)
 		tb.WiFi().SetAlive(true)
 	})()
 

@@ -77,18 +77,21 @@ func measureBootstrap(rtt time.Duration, params handshake.Params) (eta, psi time
 	// Register the measuring goroutine and spawn the minimal web proxy
 	// through the clock, so the virtual clock only advances when both
 	// sides are parked and the measured η/ψ are deterministic.
-	clock.Register()
-	defer clock.Unregister()
+	part := clock.Register()
+	defer part.Unregister()
 
 	// Minimal web-proxy: handshake, then one HTTP response with a
 	// JSON-sized body.
-	clock.Go(func() {
-		c, err := inner.Accept()
+	clock.Go(func(sp *netem.Participant) {
+		c, err := inner.AcceptP(sp)
 		if err != nil {
 			return
 		}
 		defer c.Close()
-		if err := handshake.Server(c, clock, params); err != nil {
+		if nc, ok := c.(*netem.Conn); ok {
+			nc.Bind(sp)
+		}
+		if err := handshake.Server(c, sp, params); err != nil {
 			return
 		}
 		br := bufio.NewReader(c)
@@ -103,7 +106,7 @@ func measureBootstrap(rtt time.Duration, params handshake.Params) (eta, psi time
 	link := netem.LinkParams{Rate: netem.Mbps(20), Delay: rtt / 2, SlowStart: true}
 	iface := network.NewInterface("probe", link, link)
 	start := clock.Now()
-	conn, err := iface.DialContext(context.Background(), "tcp", "proxy.test:443")
+	conn, err := iface.Dial(context.Background(), "proxy.test:443", part)
 	if err != nil {
 		return 0, 0, err
 	}

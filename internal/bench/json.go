@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// Experiment is one benchmarked experiment in a BENCH_*.json artifact:
+// its headline metrics plus the wall time and allocation cost of
+// producing them, so successive PRs can track the perf trajectory of
+// the reproduction alongside its scientific outputs.
+type Experiment struct {
+	Name       string             `json:"name"`
+	WallSecs   float64            `json:"wall_secs"`
+	Allocs     uint64             `json:"allocs"`
+	AllocBytes uint64             `json:"alloc_bytes"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Artifact is the top-level BENCH_*.json document.
+type Artifact struct {
+	Kind        string       `json:"kind"` // "fleet" or "figs"
+	GoVersion   string       `json:"go_version"`
+	NumCPU      int          `json:"num_cpu"`
+	Seed        int64        `json:"seed"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// measure runs fn and captures its wall time and allocation cost.
+// Allocation counts include everything the process does concurrently,
+// so run measured experiments sequentially.
+func measure(name string, metrics map[string]float64, fn func() error) (Experiment, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Experiment{
+		Name:       name,
+		WallSecs:   wall.Seconds(),
+		Allocs:     after.Mallocs - before.Mallocs,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		Metrics:    metrics,
+	}, err
+}
+
+// fleetMetrics extracts the headline QoE numbers of a fleet report.
+func fleetMetrics(rep *fleet.Report) map[string]float64 {
+	a := &rep.Fleet
+	return map[string]float64{
+		"sessions":        float64(a.Sessions),
+		"completed":       float64(a.Completed),
+		"virtual_elapsed": rep.Elapsed.Seconds(),
+		"prebuffer_p50_s": a.PreBuffer.Quantile(0.50),
+		"prebuffer_p95_s": a.PreBuffer.Quantile(0.95),
+		"prebuffer_p99_s": a.PreBuffer.Quantile(0.99),
+		"stall_rate":      a.StallRate(),
+		"goodput_mean":    a.Goodput.Mean(),
+		"fairness_jain":   a.Fairness(),
+		"wifi_share":      a.WiFiShare(),
+	}
+}
+
+// FleetArtifact runs the fleet-scale benchmarks — the flashcrowd
+// start-up study and the densecrowd population stress — at the given
+// session counts and returns the artifact for BENCH_fleet.json.
+func FleetArtifact(w io.Writer, opt Options, flashSessions, denseSessions int) (*Artifact, error) {
+	opt = opt.withDefaults()
+	art := &Artifact{Kind: "fleet", GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(), Seed: opt.Seed}
+	for _, c := range []struct {
+		scenario string
+		sessions int
+	}{
+		{"flashcrowd", flashSessions},
+		{"densecrowd", denseSessions},
+	} {
+		sc, err := fleet.Builtin(c.scenario, c.sessions, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var rep *fleet.Report
+		exp, err := measure(fmt.Sprintf("%s_%d", c.scenario, c.sessions), nil, func() error {
+			var rerr error
+			rep, rerr = fleet.Run(context.Background(), sc)
+			return rerr
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", c.scenario, err)
+		}
+		exp.Metrics = fleetMetrics(rep)
+		fmt.Fprintf(w, "  %-18s wall=%6.2fs allocs=%d  p50=%.3fs sessions=%d\n",
+			exp.Name, exp.WallSecs, exp.Allocs, exp.Metrics["prebuffer_p50_s"], int(exp.Metrics["sessions"]))
+		art.Experiments = append(art.Experiments, exp)
+	}
+	return art, nil
+}
+
+// FigsArtifact runs the paper-figure experiments at the given
+// repetition count and returns the artifact for BENCH_figs.json.
+func FigsArtifact(w io.Writer, opt Options) (*Artifact, error) {
+	opt = opt.withDefaults()
+	art := &Artifact{Kind: "figs", GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(), Seed: opt.Seed}
+	add := func(name string, fn func() map[string]float64) {
+		var metrics map[string]float64
+		exp, _ := measure(name, nil, func() error {
+			metrics = fn()
+			return nil
+		})
+		exp.Metrics = metrics
+		fmt.Fprintf(w, "  %-18s wall=%6.2fs allocs=%d\n", exp.Name, exp.WallSecs, exp.Allocs)
+		art.Experiments = append(art.Experiments, exp)
+	}
+	add("fig1_handshake", func() map[string]float64 {
+		rows := Fig1(io.Discard, opt)
+		m := map[string]float64{}
+		for _, r := range rows {
+			m[fmt.Sprintf("eta_theta%.0f_ms", r.Theta)] = r.EtaMeasured.Seconds() * 1000
+			m[fmt.Sprintf("psi_theta%.0f_ms", r.Theta)] = r.PsiMeasured.Seconds() * 1000
+		}
+		return m
+	})
+	add("fig2_prebuffer", func() map[string]float64 {
+		s := Fig2(io.Discard, opt)
+		m := map[string]float64{}
+		for _, row := range s {
+			m[row.Label+"_med_s"] = row.Summary.Median
+		}
+		return m
+	})
+	add("fig4_youtube", func() map[string]float64 {
+		rows := Fig4(io.Discard, opt)
+		m := map[string]float64{}
+		for _, r := range rows {
+			m[fmt.Sprintf("reduction_%ds_pct", int(r.PreBuffer.Seconds()))] = r.Reduction * 100
+		}
+		return m
+	})
+	add("table1_share", func() map[string]float64 {
+		rows := Table1(io.Discard, opt)
+		m := map[string]float64{}
+		for _, r := range rows {
+			m[fmt.Sprintf("wifi_pre_%ds_pct", int(r.Size.Seconds()))] = r.PreMean * 100
+		}
+		return m
+	})
+	return art, nil
+}
+
+// WriteArtifact marshals art to path as indented JSON.
+func WriteArtifact(path string, art *Artifact) error {
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

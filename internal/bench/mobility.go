@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/netem"
 	"repro/internal/stats"
 )
 
@@ -73,10 +74,10 @@ func mobilityRun(seed int64, sel msplayer.PathSelection) (stallSecs float64, com
 	defer tb.Close()
 
 	// WiFi drops 30 s into the session and returns 45 s later.
-	defer tb.Inject(func() {
-		tb.Clock().Sleep(30 * time.Second)
+	defer tb.Inject(func(p *netem.Participant) {
+		p.Sleep(30 * time.Second)
 		tb.WiFi().SetAlive(false)
-		tb.Clock().Sleep(45 * time.Second)
+		p.Sleep(45 * time.Second)
 		tb.WiFi().SetAlive(true)
 	})()
 

@@ -8,6 +8,38 @@ import (
 	"repro/internal/netem"
 )
 
+// chunkPool recycles chunk body buffers between fetch loops and the
+// chunk manager: a path checks a buffer out before its range request
+// and the manager returns it after the chunk's bytes have been
+// delivered in order (and written to the sink). Without recycling,
+// every request allocated a fresh chunk-sized body whose first-touch
+// page faults dominated fleet-scale read copies.
+var chunkPool = sync.Pool{
+	New: func() any { return new([]byte) },
+}
+
+// maxPooledChunk bounds recycled chunk buffers so a one-off huge bulk
+// chunk cannot pin memory.
+const maxPooledChunk = 4 << 20
+
+func getChunkBuf(n int64) []byte {
+	bp := chunkPool.Get().(*[]byte)
+	if int64(cap(*bp)) >= n {
+		return (*bp)[:n]
+	}
+	// Too small: let it go and allocate at the requested size, so the
+	// pool converges on the session's working chunk size.
+	return make([]byte, n)
+}
+
+func putChunkBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledChunk {
+		return
+	}
+	b = b[:0]
+	chunkPool.Put(&b)
+}
+
 // Span is a half-open byte range [Off, Off+Size) of the video stream.
 type Span struct {
 	Off  int64
@@ -125,8 +157,9 @@ func (cm *chunkManager) Frontier() int64 {
 
 // acquire blocks until work is available for path i and returns the next
 // span to fetch, sized by want but clamped to the remaining content.
+// part is path i's clock handle, used for the clock-visible wait.
 // ok=false means the stream is fully delivered or the manager stopped.
-func (cm *chunkManager) acquire(i int, want int64) (Span, bool) {
+func (cm *chunkManager) acquire(i int, want int64, part *netem.Participant) (Span, bool) {
 	if want < 1 {
 		want = 1
 	}
@@ -159,7 +192,7 @@ func (cm *chunkManager) acquire(i int, want int64) (Span, bool) {
 			cm.next = s.End()
 			return s, true
 		}
-		if !cm.cond.Wait() {
+		if !cm.cond.Wait(part) {
 			// Emulation clock stopped: no further deliveries or gate
 			// flips will ever signal this wait.
 			return Span{}, false
@@ -203,6 +236,11 @@ func (cm *chunkManager) complete(i int, s Span, data []byte) {
 	}
 	if len(delivered) > 0 && onDeliver != nil {
 		onDeliver(frontier)
+	}
+	// The delivered buffers' bytes have reached the sink (which copies)
+	// and every callback has run: recycle them for future fetches.
+	for _, d := range delivered {
+		putChunkBuf(d)
 	}
 }
 

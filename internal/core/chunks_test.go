@@ -13,16 +13,16 @@ func TestChunkManagerInOrderDelivery(t *testing.T) {
 	cm.setGate(true)
 	cm.setTotal(100)
 
-	s1, ok := cm.acquire(0, 40)
+	s1, ok := cm.acquire(0, 40, nil)
 	if !ok || s1.Off != 0 || s1.Size != 40 {
 		t.Fatalf("span1 = %+v, %v", s1, ok)
 	}
-	s2, ok := cm.acquire(1, 40)
+	s2, ok := cm.acquire(1, 40, nil)
 	if !ok || s2.Off != 40 || s2.Size != 40 {
 		t.Fatalf("span2 = %+v, %v", s2, ok)
 	}
 	// Last span clamps to total.
-	s3, ok := cm.acquire(0, 40)
+	s3, ok := cm.acquire(0, 40, nil)
 	if !ok || s3.Off != 80 || s3.Size != 20 {
 		t.Fatalf("span3 = %+v, %v", s3, ok)
 	}
@@ -49,7 +49,7 @@ func TestChunkManagerInOrderDelivery(t *testing.T) {
 	}
 
 	// After completion, acquire reports done.
-	if _, ok := cm.acquire(0, 10); ok {
+	if _, ok := cm.acquire(0, 10, nil); ok {
 		t.Fatal("acquire succeeded after done")
 	}
 }
@@ -59,14 +59,14 @@ func TestChunkManagerOutOfOrderLimitBlocks(t *testing.T) {
 	cm.setGate(true)
 	cm.setTotal(1000)
 
-	a, _ := cm.acquire(0, 100) // [0,100) path 0 (will be the gap)
-	b, _ := cm.acquire(1, 100) // [100,200) path 1
+	a, _ := cm.acquire(0, 100, nil) // [0,100) path 0 (will be the gap)
+	b, _ := cm.acquire(1, 100, nil) // [100,200) path 1
 	cm.complete(1, b, make([]byte, 100))
 
 	// Path 1 asking for fresh work must block: one OOO chunk stored.
 	got := make(chan Span, 1)
 	go func() {
-		s, ok := cm.acquire(1, 100)
+		s, ok := cm.acquire(1, 100, nil)
 		if ok {
 			got <- s
 		}
@@ -92,10 +92,10 @@ func TestChunkManagerRetryPriority(t *testing.T) {
 	cm := newChunkManager(nil, 1, nil)
 	cm.setGate(true)
 	cm.setTotal(1000)
-	s, _ := cm.acquire(0, 100)
+	s, _ := cm.acquire(0, 100, nil)
 	cm.fail(s)
 	// The retried span is handed out before fresh work, to any path.
-	r, ok := cm.acquire(1, 500)
+	r, ok := cm.acquire(1, 500, nil)
 	if !ok || r != s {
 		t.Fatalf("retry span = %+v, want %+v", r, s)
 	}
@@ -105,12 +105,12 @@ func TestChunkManagerRetryBypassesGateAndLimit(t *testing.T) {
 	cm := newChunkManager(nil, 1, nil)
 	cm.setGate(true)
 	cm.setTotal(300)
-	a, _ := cm.acquire(0, 100)
-	b, _ := cm.acquire(1, 100)
+	a, _ := cm.acquire(0, 100, nil)
+	b, _ := cm.acquire(1, 100, nil)
 	cm.complete(1, b, make([]byte, 100)) // OOO store full
 	cm.setGate(false)                    // and gate closed
 	cm.fail(a)
-	r, ok := cm.acquire(1, 100)
+	r, ok := cm.acquire(1, 100, nil)
 	if !ok || r != a {
 		t.Fatalf("retry under closed gate = %+v, %v, want %+v", r, ok, a)
 	}
@@ -121,7 +121,7 @@ func TestChunkManagerGateBlocksFreshWork(t *testing.T) {
 	cm.setTotal(1000) // gate starts closed
 	got := make(chan Span, 1)
 	go func() {
-		s, ok := cm.acquire(0, 100)
+		s, ok := cm.acquire(0, 100, nil)
 		if ok {
 			got <- s
 		}
@@ -144,7 +144,7 @@ func TestChunkManagerStopUnblocks(t *testing.T) {
 	cm.setGate(true) // no total yet: acquire must wait
 	done := make(chan bool, 1)
 	go func() {
-		_, ok := cm.acquire(0, 100)
+		_, ok := cm.acquire(0, 100, nil)
 		done <- ok
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -170,9 +170,9 @@ func TestChunkManagerOnDeliverFrontier(t *testing.T) {
 	}
 	cm.setGate(true)
 	cm.setTotal(300)
-	a, _ := cm.acquire(0, 100)
-	b, _ := cm.acquire(1, 100)
-	c, _ := cm.acquire(0, 100)
+	a, _ := cm.acquire(0, 100, nil)
+	b, _ := cm.acquire(1, 100, nil)
+	c, _ := cm.acquire(0, 100, nil)
 	cm.complete(1, b, make([]byte, 100)) // stored, no callback
 	cm.complete(0, c, make([]byte, 100)) // stored, no callback
 	cm.complete(0, a, make([]byte, 100)) // releases everything
@@ -195,7 +195,7 @@ func TestChunkManagerConcurrentPathsDeliverAllBytes(t *testing.T) {
 		go func(p int) {
 			defer wg.Done()
 			for {
-				s, ok := cm.acquire(p, 64<<10)
+				s, ok := cm.acquire(p, 64<<10, nil)
 				if !ok {
 					return
 				}

@@ -34,6 +34,8 @@ type path struct {
 	cfg    PathConfig
 	player *Player
 	client *http.Client
+	tr     *httpx.Transport
+	part   *netem.Participant // the fetch-loop goroutine's clock handle
 
 	info      *origin.VideoInfo
 	servers   []string
@@ -45,7 +47,8 @@ func newPath(id int, cfg PathConfig, pl *Player) *path {
 	if cfg.Network == "" {
 		cfg.Network = cfg.Iface.Name()
 	}
-	return &path{id: id, cfg: cfg, player: pl, client: httpx.NewClient(cfg.Iface)}
+	tr := httpx.NewTransport(cfg.Iface)
+	return &path{id: id, cfg: cfg, player: pl, tr: tr, client: &http.Client{Transport: tr}}
 }
 
 // errClockStopped ends retry loops when the emulation is torn down
@@ -58,7 +61,7 @@ var errClockStopped = errors.New("core: emulation clock stopped")
 // clock stopped.
 func (p *path) backoff(ctx context.Context, attempt int) error {
 	d := 250 * time.Millisecond << uint(min(attempt, 3))
-	p.player.clock.Sleep(d)
+	p.part.Sleep(d)
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -138,8 +141,12 @@ func (p *path) failover(ctx context.Context, attempt int) error {
 }
 
 // run is the path's main loop; it returns when the stream is complete,
-// the player stops, or ctx is cancelled.
-func (p *path) run(ctx context.Context) {
+// the player stops, or ctx is cancelled. part is the loop goroutine's
+// clock handle: every park the path performs — backoffs, chunk-manager
+// waits, dials and in-request reads — goes through it.
+func (p *path) run(ctx context.Context, part *netem.Participant) {
+	p.part = part
+	p.tr.Bind(part)
 	if err := p.bootstrap(ctx); err != nil {
 		return
 	}
@@ -150,14 +157,16 @@ func (p *path) run(ctx context.Context) {
 			return
 		}
 		want := p.player.cfg.Scheduler.Size(p.id)
-		span, ok := p.player.cm.acquire(p.id, want)
+		span, ok := p.player.cm.acquire(p.id, want, part)
 		if !ok {
 			return
 		}
 		p.player.metrics.request(p.id)
 		start := clock.Now()
-		data, err := httpx.GetRange(ctx, p.client, p.url, span.Off, span.End()-1)
+		buf := getChunkBuf(span.Size)
+		data, err := httpx.GetRangeBuf(ctx, p.client, p.url, span.Off, span.End()-1, buf)
 		if err != nil {
+			putChunkBuf(buf)
 			p.player.metrics.failure(p.id)
 			p.player.cm.fail(span)
 			if ctx.Err() != nil {
@@ -177,6 +186,10 @@ func (p *path) run(ctx context.Context) {
 			continue
 		}
 		failStreak = 0
+		if len(data) == 0 || len(buf) == 0 || &data[0] != &buf[0] {
+			// The response took the allocating fallback; recycle ours.
+			putChunkBuf(buf)
+		}
 		elapsed := clock.Now().Sub(start)
 		p.player.cfg.Scheduler.Observe(p.id, span.Size, elapsed)
 		p.player.metrics.chunk(p.id, span.Size, p.player.phase(), clock.Now(), elapsed)

@@ -38,6 +38,11 @@ type Config struct {
 	// StopAfterRefills > 0 ends the session once that many re-buffering
 	// cycles have been measured (the Fig. 5 mode).
 	StopAfterRefills int
+	// OnRun, if set, is called on the session goroutine right after it
+	// is registered with the clock, before the session can park. The
+	// testbed uses it to anchor pending fault injections: their sleeps
+	// must not start running before the session participants exist.
+	OnRun func()
 }
 
 func (c Config) validate() error {
@@ -230,8 +235,9 @@ func (p *Player) over() bool {
 }
 
 // gater drives the time-based ON transitions: it sleeps until the
-// buffer drains to LowWater and flips fetching back on.
-func (p *Player) gater() {
+// buffer drains to LowWater and flips fetching back on. part is the
+// gater goroutine's clock handle.
+func (p *Player) gater(part *netem.Participant) {
 	for {
 		if p.over() || p.clock.Stopped() {
 			return
@@ -244,7 +250,7 @@ func (p *Player) gater() {
 			// stopped; the loop's top re-check exits then.
 			p.smu.Lock()
 			if !p.bufferReady && !p.sessionDone && !p.cancelled {
-				_ = p.scond.Wait()
+				_ = p.scond.Wait(part)
 			}
 			p.smu.Unlock()
 			continue
@@ -255,7 +261,7 @@ func (p *Player) gater() {
 			return
 		}
 		if wake, ok := buf.NextWake(now); ok {
-			p.clock.SleepUntil(wake)
+			part.SleepUntil(wake)
 			buf.Tick(p.clock.Now())
 			if buf.Finished(p.clock.Now()) {
 				p.finish()
@@ -266,7 +272,7 @@ func (p *Player) gater() {
 		// Delivery-driven period: wait for a gate-off kick.
 		p.smu.Lock()
 		if !p.kicked && !p.sessionDone && !p.cancelled {
-			_ = p.scond.Wait()
+			_ = p.scond.Wait(part)
 		}
 		p.kicked = false
 		p.smu.Unlock()
@@ -279,13 +285,27 @@ func (p *Player) gater() {
 // The calling goroutine registers with the emulation clock for the
 // duration of the session, and every goroutine Run spawns is registered
 // too, so in virtual mode the whole session advances deterministically.
+// A goroutine that already holds a clock Participant (a fleet session
+// spawned with Clock.Go, a test registered around fault injection)
+// must use RunAs with that handle instead — registering twice would
+// wedge the clock.
 func (p *Player) Run(ctx context.Context) (*Metrics, error) {
+	part := p.clock.Register()
+	defer part.Unregister()
+	return p.RunAs(ctx, part)
+}
+
+// RunAs is Run on behalf of an already-registered participant: the
+// session's clock-visible waits go through part, whose registration the
+// caller continues to own.
+func (p *Player) RunAs(ctx context.Context, part *netem.Participant) (*Metrics, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	clock := p.clock
-	clock.Register()
-	defer clock.Unregister()
+	if p.cfg.OnRun != nil {
+		p.cfg.OnRun()
+	}
 
 	p.mu.Lock()
 	p.start = clock.Now()
@@ -305,9 +325,9 @@ func (p *Player) Run(ctx context.Context) (*Metrics, error) {
 		paths[i] = newPath(i, pc, p)
 		pt := paths[i]
 		allWg.Add(1)
-		clock.Go(func() {
+		clock.Go(func(pp *netem.Participant) {
 			defer allWg.Done()
-			pt.run(ctx)
+			pt.run(ctx, pp)
 			p.smu.Lock()
 			livePaths--
 			if livePaths == 0 {
@@ -318,9 +338,9 @@ func (p *Player) Run(ctx context.Context) (*Metrics, error) {
 		})
 	}
 	allWg.Add(1)
-	clock.Go(func() {
+	clock.Go(func(gp *netem.Participant) {
 		defer allWg.Done()
-		p.gater()
+		p.gater(gp)
 	})
 
 	// Relay external cancellation into the session's clock-visible
@@ -337,7 +357,7 @@ func (p *Player) Run(ctx context.Context) (*Metrics, error) {
 	stopped := false
 	p.smu.Lock()
 	for !p.sessionDone && !p.cancelled && !p.pathsExited {
-		if !p.scond.Wait() {
+		if !p.scond.Wait(part) {
 			stopped = true // clock stopped mid-session (testbed closed)
 			break
 		}
@@ -359,13 +379,12 @@ func (p *Player) Run(ctx context.Context) (*Metrics, error) {
 	}
 	p.cm.stop()
 	cancel()
-	// Suspend this goroutine's registration (at whatever depth the
-	// caller established) while joining the workers: they must be able
-	// to advance virtual time (e.g. out of backoff sleeps) while Run is
-	// parked in a wait the clock cannot see.
-	depth := clock.Suspend()
+	// Suspend the session participant while joining the workers: they
+	// must be able to advance virtual time (e.g. out of backoff sleeps)
+	// while this goroutine is parked in a wait the clock cannot see.
+	part.Suspend()
 	allWg.Wait()
-	clock.Resume(depth)
+	part.Resume()
 	for _, pt := range paths {
 		pt.client.CloseIdleConnections()
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/netem"
 	"repro/internal/netem/trace"
 	"repro/internal/origin"
 )
@@ -52,7 +53,7 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	// epoch until every session goroutine is spawned and parked on its
 	// arrival deadline; otherwise early arrivals could burn virtual time
 	// before late cohorts exist.
-	clock.Register()
+	driver := clock.Register()
 	start := clock.Now()
 
 	results := make([][]SessionResult, len(sc.Cohorts))
@@ -63,7 +64,7 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 		arrivalRng := rand.New(rand.NewSource(mix(sc.Seed, int64(ci), -1)))
 		arrivals, err := co.Arrival.times(co.Sessions, arrivalRng)
 		if err != nil {
-			clock.Unregister()
+			driver.Unregister()
 			return nil, err
 		}
 		for i := 0; i < co.Sessions; i++ {
@@ -74,29 +75,31 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 			slot.Index = i
 			slot.Arrival = arrivals[i]
 			wg.Add(1)
-			clock.Go(func() {
+			clock.Go(func(sp *netem.Participant) {
 				defer wg.Done()
-				slot.Metrics, slot.Err = runSession(ctx, tb, &profile, co, i, arrivals[i], sessSeed, start)
+				slot.Metrics, slot.Err = runSession(ctx, sp, tb, &profile, co, i, arrivals[i], sessSeed, start)
 			})
 		}
 	}
 	// Park outside the clock's accounting while the sessions drain; they
 	// must be free to advance virtual time.
-	depth := clock.Suspend()
+	driver.Suspend()
 	wg.Wait()
-	clock.Resume(depth)
-	clock.Unregister()
+	driver.Resume()
+	driver.Unregister()
 
 	return buildReport(sc, results, quiescedLoads(tb.Cluster())), nil
 }
 
 // runSession executes one cohort member: wait for its arrival instant,
 // attach a client with per-session links (degrade events compiled in),
-// arm down events, and stream.
-func runSession(ctx context.Context, tb *msplayer.Testbed, profile *msplayer.Profile,
+// arm down events, and stream. sp is the session goroutine's clock
+// handle; every park — the arrival wait and the whole session via
+// StreamAs — goes through it.
+func runSession(ctx context.Context, sp *netem.Participant, tb *msplayer.Testbed, profile *msplayer.Profile,
 	co *Cohort, idx int, arrival time.Duration, sessSeed int64, start time.Time) (*msplayer.Metrics, error) {
 	clock := tb.Clock()
-	clock.SleepUntil(start.Add(arrival))
+	sp.SleepUntil(start.Add(arrival))
 
 	// The session RNG decides event participation; its draws happen in a
 	// fixed order, so participation is a pure function of the seed.
@@ -137,13 +140,13 @@ func runSession(ctx context.Context, tb *msplayer.Testbed, profile *msplayer.Pro
 		}
 		onset := start.Add(ev.At + time.Duration(idx)*ev.Stagger)
 		end := onset.Add(ev.Duration)
-		release := tb.Inject(func() {
+		release := tb.Inject(func(ip *netem.Participant) {
 			if !clock.Now().Before(end) {
 				return // window already over when the session arrived
 			}
-			clock.SleepUntil(onset)
+			ip.SleepUntil(onset)
 			iface.SetAlive(false)
-			clock.SleepUntil(end)
+			ip.SleepUntil(end)
 			iface.SetAlive(true)
 		})
 		defer release()
@@ -153,7 +156,7 @@ func runSession(ctx context.Context, tb *msplayer.Testbed, profile *msplayer.Pro
 	if err != nil {
 		return nil, err
 	}
-	return client.Stream(ctx, msplayer.SessionConfig{
+	return client.StreamAs(ctx, sp, msplayer.SessionConfig{
 		Scheduler:          sched,
 		Paths:              co.Paths,
 		Buffer:             co.Buffer,

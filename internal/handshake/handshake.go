@@ -95,12 +95,17 @@ func HeadStart(r1, r2 time.Duration) time.Duration {
 	return 10 * (r2 - r1)
 }
 
+// maxMsgSize bounds the wire size of any handshake message (the
+// certificate flight dominates); writeMsg stages messages in a stack
+// buffer of this size to keep connection setup allocation-free.
+const maxMsgSize = 3200
+
 func writeMsg(conn net.Conn, typ byte) error {
 	size := msgSize[typ]
-	buf := make([]byte, 5+size)
+	var buf [5 + maxMsgSize]byte
 	buf[0] = typ
 	binary.BigEndian.PutUint32(buf[1:5], uint32(size))
-	if _, err := conn.Write(buf); err != nil {
+	if _, err := conn.Write(buf[:5+size]); err != nil {
 		return fmt.Errorf("handshake: write msg %d: %w", typ, err)
 	}
 	return nil

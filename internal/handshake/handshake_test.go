@@ -108,14 +108,17 @@ func TestFasterPathFinishesBootstrapFirst(t *testing.T) {
 			t.Fatal(err)
 		}
 		l := inner
-		clock.Go(func() {
+		clock.Go(func(ap *netem.Participant) {
 			for {
-				c, err := l.Accept()
+				c, err := l.AcceptP(ap)
 				if err != nil {
 					return
 				}
 				conn := c
-				clock.Go(func() { Server(conn, clock, p) })
+				clock.Go(func(sp *netem.Participant) {
+					conn.(*netem.Conn).Bind(sp)
+					Server(conn, sp, p)
+				})
 			}
 		})
 	}
@@ -135,14 +138,14 @@ func TestFasterPathFinishesBootstrapFirst(t *testing.T) {
 	// Register the spawning goroutine until both clients are up, so the
 	// clock cannot run the first client's sleeps before the second
 	// client exists — the bootstraps really run concurrently.
-	clock.Register()
+	spawner := clock.Register()
 	for _, tc := range []struct {
 		iface *netem.Interface
 		addr  string
 	}{{wifi, "w.test:443"}, {lte, "l.test:443"}} {
 		iface, addr := tc.iface, tc.addr
-		clock.Go(func() {
-			conn, err := iface.DialContext(context.Background(), "tcp", addr)
+		clock.Go(func(cp *netem.Participant) {
+			conn, err := iface.Dial(context.Background(), addr, cp)
 			if err != nil {
 				t.Errorf("dial: %v", err)
 				results <- result{iface.Name(), 0}
@@ -155,7 +158,7 @@ func TestFasterPathFinishesBootstrapFirst(t *testing.T) {
 			results <- result{iface.Name(), clock.Now().Sub(start)}
 		})
 	}
-	clock.Unregister()
+	spawner.Unregister()
 	etas := map[string]time.Duration{}
 	for i := 0; i < 2; i++ {
 		r := <-results

@@ -1,0 +1,57 @@
+package httpx
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+)
+
+// TestKeepAliveRequestAllocs guards the keep-alive request path: with
+// pooled connection readers, per-connection response-writer reuse
+// (header map, write buffer) and pooled chunk body buffers, a steady
+// keep-alive range request must stay within a bounded allocation
+// budget. The bound covers the irreducible net/http request/response
+// parsing allocations plus slack; regressions that reintroduce
+// per-request buffer allocations (bufio readers, header maps, body
+// copies) blow well past it.
+func TestKeepAliveRequestAllocs(t *testing.T) {
+	blob := make([]byte, 256<<10)
+	iface := testServer(t, blobHandler(blob))
+	clock := iface.Network().Clock()
+
+	result := make(chan float64, 1)
+	clock.Go(func(cp *netem.Participant) {
+		tr := NewTransport(iface)
+		tr.Bind(cp)
+		client := &http.Client{Transport: tr}
+		defer client.CloseIdleConnections()
+		buf := make([]byte, 64<<10)
+		fetch := func() {
+			body, err := GetRangeBuf(context.Background(), client,
+				"http://srv.test:443/blob", 0, int64(len(buf))-1, buf)
+			if err != nil {
+				t.Errorf("range: %v", err)
+				return
+			}
+			if len(body) != len(buf) {
+				t.Errorf("got %d bytes", len(body))
+			}
+		}
+		fetch() // dial + handshake + warm pools outside the measurement
+		result <- testing.AllocsPerRun(20, fetch)
+	})
+	select {
+	case avg := <-result:
+		// net/http's ReadResponse/Request.Write machinery costs ~60
+		// allocations per round trip and is outside our control; the
+		// emulation layers on top must add almost nothing.
+		if avg > 150 {
+			t.Fatalf("keep-alive request allocates %.0f times per request, want <= 150", avg)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("request loop did not finish")
+	}
+}

@@ -40,11 +40,36 @@ func NewClient(iface *netem.Interface) *http.Client {
 // maxIdlePerHost bounds pooled idle connections per server address.
 const maxIdlePerHost = 4
 
+// brPool recycles the 16 KB buffered readers that sit on every
+// emulated connection (client response parsing and server request
+// parsing alike); at fleet scale these buffers dominated per-connection
+// setup allocations.
+var brPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 16<<10) },
+}
+
+func getReader(c net.Conn) *bufio.Reader {
+	br := brPool.Get().(*bufio.Reader)
+	br.Reset(c)
+	return br
+}
+
+func putReader(br *bufio.Reader) {
+	br.Reset(nil)
+	brPool.Put(br)
+}
+
 // Transport is an http.RoundTripper that speaks HTTP/1.1 directly over
 // emulated connections, entirely on the calling goroutine. See the
 // package comment for why this replaces http.Transport here.
+//
+// A Transport is owned by one fetch-loop goroutine; Bind attaches that
+// goroutine's clock Participant so dials, handshakes and in-request
+// reads all park through the handle instead of as per-park transient
+// clock registrations.
 type Transport struct {
 	iface *netem.Interface
+	part  *netem.Participant
 
 	mu   sync.Mutex
 	idle map[string][]*persistConn
@@ -55,6 +80,11 @@ type Transport struct {
 func NewTransport(iface *netem.Interface) *Transport {
 	return &Transport{iface: iface, idle: make(map[string][]*persistConn)}
 }
+
+// Bind attaches the owning goroutine's clock handle. Call before the
+// first request from the goroutine that will issue every request on
+// this transport.
+func (t *Transport) Bind(p *netem.Participant) { t.part = p }
 
 // persistConn is one pooled connection with its read buffer (which may
 // hold bytes of the next response and so must persist with the conn).
@@ -134,7 +164,7 @@ func (t *Transport) roundTrip(ctx context.Context, req *http.Request, pc *persis
 	}()
 	fail := func(err error) (*http.Response, error) {
 		close(done)
-		pc.conn.Close()
+		t.discard(pc)
 		if cerr := ctx.Err(); cerr != nil {
 			err = cerr
 		}
@@ -172,7 +202,7 @@ func (t *Transport) getConn(ctx context.Context, addr string) (pc *persistConn, 
 		return pc, true, nil
 	}
 	t.mu.Unlock()
-	conn, err := t.iface.DialContext(ctx, "tcp", addr)
+	conn, err := t.iface.Dial(ctx, addr, t.part)
 	if err != nil {
 		return nil, false, err
 	}
@@ -180,7 +210,18 @@ func (t *Transport) getConn(ctx context.Context, addr string) (pc *persistConn, 
 		conn.Close()
 		return nil, false, fmt.Errorf("httpx: secure handshake with %s: %w", addr, err)
 	}
-	return &persistConn{conn: conn, br: bufio.NewReaderSize(conn, 16<<10)}, false, nil
+	return &persistConn{conn: conn, br: getReader(conn)}, false, nil
+}
+
+// discard retires a connection for good: the emulated conn is closed
+// and its buffered reader returns to the pool. Callers must be the
+// conn's sole owner (nothing may read pc.br afterwards).
+func (t *Transport) discard(pc *persistConn) {
+	pc.conn.Close()
+	if pc.br != nil {
+		putReader(pc.br)
+		pc.br = nil
+	}
 }
 
 // dropIdle discards every pooled connection to addr.
@@ -190,7 +231,7 @@ func (t *Transport) dropIdle(addr string) {
 	delete(t.idle, addr)
 	t.mu.Unlock()
 	for _, pc := range pcs {
-		pc.conn.Close()
+		t.discard(pc)
 	}
 }
 
@@ -202,7 +243,7 @@ func (t *Transport) putIdle(addr string, pc *persistConn) {
 		return
 	}
 	t.mu.Unlock()
-	pc.conn.Close()
+	t.discard(pc)
 }
 
 // CloseIdleConnections implements the optional interface used by
@@ -214,7 +255,7 @@ func (t *Transport) CloseIdleConnections() {
 	t.mu.Unlock()
 	for _, pcs := range idle {
 		for _, pc := range pcs {
-			pc.conn.Close()
+			t.discard(pc)
 		}
 	}
 }
@@ -263,7 +304,7 @@ func (b *bodyGuard) Close() error {
 	if completed && b.sawEOF && b.reusable && err == nil {
 		b.t.putIdle(b.addr, b.pc)
 	} else {
-		b.pc.conn.Close()
+		b.t.discard(b.pc)
 	}
 	return err
 }
@@ -291,6 +332,14 @@ func RangeHeader(from, to int64) string {
 // returns the body. It fails unless the server honours the range with a
 // 206 and the exact requested length.
 func GetRange(ctx context.Context, client *http.Client, url string, from, to int64) ([]byte, error) {
+	return GetRangeBuf(ctx, client, url, from, to, nil)
+}
+
+// GetRangeBuf is GetRange reading into buf when buf has the capacity
+// for the range, avoiding a fresh body allocation per request — the
+// video fetch loops recycle chunk buffers through a pool. A too-small
+// (or nil) buf falls back to allocating.
+func GetRangeBuf(ctx context.Context, client *http.Client, url string, from, to int64, buf []byte) ([]byte, error) {
 	if to < from {
 		return nil, fmt.Errorf("httpx: invalid range %d-%d", from, to)
 	}
@@ -310,6 +359,25 @@ func GetRange(ctx context.Context, client *http.Client, url string, from, to int
 			Msg: fmt.Sprintf("range %d-%d of %s: %.80s", from, to, url, body)}
 	}
 	want := to - from + 1
+	// The 206 response declares its length, so read into an exact-size
+	// buffer instead of letting io.ReadAll grow-and-copy its way there.
+	if resp.ContentLength == want {
+		var body []byte
+		if int64(cap(buf)) >= want {
+			body = buf[:want]
+		} else {
+			body = make([]byte, want)
+		}
+		if _, err := io.ReadFull(resp.Body, body); err != nil {
+			return nil, fmt.Errorf("httpx: reading range body: %w", err)
+		}
+		// Drain the (empty) tail so the conn is seen fully consumed and
+		// returns to the keep-alive pool.
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return nil, fmt.Errorf("httpx: reading range body: %w", err)
+		}
+		return body, nil
+	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, fmt.Errorf("httpx: reading range body: %w", err)

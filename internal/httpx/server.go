@@ -9,6 +9,7 @@ import (
 	"os"
 	"runtime/debug"
 	"strconv"
+	"sync"
 
 	"repro/internal/handshake"
 	"repro/internal/netem"
@@ -16,10 +17,11 @@ import (
 
 // Server is a minimal HTTP/1.1 server for the emulated origin. Every
 // goroutine it spawns — the accept loop and one loop per connection —
-// is registered with the emulation clock, and all their blocking
-// (accepts, handshake processing delays, request reads, paced response
-// writes, handler think time) is clock-visible, so the virtual clock can
-// account for the whole server side deterministically.
+// is registered with the emulation clock (receiving its Participant
+// handle), and all their blocking (accepts, handshake processing
+// delays, request reads, paced response writes, handler think time) is
+// clock-visible, so the virtual clock can account for the whole server
+// side deterministically.
 type Server struct {
 	clock *netem.Clock
 	l     net.Listener
@@ -44,18 +46,36 @@ func (s *Server) Close() error { return s.l.Close() }
 // Addr returns the listen address.
 func (s *Server) Addr() net.Addr { return s.l.Addr() }
 
-func (s *Server) acceptLoop() {
+// participantAccepter is implemented by netem.Listener: accepting with
+// the loop's Participant parks O(1) instead of as a transient.
+type participantAccepter interface {
+	AcceptP(*netem.Participant) (net.Conn, error)
+}
+
+// participantBinder is implemented by netem.Conn.
+type participantBinder interface {
+	Bind(*netem.Participant)
+}
+
+func (s *Server) acceptLoop(p *netem.Participant) {
+	pl, _ := s.l.(participantAccepter)
 	for {
-		c, err := s.l.Accept()
+		var c net.Conn
+		var err error
+		if pl != nil {
+			c, err = pl.AcceptP(p)
+		} else {
+			c, err = s.l.Accept()
+		}
 		if err != nil {
 			return
 		}
 		conn := c
-		s.clock.Go(func() { s.serveConn(conn) })
+		s.clock.Go(func(cp *netem.Participant) { s.serveConn(cp, conn) })
 	}
 }
 
-func (s *Server) serveConn(c net.Conn) {
+func (s *Server) serveConn(p *netem.Participant, c net.Conn) {
 	defer c.Close()
 	// Contain handler panics to this connection, as net/http's server
 	// does: the conn dies, the process (and the experiment) survives.
@@ -64,17 +84,27 @@ func (s *Server) serveConn(c net.Conn) {
 			fmt.Fprintf(os.Stderr, "httpx: panic serving %v: %v\n%s", c.RemoteAddr(), e, debug.Stack())
 		}
 	}()
-	if err := handshake.Server(c, s.clock, s.hs); err != nil {
+	if b, ok := c.(participantBinder); ok {
+		b.Bind(p)
+	}
+	if err := handshake.Server(c, p, s.hs); err != nil {
 		return
 	}
-	br := bufio.NewReaderSize(c, 16<<10)
+	br := getReader(c)
+	defer putReader(br)
+	// One response writer — header map, write buffer and all — serves
+	// every keep-alive request on this connection; reset wipes the
+	// per-request state without surrendering the allocations.
+	w := &responseWriter{conn: c, part: p, header: make(http.Header, 8),
+		bw: bufio.NewWriterSize(c, 4<<10)}
+	remoteAddr := c.RemoteAddr().String()
 	for {
 		req, err := http.ReadRequest(br)
 		if err != nil {
 			return
 		}
-		req.RemoteAddr = c.RemoteAddr().String()
-		w := &responseWriter{conn: c, isHead: req.Method == http.MethodHead, header: make(http.Header)}
+		req.RemoteAddr = remoteAddr
+		w.reset(req.Method == http.MethodHead)
 		s.h.ServeHTTP(w, req)
 		if req.Body != nil {
 			io.Copy(io.Discard, req.Body)
@@ -86,6 +116,17 @@ func (s *Server) serveConn(c net.Conn) {
 	}
 }
 
+// ConnParticipant returns the clock Participant of the server
+// connection behind w, or nil when w is not an httpx response writer.
+// Handlers run on the per-connection goroutine, so emulated think time
+// and pacing they charge must park through this handle.
+func ConnParticipant(w http.ResponseWriter) *netem.Participant {
+	if rw, ok := w.(*responseWriter); ok {
+		return rw.part
+	}
+	return nil
+}
+
 // responseWriter streams a response over the emulated connection so the
 // handler's write pattern (and any pacing it applies) reaches the link
 // shaper unbuffered beyond a small coalescing window. Bodies without a
@@ -93,6 +134,7 @@ func (s *Server) serveConn(c net.Conn) {
 // connection reusable.
 type responseWriter struct {
 	conn        net.Conn
+	part        *netem.Participant
 	bw          *bufio.Writer
 	header      http.Header
 	isHead      bool
@@ -102,6 +144,20 @@ type responseWriter struct {
 	hasCL       bool
 	declaredCL  int64 // parsed Content-Length when hasCL
 	written     int64 // body bytes actually framed
+}
+
+// reset clears per-request state for the next keep-alive request,
+// keeping the header map and write buffer allocations.
+func (w *responseWriter) reset(isHead bool) {
+	clear(w.header)
+	w.bw.Reset(w.conn)
+	w.isHead = isHead
+	w.wroteHeader = false
+	w.status = 0
+	w.chunked = false
+	w.hasCL = false
+	w.declaredCL = 0
+	w.written = 0
 }
 
 // Header implements http.ResponseWriter.
@@ -114,7 +170,6 @@ func (w *responseWriter) WriteHeader(status int) {
 	}
 	w.wroteHeader = true
 	w.status = status
-	w.bw = bufio.NewWriterSize(w.conn, 4<<10)
 	if cl := w.header.Get("Content-Length"); cl != "" {
 		n, err := strconv.ParseInt(cl, 10, 64)
 		w.hasCL = err == nil && n >= 0
@@ -167,6 +222,38 @@ func (w *responseWriter) Write(b []byte) (int, error) {
 		return n, nil
 	}
 	return w.bw.Write(b)
+}
+
+// copyBufPool recycles the scratch buffers ReadFrom streams bodies
+// through (io.Copy would otherwise allocate a fresh 32 KB buffer per
+// response).
+var copyBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 32<<10); return &b },
+}
+
+// ReadFrom implements io.ReaderFrom so io.Copy/io.CopyN (and therefore
+// http.ServeContent) stream bodies through a pooled buffer.
+func (w *responseWriter) ReadFrom(r io.Reader) (int64, error) {
+	bp := copyBufPool.Get().(*[]byte)
+	defer copyBufPool.Put(bp)
+	buf := *bp
+	var total int64
+	for {
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			wn, werr := w.Write(buf[:n])
+			total += int64(wn)
+			if werr != nil {
+				return total, werr
+			}
+		}
+		if rerr == io.EOF {
+			return total, nil
+		}
+		if rerr != nil {
+			return total, rerr
+		}
+	}
 }
 
 // finish completes the response and reports whether the connection can

@@ -2,8 +2,8 @@ package netem
 
 import (
 	"container/heap"
-	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,35 +14,69 @@ import (
 //
 // In virtual mode the Clock is a deterministic discrete-event scheduler
 // driven by waiter accounting: every emulation participant registers
-// (Register / Go), parks only through clock-visible primitives (Sleep,
-// SleepUntil, Cond.Wait), and the moment every registered participant is
-// parked the clock jumps straight to the earliest pending deadline. There
-// is no background advancer goroutine and no wall-clock polling: virtual
-// runs are CPU-bound and their event order is independent of machine
-// load.
+// (Register / Go), receiving a *Participant handle, and parks only
+// through clock-visible primitives (Participant.Sleep / SleepUntil,
+// Cond.Wait). The moment every registered participant is parked the
+// clock jumps straight to the earliest pending deadline. There is no
+// background advancer goroutine and no wall-clock polling: virtual runs
+// are CPU-bound and their event order is independent of machine load.
+//
+// The Participant handle is the unit of accounting: registering is a
+// counter increment, parking reuses the handle's wake channel and heap
+// node, and no per-park goroutine-identity lookup happens anywhere.
+// The participant/idle counters are atomics, so condition-variable
+// parks and wakes never take the clock lock at all; the mutex guards
+// only the deadline heap and the jump itself. This keeps the hot path
+// O(1) and allocation-free, which is what lets one clock carry tens of
+// thousands of concurrently parked session goroutines without
+// serialising them on a single lock.
 //
 // Goroutines that never registered (tests, example main functions) may
-// still call the blocking primitives: they are accounted as transient
-// participants for the duration of the park, so casual use "just works",
-// at the cost of the determinism guarantee that full registration gives.
+// still call the clock-level blocking primitives (Clock.Sleep,
+// Clock.SleepUntil, Cond.Wait with a nil participant): they are
+// accounted as transient participants for the duration of the park, so
+// casual use "just works", at the cost of the determinism guarantee
+// that full registration gives. Registered goroutines must always park
+// through their Participant — parking a registered goroutine through
+// the transient shims would double-count it and wedge the clock.
 type Clock struct {
-	mu       sync.Mutex
-	virt     time.Duration // current virtual offset from base
-	base     time.Time     // virtual epoch
+	// parts counts registered participants plus holds plus parked
+	// transients; idle counts participants currently parked in
+	// clock-visible waits. The clock may jump exactly when idle ==
+	// parts. Every operation that can make the condition become true
+	// (parking, releasing a hold, unregistering, waking a transient)
+	// calls tryAdvance afterwards, so no advance is ever missed.
+	parts atomic.Int64
+	idle  atomic.Int64
+
+	virt atomic.Int64 // current virtual offset from base, in ns
+	base time.Time    // virtual epoch
+
+	mu       sync.Mutex // guards sleepers, seq, stopped and the jump loop
 	sleepers sleeperHeap
 	seq      int64 // tiebreaker for heap ordering stability
+	stopped  bool
 
-	parts int            // registered participants plus holds
-	idle  int            // participants currently parked in clock-visible waits
-	regs  map[uint64]int // goroutine id -> registration count
-
-	stopped bool
-	done    chan struct{} // closed by Stop; interrupts realtime sleeps
+	done chan struct{} // closed by Stop; wakes every parked waiter
 
 	// realtime mode
 	realtime  bool
 	scale     float64
 	realStart time.Time
+}
+
+// Participant is one registered emulation participant: a handle minted
+// by Register or Go that the owning goroutine threads through every
+// clock-visible park (Sleep, SleepUntil, Cond.Wait). A Participant
+// belongs to exactly one goroutine at a time and its park state (wake
+// channel, sleeper heap node) is reused across parks, so steady-state
+// parking allocates nothing and never consults a goroutine-identity
+// map.
+type Participant struct {
+	c    *Clock
+	wake chan struct{} // cap 1; carries one wake token per park
+	s    sleeper       // reusable heap node for deadline parks
+	gone atomic.Bool   // unregistered
 }
 
 type sleeper struct {
@@ -72,22 +106,6 @@ func (h *sleeperHeap) Pop() any {
 	return s
 }
 
-// goid returns the current goroutine's id, parsed from the runtime stack
-// header ("goroutine N [running]: ..."). Goroutine ids are never reused,
-// so registration entries cannot be inherited by unrelated goroutines.
-func goid() uint64 {
-	var buf [64]byte
-	n := runtime.Stack(buf[:], false)
-	var id uint64
-	for _, b := range buf[len("goroutine "):n] {
-		if b < '0' || b > '9' {
-			break
-		}
-		id = id*10 + uint64(b-'0')
-	}
-	return id
-}
-
 // NewVirtualClock returns a deterministic discrete-event clock. Time only
 // advances when every registered participant is parked in a clock-visible
 // wait; it then jumps to the earliest pending deadline. Call Stop when
@@ -95,7 +113,6 @@ func goid() uint64 {
 func NewVirtualClock() *Clock {
 	return &Clock{
 		base: time.Unix(1_700_000_000, 0), // arbitrary fixed epoch for determinism
-		regs: make(map[uint64]int),
 		done: make(chan struct{}),
 	}
 }
@@ -116,76 +133,57 @@ func NewScaledClock(scale float64) *Clock {
 	}
 }
 
-// Register marks the current goroutine as an emulation participant: the
-// virtual clock refuses to jump while any participant is running, so
-// everything the goroutine does between parks happens at a frozen
-// virtual instant. Registration nests; pair every Register with an
-// Unregister on the same goroutine. No-op in realtime mode.
-func (c *Clock) Register() {
+// Register marks the calling goroutine as an emulation participant and
+// returns its handle: the virtual clock refuses to jump while any
+// participant is running, so everything the goroutine does between
+// parks happens at a frozen virtual instant. Park only through the
+// returned handle, and pair every Register with Unregister. In realtime
+// mode the handle's primitives degrade to scaled wall-clock sleeps.
+func (c *Clock) Register() *Participant {
+	p := &Participant{c: c, wake: make(chan struct{}, 1)}
+	if !c.realtime {
+		c.parts.Add(1)
+	}
+	return p
+}
+
+// Clock returns the clock the participant is registered with.
+func (p *Participant) Clock() *Clock { return p.c }
+
+// Unregister removes the participant from the clock's accounting. It is
+// idempotent; a handle must not be used to park after unregistering.
+func (p *Participant) Unregister() {
+	c := p.c
 	if c.realtime {
 		return
 	}
-	g := goid()
-	c.mu.Lock()
-	if c.regs[g] == 0 {
-		c.parts++
+	if !p.gone.Swap(true) {
+		c.parts.Add(-1)
+		c.tryAdvance()
 	}
-	c.regs[g]++
-	c.mu.Unlock()
 }
 
-// Unregister removes the current goroutine's innermost registration.
-func (c *Clock) Unregister() {
-	if c.realtime {
+// Suspend removes the participant from the accounting without retiring
+// the handle, returning after Resume restores it. Use it around a wait
+// the clock cannot see (e.g. joining worker goroutines whose progress
+// needs virtual time): while suspended the goroutine does not hold up
+// jumps. The participant must not park while suspended.
+func (p *Participant) Suspend() {
+	c := p.c
+	if c.realtime || p.gone.Load() {
 		return
 	}
-	g := goid()
-	c.mu.Lock()
-	if c.regs[g] > 0 {
-		c.regs[g]--
-		if c.regs[g] == 0 {
-			delete(c.regs, g)
-			c.parts--
-			c.maybeAdvanceLocked()
-		}
-	}
-	c.mu.Unlock()
-}
-
-// Suspend removes the current goroutine's registration entirely —
-// across all nesting levels — returning a token for Resume. Use it
-// around a wait the clock cannot see (e.g. joining worker goroutines
-// whose progress needs virtual time): while suspended the goroutine
-// does not hold up jumps, whatever registration depth its callers
-// established.
-func (c *Clock) Suspend() int {
-	if c.realtime {
-		return 0
-	}
-	g := goid()
-	c.mu.Lock()
-	depth := c.regs[g]
-	if depth > 0 {
-		delete(c.regs, g)
-		c.parts--
-		c.maybeAdvanceLocked()
-	}
-	c.mu.Unlock()
-	return depth
+	c.parts.Add(-1)
+	c.tryAdvance()
 }
 
 // Resume restores a registration removed by Suspend.
-func (c *Clock) Resume(depth int) {
-	if c.realtime || depth <= 0 {
+func (p *Participant) Resume() {
+	c := p.c
+	if c.realtime || p.gone.Load() {
 		return
 	}
-	g := goid()
-	c.mu.Lock()
-	if c.regs[g] == 0 {
-		c.parts++
-	}
-	c.regs[g] += depth
-	c.mu.Unlock()
+	c.parts.Add(1)
 }
 
 // Hold blocks virtual-time jumps until Release, without registering a
@@ -195,9 +193,7 @@ func (c *Clock) Hold() {
 	if c.realtime {
 		return
 	}
-	c.mu.Lock()
-	c.parts++
-	c.mu.Unlock()
+	c.parts.Add(1)
 }
 
 // Release undoes one Hold.
@@ -205,30 +201,27 @@ func (c *Clock) Release() {
 	if c.realtime {
 		return
 	}
-	c.mu.Lock()
-	if c.parts > 0 {
-		c.parts--
-	}
-	c.maybeAdvanceLocked()
-	c.mu.Unlock()
+	c.parts.Add(-1)
+	c.tryAdvance()
 }
 
-// Go runs fn on a new goroutine registered with the clock. The clock
-// cannot jump between the call and fn starting to execute, so events fn
-// schedules are anchored to the virtual instant of the spawn.
-func (c *Clock) Go(fn func()) {
+// Go runs fn on a new goroutine registered with the clock, passing fn
+// its Participant handle. The clock cannot jump between the call and fn
+// starting to execute, so events fn schedules are anchored to the
+// virtual instant of the spawn.
+func (c *Clock) Go(fn func(*Participant)) {
 	c.Hold()
 	go func() {
-		c.Register()
+		p := c.Register()
 		c.Release()
-		defer c.Unregister()
-		fn()
+		defer p.Unregister()
+		fn(p)
 	}()
 }
 
-// Stop terminates the clock. Pending sleepers are woken immediately (in
-// both clock modes); the emulation is expected to be torn down
-// afterwards.
+// Stop terminates the clock. Parked waiters are woken immediately (in
+// both clock modes) through the done channel; the emulation is expected
+// to be torn down afterwards.
 func (c *Clock) Stop() {
 	c.mu.Lock()
 	if c.stopped {
@@ -237,9 +230,6 @@ func (c *Clock) Stop() {
 	}
 	c.stopped = true
 	close(c.done)
-	for _, s := range c.sleepers {
-		close(s.ch)
-	}
 	c.sleepers = nil
 	c.mu.Unlock()
 }
@@ -256,18 +246,60 @@ func (c *Clock) Stopped() bool {
 	}
 }
 
-// Now returns the current emulated time.
+// Now returns the current emulated time. In virtual mode this is a
+// lock-free atomic read: registered participants can only observe the
+// clock between jumps (jumps require them all parked), and transient
+// observers tolerate the relaxed ordering by construction.
 func (c *Clock) Now() time.Time {
 	if c.realtime {
 		real := time.Since(c.realStart)
 		return c.base.Add(time.Duration(float64(real) * c.scale))
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.base.Add(c.virt)
+	return c.base.Add(time.Duration(c.virt.Load()))
 }
 
-// Sleep blocks for an emulated duration d.
+// Sleep blocks the participant for an emulated duration d.
+func (p *Participant) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.SleepUntil(p.c.Now().Add(d))
+}
+
+// SleepUntil parks the participant until the emulated instant t. The
+// park reuses the participant's wake channel and heap node, so the
+// steady state allocates nothing.
+func (p *Participant) SleepUntil(t time.Time) {
+	c := p.c
+	if c.realtime {
+		c.SleepUntil(t)
+		return
+	}
+	c.mu.Lock()
+	deadline := t.Sub(c.base)
+	if c.stopped || deadline <= time.Duration(c.virt.Load()) {
+		c.mu.Unlock()
+		return
+	}
+	p.s = sleeper{deadline: deadline, seq: c.seq, ch: p.wake}
+	c.seq++
+	heap.Push(&c.sleepers, &p.s)
+	c.mu.Unlock()
+	// The sleeper becomes eligible to be popped only once idle is
+	// incremented: an advance requires idle == parts, and this
+	// goroutine is counted in parts but not yet in idle.
+	if c.idle.Add(1) == c.parts.Load() {
+		c.tryAdvance()
+	}
+	select {
+	case <-p.wake:
+	case <-c.done:
+	}
+}
+
+// Sleep blocks for an emulated duration d. This is the transient shim:
+// the caller is accounted as a participant only for the duration of the
+// park. Registered goroutines must use Participant.Sleep instead.
 func (c *Clock) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
@@ -276,8 +308,9 @@ func (c *Clock) Sleep(d time.Duration) {
 }
 
 // SleepUntil blocks until the emulated instant t. In virtual mode the
-// caller becomes a parked waiter with a deadline; in realtime mode it
-// sleeps for the scaled wall duration, interruptibly by Stop.
+// caller becomes a transient parked waiter with a deadline (see
+// Clock.Sleep); in realtime mode it sleeps for the scaled wall
+// duration, interruptibly by Stop.
 func (c *Clock) SleepUntil(t time.Time) {
 	if c.realtime {
 		emuLeft := t.Sub(c.Now())
@@ -292,44 +325,78 @@ func (c *Clock) SleepUntil(t time.Time) {
 		}
 		return
 	}
-	g := goid()
 	c.mu.Lock()
 	deadline := t.Sub(c.base)
-	if c.stopped || deadline <= c.virt {
+	if c.stopped || deadline <= time.Duration(c.virt.Load()) {
 		c.mu.Unlock()
 		return
 	}
-	s := &sleeper{deadline: deadline, seq: c.seq, ch: make(chan struct{}), transient: c.regs[g] == 0}
+	s := &sleeper{deadline: deadline, seq: c.seq, ch: make(chan struct{}, 1), transient: true}
 	c.seq++
 	heap.Push(&c.sleepers, s)
-	if s.transient {
-		c.parts++
-	}
-	c.idle++
-	c.maybeAdvanceLocked()
 	c.mu.Unlock()
-	<-s.ch
+	c.parts.Add(1)
+	if c.idle.Add(1) == c.parts.Load() {
+		c.tryAdvance()
+	}
+	select {
+	case <-s.ch:
+	case <-c.done:
+	}
 }
 
-// maybeAdvanceLocked jumps virtual time to the earliest pending deadline
-// when every participant is parked, waking every sleeper that becomes
-// due. Waking a registered sleeper leaves idle < parts, ending the loop
+// tryAdvance jumps virtual time to the earliest pending deadline when
+// every participant is parked, waking every sleeper that becomes due.
+// Waking a registered sleeper leaves idle < parts, ending the loop
 // until that goroutine parks again; a woken transient sleeper vanishes
 // from the accounting entirely (it may never touch the clock again), so
 // the condition is re-evaluated and further jumps may fire immediately.
-// Callers must hold c.mu.
-func (c *Clock) maybeAdvanceLocked() {
-	for !c.stopped && !c.realtime && c.idle == c.parts && len(c.sleepers) > 0 {
-		if earliest := c.sleepers[0].deadline; earliest > c.virt {
-			c.virt = earliest
-		}
-		for len(c.sleepers) > 0 && c.sleepers[0].deadline <= c.virt {
-			s := heap.Pop(&c.sleepers).(*sleeper)
-			c.idle--
-			if s.transient {
-				c.parts--
+//
+// The idle == parts check is a pair of atomic loads, re-evaluated under
+// the heap mutex on every loop iteration. A torn read can only produce
+// equality at instants where the condition genuinely held (every
+// counter transition toward equality triggers its own tryAdvance, and
+// transitions away from it mean the affected goroutine is runnable and
+// will re-check when it parks), so jumps stay deterministic for fully
+// registered emulations.
+func (c *Clock) tryAdvance() {
+	// Due sleepers are collected under the mutex but their wake tokens
+	// are sent after it is released: a channel send can wake a
+	// goroutine (a futex syscall under contention), and doing that
+	// inside the critical section convoys every other parking
+	// goroutine behind it. Popping a registered sleeper decrements
+	// idle, so no further jump can fire until it parks again — sending
+	// its token late is indistinguishable from the goroutine being
+	// slow to run. A popped transient reopens the condition (it
+	// vanishes from the accounting), which the outer loop re-checks.
+	var wakeArr [16]*sleeper
+	for {
+		wake := wakeArr[:0]
+		c.mu.Lock()
+		for !c.stopped && !c.realtime && len(c.sleepers) > 0 && c.idle.Load() == c.parts.Load() {
+			virt := time.Duration(c.virt.Load())
+			if earliest := c.sleepers[0].deadline; earliest > virt {
+				virt = earliest
+				c.virt.Store(int64(virt))
 			}
-			close(s.ch)
+			for len(c.sleepers) > 0 && c.sleepers[0].deadline <= virt {
+				s := heap.Pop(&c.sleepers).(*sleeper)
+				c.idle.Add(-1)
+				if s.transient {
+					c.parts.Add(-1)
+				}
+				wake = append(wake, s)
+			}
+		}
+		c.mu.Unlock()
+		if len(wake) == 0 {
+			return
+		}
+		for _, s := range wake {
+			select {
+			case s.ch <- struct{}{}:
+			default:
+			}
 		}
 	}
 }
@@ -341,9 +408,15 @@ func (c *Clock) maybeAdvanceLocked() {
 // the clock jump over a goroutine that is about to resume.
 //
 // Usage mirrors sync.Cond, with one extra rule: Signal and Broadcast
-// must also be called with L held. A nil clock degrades to plain
-// condition-variable behaviour (used by unit tests that exercise data
-// structures without an emulation clock).
+// must also be called with L held. Wait takes the caller's Participant
+// handle; a nil participant accounts the caller as transient for the
+// duration of the park (registered goroutines must pass their handle).
+// A nil clock degrades to plain condition-variable behaviour (used by
+// unit tests that exercise data structures without an emulation clock).
+//
+// Neither Wait nor wake touches the clock mutex: parking is one atomic
+// increment (plus an advance attempt when the caller was the last
+// runner), waking one atomic decrement.
 type Cond struct {
 	clock   *Clock
 	L       sync.Locker
@@ -363,39 +436,40 @@ func NewCond(clock *Clock, l sync.Locker) *Cond {
 }
 
 // Wait atomically unlocks L and parks until woken by Signal or
-// Broadcast, then relocks L before returning. Unlike sync.Cond there
-// are no spurious wakeups, but callers should still re-check their
-// predicate in a loop.
+// Broadcast, then relocks L before returning. p is the caller's
+// Participant handle (nil for unregistered goroutines, which park as
+// transients). Unlike sync.Cond there are no spurious wakeups, but
+// callers should still re-check their predicate in a loop.
 //
 // Wait returns false when the clock has been stopped (at entry, or
 // while parked): the wait's wake-up condition may never be signalled
 // once the emulation is torn down, so callers must treat false as an
 // abort rather than re-checking and waiting again.
-func (cv *Cond) Wait() bool {
-	w := condWaiter{ch: make(chan struct{})}
+func (cv *Cond) Wait(p *Participant) bool {
+	w := condWaiter{}
 	var stopCh <-chan struct{}
 	if c := cv.clock; c != nil {
 		stopCh = c.done
-		if c.realtime {
-			if c.Stopped() {
-				return false
-			}
-		} else {
-			g := goid()
-			c.mu.Lock()
-			if c.stopped {
-				c.mu.Unlock()
-				return false
-			}
-			w.transient = c.regs[g] == 0
-			if w.transient {
-				c.parts++
-			}
-			c.idle++
-			w.accounted = true
-			c.maybeAdvanceLocked()
-			c.mu.Unlock()
+		if c.Stopped() {
+			return false
 		}
+		if c.realtime {
+			w.ch = make(chan struct{}, 1)
+		} else {
+			if p != nil {
+				w.ch = p.wake
+			} else {
+				w.ch = make(chan struct{}, 1)
+				w.transient = true
+				c.parts.Add(1)
+			}
+			w.accounted = true
+			if c.idle.Add(1) == c.parts.Load() {
+				c.tryAdvance()
+			}
+		}
+	} else {
+		w.ch = make(chan struct{}, 1)
 	}
 	cv.waiters = append(cv.waiters, w)
 	cv.L.Unlock()
@@ -415,17 +489,19 @@ func (cv *Cond) Signal() {
 		return
 	}
 	w := cv.waiters[0]
-	cv.waiters = cv.waiters[1:]
+	n := copy(cv.waiters, cv.waiters[1:])
+	cv.waiters[n] = condWaiter{}
+	cv.waiters = cv.waiters[:n]
 	cv.wake(w)
 }
 
 // Broadcast wakes every waiter. L must be held.
 func (cv *Cond) Broadcast() {
-	ws := cv.waiters
-	cv.waiters = nil
-	for _, w := range ws {
+	for i, w := range cv.waiters {
+		cv.waiters[i] = condWaiter{}
 		cv.wake(w)
 	}
+	cv.waiters = cv.waiters[:0]
 }
 
 // wake returns the waiter to the running state before releasing it, so
@@ -433,14 +509,14 @@ func (cv *Cond) Broadcast() {
 func (cv *Cond) wake(w condWaiter) {
 	if w.accounted {
 		c := cv.clock
-		c.mu.Lock()
-		if !c.stopped {
-			c.idle--
-			if w.transient {
-				c.parts--
-			}
+		c.idle.Add(-1)
+		if w.transient {
+			c.parts.Add(-1)
+			c.tryAdvance()
 		}
-		c.mu.Unlock()
 	}
-	close(w.ch)
+	select {
+	case w.ch <- struct{}{}:
+	default:
+	}
 }

@@ -36,9 +36,9 @@ func TestVirtualClockOrdersConcurrentSleepers(t *testing.T) {
 		wg.Add(1)
 		// Clock.Go registers each sleeper before any of them can park,
 		// so no deadline fires until all three are asleep.
-		c.Go(func() {
+		c.Go(func(p *Participant) {
 			defer wg.Done()
-			c.SleepUntil(base.Add(d))
+			p.SleepUntil(base.Add(d))
 			mu.Lock()
 			order = append(order, i)
 			mu.Unlock()
@@ -84,8 +84,8 @@ func TestScaledClockCompressesSleep(t *testing.T) {
 func TestClockStopWakesSleepers(t *testing.T) {
 	c := NewVirtualClock()
 	done := make(chan struct{})
-	c.Go(func() {
-		c.SleepUntil(c.Now().Add(time.Hour))
+	c.Go(func(p *Participant) {
+		p.SleepUntil(c.Now().Add(time.Hour))
 		close(done)
 	})
 	time.Sleep(5 * time.Millisecond)
@@ -147,12 +147,12 @@ func TestVirtualClockWaitsForActiveParticipants(t *testing.T) {
 	var wake time.Time
 	var wg sync.WaitGroup
 	wg.Add(2)
-	c.Go(func() {
+	c.Go(func(p *Participant) {
 		defer wg.Done()
-		c.Sleep(50 * time.Millisecond)
+		p.Sleep(50 * time.Millisecond)
 		wake = c.Now()
 	})
-	c.Go(func() {
+	c.Go(func(*Participant) {
 		defer wg.Done()
 		close(parked)
 		<-release // deliberately invisible: holds the clock still
@@ -183,11 +183,11 @@ func TestVirtualClockDeterministicTimestamps(t *testing.T) {
 		for g := 0; g < 4; g++ {
 			g := g
 			wg.Add(1)
-			c.Go(func() {
+			c.Go(func(p *Participant) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(int64(g) + 1))
 				for i := 0; i < 25; i++ {
-					c.Sleep(time.Duration(rng.Intn(5000)+1) * time.Microsecond)
+					p.Sleep(time.Duration(rng.Intn(5000)+1) * time.Microsecond)
 					mu.Lock()
 					wakes = append(wakes, c.Now().Sub(c.base))
 					mu.Unlock()
@@ -230,10 +230,10 @@ func TestClockConcurrentRegisterSleepStop(t *testing.T) {
 		for g := 0; g < 8; g++ {
 			g := g
 			wg.Add(1)
-			c.Go(func() {
+			c.Go(func(p *Participant) {
 				defer wg.Done()
 				for i := 0; i < 50; i++ {
-					c.Sleep(time.Duration(g*7+i%5+1) * time.Millisecond)
+					p.Sleep(time.Duration(g*7+i%5+1) * time.Millisecond)
 				}
 			})
 			// Unregistered transient sleepers racing with the registered
@@ -263,9 +263,9 @@ func TestCondWaitReleasedByStop(t *testing.T) {
 	var mu sync.Mutex
 	cond := NewCond(c, &mu)
 	done := make(chan bool, 1)
-	c.Go(func() {
+	c.Go(func(p *Participant) {
 		mu.Lock()
-		ok := cond.Wait()
+		ok := cond.Wait(p)
 		mu.Unlock()
 		done <- ok
 	})
@@ -281,7 +281,7 @@ func TestCondWaitReleasedByStop(t *testing.T) {
 	}
 	// Waiting on an already-stopped clock must not park at all.
 	mu.Lock()
-	ok := cond.Wait()
+	ok := cond.Wait(nil)
 	mu.Unlock()
 	if ok {
 		t.Fatal("Cond.Wait on a stopped clock returned true")
@@ -303,19 +303,19 @@ func TestCondSignalTransfersCredit(t *testing.T) {
 	var producedAt time.Time
 	var wg sync.WaitGroup
 	wg.Add(2)
-	c.Go(func() {
+	c.Go(func(p *Participant) {
 		defer wg.Done()
 		mu.Lock()
 		for !ready {
-			cond.Wait()
+			cond.Wait(p)
 		}
 		mu.Unlock()
 		consumedAt = c.Now()
-		c.Sleep(time.Millisecond)
+		p.Sleep(time.Millisecond)
 	})
-	c.Go(func() {
+	c.Go(func(p *Participant) {
 		defer wg.Done()
-		c.Sleep(10 * time.Millisecond)
+		p.Sleep(10 * time.Millisecond)
 		mu.Lock()
 		ready = true
 		producedAt = c.Now()
@@ -324,7 +324,7 @@ func TestCondSignalTransfersCredit(t *testing.T) {
 		// A second sleeper with a nearer deadline than anything the
 		// consumer will set: if the signal failed to transfer credit,
 		// the clock could jump here before the consumer reads Now.
-		c.Sleep(time.Microsecond)
+		p.Sleep(time.Microsecond)
 	})
 	wg.Wait()
 	if !consumedAt.Equal(producedAt) {

@@ -35,7 +35,18 @@ type Conn struct {
 	local   Addr
 	remote  Addr
 	onClose func()
+	part    *Participant // owning goroutine's clock handle; see Bind
 }
+
+// Bind attaches the clock Participant of the goroutine that owns this
+// endpoint. Reads and writes park through the bound handle (O(1),
+// allocation-free); an unbound endpoint parks as a transient clock
+// participant, which still works but costs determinism and a per-park
+// allocation. Each endpoint of an emulated connection is owned by
+// exactly one goroutine in this codebase (the dialing fetch loop on the
+// client side, the per-connection server loop on the other), so binding
+// happens once at dial/accept time.
+func (c *Conn) Bind(p *Participant) { c.part = p }
 
 // Pipe creates a connected pair of emulated conns. c2s shapes the c→s
 // direction, s2c the reverse. The returned conns are (client, server).
@@ -52,11 +63,11 @@ func (c *Conn) Read(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	return c.in.read(p)
+	return c.in.read(p, c.part)
 }
 
 // Write implements net.Conn.
-func (c *Conn) Write(p []byte) (int, error) { return c.out.write(p) }
+func (c *Conn) Write(p []byte) (int, error) { return c.out.write(p, c.part) }
 
 // Close implements net.Conn. The peer drains in-flight data, then sees
 // EOF; local reads fail immediately.

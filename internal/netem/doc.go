@@ -14,35 +14,82 @@
 //     by waiter accounting. Every emulation participant — pipe readers
 //     and writers, HTTP fetch loops, origin request handlers, playout
 //     drain timers — registers with the clock (Clock.Register or
-//     Clock.Go) and parks only through clock-visible primitives:
-//     Sleep/SleepUntil for deadline waits and Cond for emulated-I/O
-//     waits. The instant every registered participant is parked, the
-//     clock jumps to the earliest pending deadline and wakes the
-//     sleepers that become due. There are no wall-clock sleeps and no
-//     quiescence polling, so hours of emulated streaming complete as
-//     fast as the CPU allows and the event order is bit-for-bit
-//     reproducible across machines and load conditions.
+//     Clock.Go), receiving a *Participant handle, and parks only
+//     through clock-visible primitives: Participant.Sleep/SleepUntil
+//     for deadline waits and Cond.Wait for emulated-I/O waits. The
+//     instant every registered participant is parked, the clock jumps
+//     to the earliest pending deadline and wakes the sleepers that
+//     become due. There are no wall-clock sleeps and no quiescence
+//     polling, so hours of emulated streaming complete as fast as the
+//     CPU allows and the event order is bit-for-bit reproducible across
+//     machines and load conditions.
 //
 //   - Scaled real time: emulated durations are divided by a constant
 //     factor and slept for real (interruptibly by Clock.Stop). Useful
 //     for interactive demos.
 //
-// Three rules keep virtual runs deterministic:
+// # Participant handles
+//
+// The Participant handle is the unit of clock accounting, introduced to
+// make the hot path O(1) at fleet scale (the previous design parsed the
+// goroutine id out of runtime.Stack on every park and looked it up in a
+// global registration map under the clock lock). The rules:
 //
 //  1. Registered goroutines must never park invisibly (bare channel
-//     operations, time.Sleep): the clock would refuse to jump while they
-//     wait, or jump while they are about to run. Park through the Clock
-//     or a Cond instead.
+//     operations, time.Sleep): the clock would refuse to jump while
+//     they wait. Park through the goroutine's Participant or pass it to
+//     Cond.Wait.
 //  2. Goroutines are spawned with Clock.Go (or under a Hold), so the
-//     clock cannot jump during the handoff between spawner and spawnee.
+//     clock cannot jump during the handoff between spawner and spawnee;
+//     Go passes the new goroutine its Participant.
 //  3. Wake-ups transfer accounting to the wakee at signal time
 //     (Cond.Signal pre-credits the waiter), so there is no window in
 //     which a runnable goroutine is invisible to the clock.
+//  4. A Participant belongs to one goroutine at a time, and a
+//     registered goroutine holds exactly one: code called on behalf of
+//     an already-registered caller takes the caller's handle (see
+//     core.Player.RunAs, Interface.Dial, Listener.AcceptP, Conn.Bind)
+//     instead of registering again — a second registration for the
+//     same goroutine would deadlock the accounting.
 //
-// Unregistered goroutines may still use the blocking primitives: they
-// are accounted as transient participants while parked. This keeps
-// casual use (tests, example main functions, injected failure events)
+// Unregistered goroutines may still use the clock-level blocking
+// shims (Clock.Sleep, Clock.SleepUntil, Cond.Wait with nil, Accept,
+// DialContext): they are accounted as transient participants while
+// parked. This keeps casual use (tests, example main functions)
 // working, at reduced determinism while such a goroutine is runnable.
+// Registered goroutines must not call the transient shims: the clock
+// would count them twice and wedge.
+//
+// Internally the participant/idle counters are atomics and the clock
+// mutex guards only the deadline heap and the jump loop; wake tokens
+// are delivered outside the lock. Parks reuse the participant's wake
+// channel and heap node, so steady-state parking allocates nothing.
+//
+// # Pooling invariants
+//
+// The data plane recycles payload buffers to keep fleet-scale runs out
+// of the allocator:
+//
+//   - Segment buffers (direction.write → read) come from a process-wide
+//     sync.Pool. A buffer is owned by the direction's queue from
+//     enqueue until the reader consumes its last byte (or the direction
+//     aborts), then returns to the pool. Ring-buffer queues zero popped
+//     slots, so a drained connection pins no payload memory (the old
+//     `q = q[1:]` re-slicing retained every delivered segment for the
+//     connection's lifetime).
+//   - Segments enqueued at an identical arrival instant coalesce into
+//     the queue tail when the pooled buffer has room; arrival instants
+//     and byte order are unchanged, only queue churn shrinks.
+//   - The jitter/loss rng is seeded lazily on the first draw; links
+//     with neither jitter nor loss never pay the ~600-word math/rand
+//     seeding. Draw sequences are unchanged for links that do draw.
+//
+// Consumers keep their own pools layered on the same idea: httpx pools
+// connection bufio.Readers and response-body scratch, and core recycles
+// chunk bodies between range requests and in-order delivery. In every
+// case the invariant is the same: a buffer returns to its pool only
+// after the last reader of its bytes has finished, and pooled buffers
+// above a size cap are dropped so one-off spikes cannot pin memory.
 //
 // The emulator is a fluid model at a configurable pacing quantum
 // (default 20 ms of line time per delivery segment): transfer durations,

@@ -82,6 +82,9 @@ func (n *Network) NewInterface(name string, up, down LinkParams) *Interface {
 // Name returns the interface name ("wifi", "lte", ...).
 func (i *Interface) Name() string { return i.name }
 
+// Network returns the emulated network the interface is attached to.
+func (i *Interface) Network() *Network { return i.network }
+
 // Alive reports whether the interface currently has connectivity.
 func (i *Interface) Alive() bool {
 	i.mu.Lock()
@@ -110,8 +113,18 @@ func (i *Interface) SetAlive(alive bool) {
 
 // DialContext establishes an emulated connection to addr through this
 // interface, charging one round trip for the TCP three-way handshake.
-// It is shaped to plug into http.Transport.DialContext.
+// It is shaped to plug into http.Transport.DialContext. The caller
+// parks as a transient clock participant during the handshake;
+// registered goroutines should use Dial with their handle instead.
 func (i *Interface) DialContext(ctx context.Context, _ string, addr string) (net.Conn, error) {
+	return i.Dial(ctx, addr, nil)
+}
+
+// Dial establishes an emulated connection to addr through this
+// interface on behalf of the registered participant p (nil dials as a
+// transient). The returned conn is bound to p: its reads and writes
+// park through the handle.
+func (i *Interface) Dial(ctx context.Context, addr string, p *Participant) (*Conn, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -141,10 +154,15 @@ func (i *Interface) DialContext(ctx context.Context, _ string, addr string) (net
 	down.Seed = down.Seed*1000003 + int64(seq)*7
 
 	// TCP 3WHS: one full round trip before the connection is usable.
-	n.clock.Sleep(2 * up.Delay)
+	if p != nil {
+		p.Sleep(2 * up.Delay)
+	} else {
+		n.clock.Sleep(2 * up.Delay)
+	}
 
 	local := Addr(fmt.Sprintf("%s:%d", i.name, 40000+seq))
 	client, server := Pipe(n.clock, up, down, local, Addr(addr))
+	client.Bind(p)
 	client.onClose = func() { i.forget(client) }
 
 	i.mu.Lock()
@@ -202,8 +220,13 @@ func (l *Listener) deliver(c *Conn) error {
 	return nil
 }
 
-// Accept implements net.Listener.
-func (l *Listener) Accept() (net.Conn, error) {
+// Accept implements net.Listener. The caller parks as a transient
+// clock participant; registered accept loops should use AcceptP.
+func (l *Listener) Accept() (net.Conn, error) { return l.AcceptP(nil) }
+
+// AcceptP accepts the next connection on behalf of the registered
+// participant p (nil accepts as a transient).
+func (l *Listener) AcceptP(p *Participant) (net.Conn, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for {
@@ -212,10 +235,12 @@ func (l *Listener) Accept() (net.Conn, error) {
 		}
 		if len(l.pending) > 0 {
 			c := l.pending[0]
-			l.pending = l.pending[1:]
+			copy(l.pending, l.pending[1:])
+			l.pending[len(l.pending)-1] = nil
+			l.pending = l.pending[:len(l.pending)-1]
 			return c, nil
 		}
-		if !l.cond.Wait() {
+		if !l.cond.Wait(p) {
 			return nil, &net.OpError{Op: "accept", Net: "netem", Addr: l.addr, Err: errClosedConn}
 		}
 	}

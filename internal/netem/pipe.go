@@ -8,8 +8,12 @@ import (
 )
 
 // segment is a block of bytes due for delivery at an emulated instant.
+// data is a pooled buffer owned by the direction until the reader has
+// fully consumed it, at which point it returns to segPool. box is the
+// pool's reusable header so put-backs allocate nothing.
 type segment struct {
 	data    []byte
+	box     *[]byte
 	arrival time.Time
 }
 
@@ -20,26 +24,110 @@ type ackPoint struct {
 	cum int64
 }
 
+// ring is a reusable FIFO over a power-of-two circular buffer. Unlike
+// the previous `q = q[1:]` re-slicing queues, popping compacts nothing
+// and retains nothing: slots are zeroed on pop, so delivered segments
+// release their (pooled) payload buffers immediately instead of pinning
+// the backing array for the life of the connection.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+func (r *ring[T]) len() int { return r.n }
+
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+func (r *ring[T]) grow() {
+	next := make([]T, max(len(r.buf)*2, 8))
+	for i := 0; i < r.n; i++ {
+		next[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = next
+	r.head = 0
+}
+
+// front returns a pointer to the oldest element; undefined when empty.
+func (r *ring[T]) front() *T { return &r.buf[r.head] }
+
+// back returns a pointer to the newest element; undefined when empty.
+func (r *ring[T]) back() *T { return &r.buf[(r.head+r.n-1)&(len(r.buf)-1)] }
+
+func (r *ring[T]) pop() T {
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// segPool recycles segment payload buffers across every direction in
+// the process. Buffers are handed out by write sized to the pacing
+// segment and returned by read once fully consumed (or by teardown
+// paths). Oversized one-off buffers (beyond maxPooledSeg) are left to
+// the garbage collector so a burst of huge segments cannot pin memory.
+var segPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, defaultSegCap)
+		return &b
+	},
+}
+
+const (
+	defaultSegCap = 32 << 10
+	maxPooledSeg  = 256 << 10
+)
+
+func getSegBuf(n int) ([]byte, *[]byte) {
+	box := segPool.Get().(*[]byte)
+	if cap(*box) < n {
+		*box = make([]byte, 0, max(n, defaultSegCap))
+	}
+	return (*box)[:n], box
+}
+
+func putSegBuf(s segment) {
+	if s.box == nil {
+		return
+	}
+	if cap(s.data) > maxPooledSeg {
+		*s.box = nil // oversized one-off: let the GC take the payload
+	} else {
+		*s.box = s.data[:0]
+	}
+	segPool.Put(s.box)
+}
+
 // direction carries bytes one way between two conns: pacing state on the
 // write side, an arrival-ordered queue on the read side.
 //
 // Randomness invariant: the jitter/loss rng is a per-instance
 // *rand.Rand derived from LinkParams.Seed (itself derived from the
-// testbed or scenario seed), only ever touched under d.mu. No global
-// rand is consulted anywhere in the emulator, so runs with hundreds of
-// concurrent sessions stay bit-identical per seed: one direction's draw
-// sequence depends only on its own byte stream, never on scheduling
-// order against other directions.
+// testbed or scenario seed), only ever touched under d.mu, and created
+// lazily on the first draw — links with neither jitter nor loss never
+// pay for seeding. No global rand is consulted anywhere in the
+// emulator, so runs with hundreds of concurrent sessions stay
+// bit-identical per seed: one direction's draw sequence depends only on
+// its own byte stream, never on scheduling order against other
+// directions.
 type direction struct {
 	clock  *Clock
 	params LinkParams
-	rng    *rand.Rand // per-instance, seeded; guarded by mu
+	rng    *rand.Rand // lazily seeded on first draw; guarded by mu
 
 	mu       sync.Mutex
 	cond     *Cond // clock-aware; signalled on enqueue, read, close, abort
-	queue    []segment
+	queue    ring[segment]
 	buffered int // bytes written but not yet read (send buffer accounting)
-	unread   int // offset into queue[0].data already consumed
+	unread   int // offset into the head segment already consumed
 
 	lastDeparture time.Time // pacing frontier
 	lastArrival   time.Time // FIFO arrival frontier
@@ -48,10 +136,10 @@ type direction struct {
 	// (classic slow start), where a segment counts as acknowledged one
 	// reverse-path delay after it arrives.
 	lastActivity time.Time
-	sentCum      int64      // bytes queued onto the link
-	ackedCum     int64      // bytes acknowledged by time lastAckCheck
-	ackQueue     []ackPoint // pending (ackTime, cumulative sent) marks
-	ssBaseline   int64      // ackedCum at the last slow-start (re)start
+	sentCum      int64          // bytes queued onto the link
+	ackedCum     int64          // bytes acknowledged by time lastAckCheck
+	ackQueue     ring[ackPoint] // pending (ackTime, cumulative sent) marks
+	ssBaseline   int64          // ackedCum at the last slow-start (re)start
 
 	closed  bool  // writer closed: drain queue then EOF
 	aborted error // hard failure: surfaces immediately on both ends
@@ -61,7 +149,6 @@ func newDirection(clock *Clock, p LinkParams) *direction {
 	d := &direction{
 		clock:  clock,
 		params: p.withDefaults(),
-		rng:    rand.New(rand.NewSource(p.Seed + 1)),
 	}
 	d.cond = NewCond(clock, &d.mu)
 	now := clock.Now()
@@ -69,6 +156,18 @@ func newDirection(clock *Clock, p LinkParams) *direction {
 	d.lastDeparture = now
 	d.lastArrival = now
 	return d
+}
+
+// draws returns the direction's lazily-created rng. Seeding a math/rand
+// source costs ~600 words of state initialisation, which dominated
+// fleet-scale connection setup when done eagerly for every direction;
+// deferring it to the first jitter/loss draw keeps the draw sequence
+// identical while making loss-free links free. Callers must hold d.mu.
+func (d *direction) draws() *rand.Rand {
+	if d.rng == nil {
+		d.rng = rand.New(rand.NewSource(d.params.Seed + 1))
+	}
+	return d.rng
 }
 
 // ssRate returns the slow-start cap on the pacing rate at emulated time t,
@@ -85,9 +184,8 @@ func (d *direction) ssRate(t time.Time) float64 {
 		return math.Inf(1)
 	}
 	// Absorb acknowledgements due by t.
-	for len(d.ackQueue) > 0 && !d.ackQueue[0].t.After(t) {
-		d.ackedCum = d.ackQueue[0].cum
-		d.ackQueue = d.ackQueue[1:]
+	for d.ackQueue.len() > 0 && !d.ackQueue.front().t.After(t) {
+		d.ackedCum = d.ackQueue.pop().cum
 	}
 	if t.Sub(d.lastActivity) > d.params.SSRestartIdle {
 		d.ssBaseline = d.ackedCum // idle restart
@@ -98,7 +196,9 @@ func (d *direction) ssRate(t time.Time) float64 {
 
 // write paces p onto the link, blocking while the send buffer is full.
 // It returns the number of bytes accepted and the abort error, if any.
-func (d *direction) write(p []byte) (int, error) {
+// part is the writing goroutine's clock handle (nil parks as
+// transient).
+func (d *direction) write(p []byte, part *Participant) (int, error) {
 	written := 0
 	for len(p) > 0 {
 		d.mu.Lock()
@@ -118,7 +218,7 @@ func (d *direction) write(p []byte) (int, error) {
 			// reader waiting out an arrival wakes through the clock, so
 			// this wait cannot deadlock. A false return means the clock
 			// stopped and the reader will never drain.
-			if !d.cond.Wait() {
+			if !d.cond.Wait(part) {
 				d.mu.Unlock()
 				return written, errClosedConn
 			}
@@ -142,20 +242,17 @@ func (d *direction) write(p []byte) (int, error) {
 		if segBytes > len(p) {
 			segBytes = len(p)
 		}
-		data := make([]byte, segBytes)
-		copy(data, p[:segBytes])
-		p = p[segBytes:]
 
 		tx := time.Duration(float64(segBytes) / rate * float64(time.Second))
 		dep := d.lastDeparture.Add(tx)
 		arr := dep.Add(d.params.Delay)
 		if d.params.Jitter > 0 {
-			arr = arr.Add(time.Duration(d.rng.Int63n(int64(d.params.Jitter))))
+			arr = arr.Add(time.Duration(d.draws().Int63n(int64(d.params.Jitter))))
 		}
 		if d.params.LossProb > 0 {
 			nseg := (segBytes + DefaultMSS - 1) / DefaultMSS
 			for i := 0; i < nseg; i++ {
-				if d.rng.Float64() < d.params.LossProb {
+				if d.draws().Float64() < d.params.LossProb {
 					arr = arr.Add(d.params.RTOPenalty)
 				}
 			}
@@ -169,9 +266,21 @@ func (d *direction) write(p []byte) (int, error) {
 		if d.params.SlowStart {
 			// The segment is acknowledged one reverse-path delay after
 			// it arrives.
-			d.ackQueue = append(d.ackQueue, ackPoint{t: arr.Add(d.params.Delay), cum: d.sentCum})
+			d.ackQueue.push(ackPoint{t: arr.Add(d.params.Delay), cum: d.sentCum})
 		}
-		d.queue = append(d.queue, segment{data: data, arrival: arr})
+		// Coalesce into the tail segment when the arrival instant is
+		// identical (a clamped backlog) and the pooled buffer has room:
+		// the reader drains by arrival instant, so merging changes
+		// neither timing nor content, only queue churn.
+		if last := d.lastSegment(); last != nil && last.arrival.Equal(arr) &&
+			len(last.data)+segBytes <= cap(last.data) {
+			last.data = append(last.data, p[:segBytes]...)
+		} else {
+			data, box := getSegBuf(segBytes)
+			copy(data, p[:segBytes])
+			d.queue.push(segment{data: data, box: box, arrival: arr})
+		}
+		p = p[segBytes:]
 		d.buffered += segBytes
 		written += segBytes
 		d.cond.Broadcast()
@@ -180,9 +289,22 @@ func (d *direction) write(p []byte) (int, error) {
 	return written, nil
 }
 
+// lastSegment returns the newest queued segment, or nil when the queue
+// is empty. Appending to it is safe even when it doubles as the
+// partially consumed head: consumption tracks unread while append only
+// extends len, and both happen under d.mu. Callers must hold d.mu.
+func (d *direction) lastSegment() *segment {
+	if d.queue.len() == 0 {
+		return nil
+	}
+	return d.queue.back()
+}
+
 // read copies delivered bytes into p, blocking until data is available
 // (waiting out the arrival time of the head segment when necessary).
-func (d *direction) read(p []byte) (int, error) {
+// Fully consumed segments return their pooled buffers. part is the
+// reading goroutine's clock handle (nil parks as transient).
+func (d *direction) read(p []byte, part *Participant) (int, error) {
 	for {
 		d.mu.Lock()
 		if d.aborted != nil {
@@ -190,19 +312,19 @@ func (d *direction) read(p []byte) (int, error) {
 			d.mu.Unlock()
 			return 0, err
 		}
-		if len(d.queue) == 0 {
+		if d.queue.len() == 0 {
 			if d.closed {
 				d.mu.Unlock()
 				return 0, errEOF
 			}
-			ok := d.cond.Wait()
+			ok := d.cond.Wait(part)
 			d.mu.Unlock()
 			if !ok {
 				return 0, errClosedConn
 			}
 			continue
 		}
-		head := d.queue[0]
+		head := d.queue.front()
 		now := d.clock.Now()
 		if head.arrival.After(now) {
 			if d.clock.Stopped() {
@@ -213,13 +335,17 @@ func (d *direction) read(p []byte) (int, error) {
 			}
 			arrival := head.arrival
 			d.mu.Unlock()
-			d.clock.SleepUntil(arrival)
+			if part != nil {
+				part.SleepUntil(arrival)
+			} else {
+				d.clock.SleepUntil(arrival)
+			}
 			continue
 		}
 		// Drain as many arrived segments as fit into p.
 		n := 0
-		for n < len(p) && len(d.queue) > 0 {
-			s := &d.queue[0]
+		for n < len(p) && d.queue.len() > 0 {
+			s := d.queue.front()
 			if s.arrival.After(now) {
 				break
 			}
@@ -228,7 +354,7 @@ func (d *direction) read(p []byte) (int, error) {
 			n += c
 			d.unread += c
 			if d.unread == len(s.data) {
-				d.queue = d.queue[1:]
+				putSegBuf(d.queue.pop())
 				d.unread = 0
 			}
 		}
@@ -247,12 +373,47 @@ func (d *direction) close() {
 	d.mu.Unlock()
 }
 
-// abort poisons the direction with a hard error for both ends.
+// abort poisons the direction with a hard error for both ends and
+// releases queued payload buffers — an aborted direction delivers
+// nothing more, so holding onto the segments would only delay reuse.
 func (d *direction) abort(err error) {
 	d.mu.Lock()
 	if d.aborted == nil {
 		d.aborted = err
+		for d.queue.len() > 0 {
+			putSegBuf(d.queue.pop())
+		}
+		d.unread = 0
 	}
 	d.cond.Broadcast()
 	d.mu.Unlock()
+}
+
+// queuedBytes reports the bytes currently queued for delivery,
+// including the partially consumed head segment; used by tests to
+// verify that delivered segments release their memory.
+func (d *direction) queuedBytes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	total := -d.unread
+	for i := 0; i < d.queue.len(); i++ {
+		total += len(d.queue.buf[(d.queue.head+i)&(len(d.queue.buf)-1)].data)
+	}
+	if total < 0 {
+		total = 0
+	}
+	return total
+}
+
+// queueCapBytes reports the payload capacity referenced by the queue's
+// backing array — what the direction is actually pinning. A drained
+// queue must report 0 regardless of how much traffic has passed.
+func (d *direction) queueCapBytes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	total := 0
+	for i := range d.queue.buf {
+		total += cap(d.queue.buf[i].data)
+	}
+	return total
 }

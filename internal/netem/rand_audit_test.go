@@ -37,8 +37,9 @@ func TestPipeJitterPerInstanceSeed(t *testing.T) {
 	drive := func(seed int64, out *run, wg *sync.WaitGroup) {
 		a, b := Pipe(clock, params(seed), params(seed+1), Addr("a"), Addr("b"))
 		wg.Add(2)
-		clock.Go(func() {
+		clock.Go(func(p *Participant) {
 			defer wg.Done()
+			a.Bind(p)
 			buf := make([]byte, 8<<10)
 			for i := 0; i < total/len(buf); i++ {
 				if _, err := a.Write(buf); err != nil {
@@ -48,8 +49,9 @@ func TestPipeJitterPerInstanceSeed(t *testing.T) {
 			}
 			a.Close()
 		})
-		clock.Go(func() {
+		clock.Go(func(p *Participant) {
 			defer wg.Done()
+			b.Bind(p)
 			start := clock.Now()
 			buf := make([]byte, 4<<10)
 			for {

@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -93,14 +94,29 @@ func Outage(base Rate, start time.Time, d time.Duration) Rate {
 // between calls — so concurrent queries from any number of sessions
 // return identical values for identical instants, keeping fleet runs
 // bit-identical per seed.
+//
+// Because the multiplier is pure, the last computed (slot, multiplier)
+// pair is cached behind an atomic pointer: pacing queries hit the same
+// slot many times per interval, and seeding a math/rand source per
+// query (~600 words of state) dominated fleet-scale profiles. A cache
+// hit returns the identical value a recomputation would.
 func Lognormal(base Rate, sigma float64, interval time.Duration, seed int64) Rate {
 	if interval <= 0 {
 		interval = 200 * time.Millisecond
 	}
+	type slotMul struct {
+		slot int64
+		f    float64
+	}
+	var memo atomic.Pointer[slotMul]
 	return RateFunc(func(t time.Time) float64 {
 		slot := t.UnixNano() / interval.Nanoseconds()
+		if m := memo.Load(); m != nil && m.slot == slot {
+			return base.RateAt(t) * m.f
+		}
 		rng := rand.New(rand.NewSource(seed ^ slot*0x7E3779B97F4A7C15))
 		f := math.Exp(rng.NormFloat64()*sigma - sigma*sigma/2) // mean-one multiplier
+		memo.Store(&slotMul{slot: slot, f: f})
 		return base.RateAt(t) * f
 	})
 }

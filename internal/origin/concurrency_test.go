@@ -27,8 +27,10 @@ func decodeJSONBody(resp *http.Response, v any) error {
 
 // fetchInfoErr is fetchInfo with error return instead of t.Fatal, for
 // use off the test goroutine.
-func fetchInfoErr(cluster *Cluster, iface *netem.Interface, network, videoID string) (*VideoInfo, error) {
-	client := httpx.NewClient(iface)
+func fetchInfoErr(cluster *Cluster, iface *netem.Interface, network, videoID string, cp *netem.Participant) (*VideoInfo, error) {
+	tr := httpx.NewTransport(iface)
+	tr.Bind(cp)
+	client := &http.Client{Transport: tr}
 	defer client.CloseIdleConnections()
 	proxy, err := cluster.ProxyAddr(network)
 	if err != nil {
@@ -78,10 +80,12 @@ func TestConcurrentWatchAndRange(t *testing.T) {
 			netem.LinkParams{Rate: netem.Mbps(20), Delay: 10 * time.Millisecond, Seed: int64(i)},
 			netem.LinkParams{Rate: netem.Mbps(20), Delay: 10 * time.Millisecond, Seed: int64(i) + 7})
 		wg.Add(1)
-		clock.Go(func() {
+		clock.Go(func(cp *netem.Participant) {
 			defer wg.Done()
 			errs[i] = func() error {
-				client := httpx.NewClient(iface)
+				tr := httpx.NewTransport(iface)
+				tr.Bind(cp)
+				client := &http.Client{Transport: tr}
 				defer client.CloseIdleConnections()
 				proxy, err := cluster.ProxyAddr(network)
 				if err != nil {
@@ -186,9 +190,9 @@ func TestConcurrentTokenIssuanceDistinct(t *testing.T) {
 			iface, network = lte, "lte"
 		}
 		wg.Add(1)
-		cluster.net.Clock().Go(func() {
+		cluster.net.Clock().Go(func(cp *netem.Participant) {
 			defer wg.Done()
-			info, err := fetchInfoErr(cluster, iface, network, "shortclip01")
+			info, err := fetchInfoErr(cluster, iface, network, "shortclip01", cp)
 			results[i] = out{info, err}
 		})
 	}

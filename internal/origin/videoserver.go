@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/httpx"
 	"repro/internal/netem"
 	"repro/internal/videostore"
 )
@@ -80,6 +81,7 @@ func (s *VideoServer) handlePlayback(w http.ResponseWriter, r *http.Request) {
 	content := v.Content(f)
 	if s.throttle != nil {
 		w = &pacedWriter{ResponseWriter: w, clock: s.clock,
+			part:  httpx.ConnParticipant(w),
 			burst: s.throttle.BurstBytes,
 			rate:  s.throttle.RateFactor * f.BytesPerSecond()}
 	}
@@ -87,9 +89,12 @@ func (s *VideoServer) handlePlayback(w http.ResponseWriter, r *http.Request) {
 }
 
 // pacedWriter implements the Trickle pacing on top of a ResponseWriter.
+// Pacing sleeps run on the server's per-connection goroutine and park
+// through its clock handle when one is available.
 type pacedWriter struct {
 	http.ResponseWriter
 	clock *netem.Clock
+	part  *netem.Participant
 	burst int64
 	rate  float64 // bytes/sec after the burst
 	sent  int64
@@ -97,7 +102,12 @@ type pacedWriter struct {
 
 func (p *pacedWriter) Write(b []byte) (int, error) {
 	if p.sent >= p.burst && p.rate > 0 {
-		p.clock.Sleep(time.Duration(float64(len(b)) / p.rate * float64(time.Second)))
+		d := time.Duration(float64(len(b)) / p.rate * float64(time.Second))
+		if p.part != nil {
+			p.part.Sleep(d)
+		} else {
+			p.clock.Sleep(d)
+		}
 	}
 	n, err := p.ResponseWriter.Write(b)
 	p.sent += int64(n)

@@ -13,6 +13,7 @@ import (
 	"net/url"
 	"time"
 
+	"repro/internal/httpx"
 	"repro/internal/netem"
 	"repro/internal/videostore"
 )
@@ -91,7 +92,13 @@ func (p *WebProxy) handleWatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if p.processDelay > 0 {
-		p.clock.Sleep(p.processDelay)
+		// Handlers run on the server's per-connection goroutine; charge
+		// the think time through its clock handle when available.
+		if cp := httpx.ConnParticipant(w); cp != nil {
+			cp.Sleep(p.processDelay)
+		} else {
+			p.clock.Sleep(p.processDelay)
+		}
 	}
 	expire := p.clock.Now().Add(p.tokenTTL)
 	info := VideoInfo{

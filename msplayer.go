@@ -33,7 +33,7 @@
 //     owns its access links, so sessions on distinct clients run
 //     concurrently and deterministically. Try:
 //
-//	go run ./cmd/fleet -scenario flashcrowd -sessions 200 -seed 1
+//     go run ./cmd/fleet -scenario flashcrowd -sessions 200 -seed 1
 //
 // Quick start:
 //

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/netem"
 	"repro/internal/videostore"
 )
 
@@ -151,8 +152,8 @@ func TestServerFailoverMidStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Kill the primary WiFi replica shortly after the stream starts.
-	defer tb.Inject(func() {
-		tb.Clock().Sleep(1500 * time.Millisecond)
+	defer tb.Inject(func(ip *netem.Participant) {
+		ip.Sleep(1500 * time.Millisecond)
 		tb.Cluster().Kill("video1.youtube.wifi.test:443")
 	})()
 	m, err := p.Run(context.Background())
@@ -182,8 +183,8 @@ func TestInterfaceOutageStreamSurvivesOnLTE(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer tb.Inject(func() {
-		tb.Clock().Sleep(1200 * time.Millisecond)
+	defer tb.Inject(func(ip *netem.Participant) {
+		ip.Sleep(1200 * time.Millisecond)
 		tb.WiFi().SetAlive(false) // walk out of WiFi range, never return
 	})()
 	m, err := p.Run(context.Background())

@@ -130,6 +130,9 @@ type Testbed struct {
 	network *netem.Network
 	cluster *origin.Cluster
 	client  *Client // default client (session 0)
+
+	injectMu   sync.Mutex
+	injectRels []func() // pending Inject holds, released at session start
 }
 
 // NewTestbed deploys a testbed from the profile.
@@ -245,22 +248,39 @@ func (c *Client) Testbed() *Testbed { return c.tb }
 
 // Inject spawns fn on a clock-registered goroutine, for fault
 // injection (Interface.SetAlive, Cluster.Kill) at deterministic virtual
-// instants. It also registers the calling goroutine — which must be the
-// one that goes on to drive the session — so the clock cannot run fn's
-// sleeps in the window before Stream/Run registers the session
-// participants. The returned release function drops that registration;
-// defer it:
+// instants; fn parks through the Participant handle it receives. A
+// clock hold pins virtual time until the next session starts on this
+// testbed (sessions release pending holds the moment they register),
+// so fn's sleeps cannot run down before the session participants
+// exist. The returned release function drops the hold for the error
+// path where no session ever starts; defer it:
 //
-//	defer tb.Inject(func() {
-//		tb.Clock().Sleep(30 * time.Second)
+//	defer tb.Inject(func(p *netem.Participant) {
+//		p.Sleep(30 * time.Second)
 //		tb.WiFi().SetAlive(false)
 //	})()
 //	m, err := tb.Stream(ctx, cfg)
-func (tb *Testbed) Inject(fn func()) (release func()) {
-	tb.clock.Register()
-	tb.clock.Go(fn)
+func (tb *Testbed) Inject(fn func(*netem.Participant)) (release func()) {
+	tb.clock.Hold()
 	var once sync.Once
-	return func() { once.Do(tb.clock.Unregister) }
+	rel := func() { once.Do(tb.clock.Release) }
+	tb.injectMu.Lock()
+	tb.injectRels = append(tb.injectRels, rel)
+	tb.injectMu.Unlock()
+	tb.clock.Go(fn)
+	return rel
+}
+
+// sessionStarted releases pending Inject holds; wired into every
+// session's OnRun so injected timelines anchor to the session start.
+func (tb *Testbed) sessionStarted() {
+	tb.injectMu.Lock()
+	rels := tb.injectRels
+	tb.injectRels = nil
+	tb.injectMu.Unlock()
+	for _, rel := range rels {
+		rel()
+	}
 }
 
 // Close tears the testbed down: origin servers shut down (aborting
@@ -353,15 +373,29 @@ func (c *Client) NewSession(cfg SessionConfig) (*core.Player, error) {
 		Sink:               cfg.Sink,
 		StopAfterPreBuffer: cfg.StopAfterPreBuffer,
 		StopAfterRefills:   cfg.StopAfterRefills,
+		OnRun:              tb.sessionStarted,
 	})
 }
 
 // Stream runs a session on this client to completion and returns its
-// metrics.
+// metrics. The calling goroutine must not already be registered with
+// the testbed clock; registered callers (fleet sessions) use StreamAs.
 func (c *Client) Stream(ctx context.Context, cfg SessionConfig) (*Metrics, error) {
 	p, err := c.NewSession(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return p.Run(ctx)
+}
+
+// StreamAs runs a session on this client on behalf of an
+// already-registered clock participant (e.g. a fleet session goroutine
+// spawned with Clock.Go): the session's top-level waits park through
+// part instead of registering a second time.
+func (c *Client) StreamAs(ctx context.Context, part *netem.Participant, cfg SessionConfig) (*Metrics, error) {
+	p, err := c.NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunAs(ctx, part)
 }
