@@ -10,6 +10,7 @@
 //	benchall -ablation        # delta/alpha/out-of-order/head-start sweeps
 //	benchall -mobility        # WiFi-outage robustness experiment
 //	benchall -json            # write BENCH_fleet.json / BENCH_figs.json
+//	benchall -guard BENCH_fleet.json   # fail if fleet wall time regressed >25%
 package main
 
 import (
@@ -35,12 +36,26 @@ func main() {
 		jsonDir  = flag.String("json-dir", ".", "directory for the -json artifacts")
 		flashN   = flag.Int("json-flash-sessions", 200, "-json: flashcrowd session count")
 		denseN   = flag.Int("json-dense-sessions", 2000, "-json: densecrowd session count")
+		guard    = flag.String("guard", "", "re-run the fleet experiments of the given BENCH_fleet.json and fail on wall-time regression")
+		guardMax = flag.Float64("guard-factor", 1.25, "-guard: maximum allowed wall-time factor vs the baseline")
 	)
 	flag.Parse()
 
 	opt := bench.Options{Reps: *reps, Seed: *seed, Parallel: *parallel}
 	w := os.Stdout
 	start := time.Now()
+
+	if *guard != "" {
+		// CI regression gate: re-run the committed baseline's fleet
+		// experiments and fail when the headline wall time regresses
+		// beyond the allowed factor.
+		fmt.Fprintf(w, "bench guard vs %s (max %.2fx):\n", *guard, *guardMax)
+		if err := bench.Guard(w, *guard, *guardMax, opt); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "guard passed in %v\n", time.Since(start).Round(time.Second))
+		return
+	}
 
 	if *jsonOut {
 		// The artifacts record headline metrics plus the wall time and

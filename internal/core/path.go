@@ -56,6 +56,11 @@ func newPath(id int, cfg PathConfig, pl *Player) *path {
 // retrying without this sentinel would hot-loop.
 var errClockStopped = errors.New("core: emulation clock stopped")
 
+// errSessionStopped is the abort error the player's teardown pipeline
+// schedules on in-flight connections: it surfaces in both endpoints'
+// reads and writes from the teardown instant on.
+var errSessionStopped = errors.New("core: session stopped")
+
 // backoff sleeps an exponentially growing emulated delay, capped at
 // 2 s, returning a non-nil error if the context was cancelled or the
 // clock stopped.

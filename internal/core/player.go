@@ -84,22 +84,29 @@ type Player struct {
 	start  time.Time
 
 	// Session lifecycle state, guarded by smu and signalled through the
-	// clock-aware scond so Run and the gater park clock-visibly.
+	// clock-aware scond so Run, the paths and the gater park
+	// clock-visibly. Teardown is a three-stage state machine driven by
+	// RunAs: stopping (the books are sealed and every in-flight transfer
+	// is aborted at one pinned virtual instant), draining (the worker
+	// goroutines unwind on the clock, parked via scond), closed (the
+	// sealed metrics are collected).
 	smu         sync.Mutex
 	scond       *netem.Cond
 	sessionDone bool // stop condition reached
-	cancelled   bool // Run's context fired
-	pathsExited bool // every path and the gater returned
+	cancelled   bool // Run's context fired or teardown began
+	pathsExited bool // every path returned
+	liveWorkers int  // running path + gater goroutines (the drain barrier)
 	bufferReady bool // first bootstrap created the playout buffer
 	kicked      bool // gate turned OFF since the gater last looked
-	doneOnce    sync.Once
+	sealOnce    sync.Once
 
-	// Byte accounting snapshotted at the stop-condition instant (see
-	// finish): teardown after that instant races in-flight transfers
-	// against connection aborts, so bytes counted after it would differ
-	// run to run. The stop condition itself fires at a deterministic
-	// virtual instant on a registered goroutine, making the snapshot —
-	// and therefore Metrics — bit-identical per seed. Guarded by smu.
+	// Byte accounting sealed at the session-end instant (see seal):
+	// Elapsed/TotalBytes/Paths define the session's result at the moment
+	// its outcome was decided — the stop condition for clean sessions, or
+	// teardown entry for cancelled/aborted ones — deliberately excluding
+	// the teardown's own artifacts (abort-induced request failures) from
+	// QoE. Both instants are deterministic virtual instants for clean
+	// sessions, so Metrics is bit-identical per seed. Guarded by smu.
 	finElapsed time.Duration
 	finBytes   int64
 	finPaths   []PathStats
@@ -209,8 +216,17 @@ func (p *Player) phase() Phase {
 	return PhaseReBuffer
 }
 
-func (p *Player) finish() {
-	p.doneOnce.Do(func() {
+// finish marks the stop condition reached, sealing the session's books
+// at the current instant. It runs on a registered goroutine (a path's
+// delivery callback or the gater) at a deterministic virtual instant.
+func (p *Player) finish() { p.seal(true) }
+
+// seal freezes the session's byte accounting at the caller's current
+// instant, exactly once. markDone additionally records that the stop
+// condition was reached (as opposed to an external cancellation or a
+// stopped clock, where RunAs seals at teardown entry instead).
+func (p *Player) seal(markDone bool) {
+	p.sealOnce.Do(func() {
 		p.mu.Lock()
 		start := p.start
 		p.mu.Unlock()
@@ -221,7 +237,9 @@ func (p *Player) finish() {
 		p.finElapsed = elapsed
 		p.finBytes = bytes
 		p.finPaths = paths
-		p.sessionDone = true
+		if markDone {
+			p.sessionDone = true
+		}
 		p.scond.Broadcast()
 		p.smu.Unlock()
 	})
@@ -262,6 +280,12 @@ func (p *Player) gater(part *netem.Participant) {
 		}
 		if wake, ok := buf.NextWake(now); ok {
 			part.SleepUntil(wake)
+			if p.over() || p.clock.Stopped() {
+				// The session ended (or the emulation stopped) while this
+				// sleep was pending: the books are sealed, so a Tick now
+				// would record post-session buffer events.
+				return
+			}
 			buf.Tick(p.clock.Now())
 			if buf.Finished(p.clock.Now()) {
 				p.finish()
@@ -317,9 +341,19 @@ func (p *Player) RunAs(ctx context.Context, part *netem.Participant) (*Metrics, 
 	// still-registered goroutine: paths exiting is an emulated-time
 	// event, and relaying it through an unregistered watcher would open
 	// a window for nondeterministic clock jumps before Run observes it.
-	// The gater is excluded from the count — it legitimately outlives
-	// paths that fail before the first bootstrap.
+	// The gater is excluded from that count — it legitimately outlives
+	// paths that fail before the first bootstrap — but both feed
+	// liveWorkers, the drain barrier RunAs parks on during teardown.
 	livePaths := len(p.cfg.Paths)
+	p.smu.Lock()
+	p.liveWorkers = len(p.cfg.Paths) + 1 // paths + gater
+	p.smu.Unlock()
+	workerDone := func() {
+		p.smu.Lock()
+		p.liveWorkers--
+		p.scond.Broadcast()
+		p.smu.Unlock()
+	}
 	var allWg sync.WaitGroup
 	for i, pc := range p.cfg.Paths {
 		paths[i] = newPath(i, pc, p)
@@ -327,6 +361,7 @@ func (p *Player) RunAs(ctx context.Context, part *netem.Participant) (*Metrics, 
 		allWg.Add(1)
 		clock.Go(func(pp *netem.Participant) {
 			defer allWg.Done()
+			defer workerDone()
 			pt.run(ctx, pp)
 			p.smu.Lock()
 			livePaths--
@@ -340,6 +375,7 @@ func (p *Player) RunAs(ctx context.Context, part *netem.Participant) (*Metrics, 
 	allWg.Add(1)
 	clock.Go(func(gp *netem.Participant) {
 		defer allWg.Done()
+		defer workerDone()
 		p.gater(gp)
 	})
 
@@ -377,41 +413,64 @@ func (p *Player) RunAs(ctx context.Context, part *netem.Participant) (*Metrics, 
 	default:
 		runErr = ctx.Err()
 	}
+
+	// Stopping: this goroutine is runnable, so virtual time is pinned at
+	// the teardown instant until it parks again — for a clean session
+	// that is exactly the stop-condition instant. Everything here lands
+	// at that one instant: the books are sealed (a no-op when finish
+	// already sealed them), new chunk assignment stops, cancellation
+	// becomes visible to the workers, and every in-flight transfer is
+	// aborted through the clock-visible conn abort protocol. Per-request
+	// context watchers that fire later are no-ops (earliest abort wins),
+	// so teardown outcomes — including the origin's per-server request,
+	// byte and abort accounting — are functions of virtual time alone.
+	p.seal(false)
 	p.cm.stop()
+	p.smu.Lock()
+	p.cancelled = true
+	p.scond.Broadcast()
+	p.smu.Unlock()
 	cancel()
-	// Suspend the session participant while joining the workers: they
-	// must be able to advance virtual time (e.g. out of backoff sleeps)
-	// while this goroutine is parked in a wait the clock cannot see.
+	for _, pt := range paths {
+		pt.tr.Shutdown(errSessionStopped)
+	}
+
+	// Draining: the workers unwind at deterministic virtual instants
+	// (aborted fetches observe their conn errors, the gater wakes from
+	// its pending sleep); RunAs joins them parked on the clock.
+	p.smu.Lock()
+	for p.liveWorkers > 0 {
+		if !p.scond.Wait(part) {
+			break // clock stopped: workers exit promptly off-clock
+		}
+	}
+	p.smu.Unlock()
+	// Memory barrier (and stopped-clock fallback): the workers' final
+	// writes happen-before collect reads them. Suspend the session
+	// participant for the wait the clock cannot see.
 	part.Suspend()
 	allWg.Wait()
 	part.Resume()
-	for _, pt := range paths {
-		pt.client.CloseIdleConnections()
-	}
+
+	// Closed: collect the sealed result.
 	return p.collect(), runErr
 }
 
+// collect assembles the session Metrics from the sealed books. It runs
+// after the drain barrier, so every contributing write has completed;
+// the values themselves were sealed at the session-end instant (clean
+// stop or teardown entry), so the teardown's own artifacts never leak
+// into the result.
 func (p *Player) collect() *Metrics {
 	m := &Metrics{Scheduler: p.cfg.Scheduler.Name()}
 	p.smu.Lock()
-	done := p.sessionDone
-	if done {
-		m.Paths = p.finPaths
-		m.Elapsed = p.finElapsed
-		m.TotalBytes = p.finBytes
-	}
+	m.Paths = p.finPaths
+	m.Elapsed = p.finElapsed
+	m.TotalBytes = p.finBytes
 	p.smu.Unlock()
 	p.mu.Lock()
 	buf := p.buffer
-	start := p.start
 	p.mu.Unlock()
-	if !done {
-		// Aborted teardown (cancel, clock stop, paths lost): report the
-		// live state; such sessions carry an error anyway.
-		m.Paths = p.metrics.snapshot()
-		m.Elapsed = p.clock.Now().Sub(start)
-		m.TotalBytes = p.cm.Frontier()
-	}
 	if buf != nil {
 		if d, ok := buf.PreBufferTime(); ok {
 			m.PreBufferTime = d

@@ -9,7 +9,6 @@ import (
 	"repro"
 	"repro/internal/netem"
 	"repro/internal/netem/trace"
-	"repro/internal/origin"
 )
 
 // SessionResult is the outcome of one session in a fleet run.
@@ -86,9 +85,20 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	driver.Suspend()
 	wg.Wait()
 	driver.Resume()
+
+	// Every session has torn down its transports through the clock-visible
+	// conn abort protocol, so the origin's per-connection loops unwind at
+	// deterministic virtual instants. Join that drain barrier on the
+	// clock, then sample the per-server books exactly once: after a
+	// settled drain they are final and exact — no wall-clock quiescence
+	// polling, no racy in-flight remainders.
+	settled := tb.Drain(driver)
+	loads := tb.Cluster().Loads()
 	driver.Unregister()
 
-	return buildReport(sc, results, quiescedLoads(tb.Cluster())), nil
+	rep := buildReport(sc, results, loads)
+	rep.LoadsSettled = settled
+	return rep, nil
 }
 
 // runSession executes one cohort member: wait for its arrival instant,
@@ -165,30 +175,6 @@ func runSession(ctx context.Context, sp *netem.Participant, tb *msplayer.Testbed
 		StopAfterPreBuffer: co.StopAfterPreBuffer,
 		StopAfterRefills:   co.StopAfterRefills,
 	})
-}
-
-// quiescedLoads samples per-server accounting once the origin's books
-// are closed. Session goroutines have joined by the time it is called,
-// but server handlers unwinding from connections aborted at session
-// stop decrement their in-flight counts asynchronously on their own
-// goroutines, so sampling immediately could catch a handler mid-exit.
-// The wait is wall-clock (teardown needs no virtual time) and bounded.
-func quiescedLoads(c *origin.Cluster) []origin.ServerLoad {
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		loads := c.Loads()
-		busy := false
-		for _, l := range loads {
-			if l.InFlight != 0 {
-				busy = true
-				break
-			}
-		}
-		if !busy || time.Now().After(deadline) {
-			return loads
-		}
-		time.Sleep(time.Millisecond)
-	}
 }
 
 // scaleWindow returns a shape that multiplies the rate by factor inside

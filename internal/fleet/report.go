@@ -136,8 +136,16 @@ type Report struct {
 	// their merged union.
 	Cohorts []CohortReport
 	Fleet   Aggregate
-	// Loads snapshots per-origin-server request accounting.
+	// Loads snapshots per-origin-server request accounting, sampled
+	// exactly once after the cluster's drain barrier: totals, body byte
+	// attribution and Aborted dispositions are final and deterministic
+	// per seed.
 	Loads []origin.ServerLoad
+	// LoadsSettled reports whether the origin drain barrier completed
+	// (it only fails when the emulation clock was stopped mid-run); when
+	// false the Loads table may be missing in-flight remainders and the
+	// report says so instead of publishing wrong totals.
+	LoadsSettled bool
 	// Results holds the raw per-session outcomes, indexed
 	// [cohort][session], for tests and downstream analysis.
 	Results [][]SessionResult
@@ -187,13 +195,19 @@ func (r *Report) String() string {
 	if len(r.Cohorts) > 1 {
 		writeAggregate(&b, "fleet", &r.Fleet)
 	}
-	var total int64
+	var total, aborted int64
 	for _, l := range r.Loads {
 		total += l.Total
+		aborted += l.Aborted
 	}
-	fmt.Fprintf(&b, "origin load: %d servers, %d requests\n", len(r.Loads), total)
+	fmt.Fprintf(&b, "origin load: %d servers, %d requests (%d aborted)\n",
+		len(r.Loads), total, aborted)
+	if !r.LoadsSettled {
+		fmt.Fprintf(&b, "  WARNING: origin books did not settle (clock stopped mid-drain); totals below may be partial\n")
+	}
 	for _, l := range r.Loads {
-		fmt.Fprintf(&b, "  %-32s %-5s reqs=%d\n", l.Addr, l.Network, l.Total)
+		fmt.Fprintf(&b, "  %-32s %-5s reqs=%d bytes=%d aborted=%d inflight=%d\n",
+			l.Addr, l.Network, l.Total, l.Bytes, l.Aborted, l.InFlight)
 	}
 	return b.String()
 }

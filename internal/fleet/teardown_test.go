@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/origin"
+)
+
+// ifdownWave returns a flashcrowd scenario with a mid-session WiFi
+// outage wave sweeping half the population one session at a time: the
+// outage aborts established connections while transfers are in flight,
+// and the pre-buffer stop condition tears sessions down while the other
+// path may still be mid-request — both exercising the deterministic
+// shutdown pipeline end to end (conn abort protocol, origin Aborted
+// dispositions, fleet drain barrier). Trickle-style server pacing is
+// enabled so responses are long-lived at the origin: a paced handler is
+// parked mid-response for most of its service time, which is what lets
+// the aborts deterministically catch requests in flight (with unpaced
+// servers a response is buffered whole in ~zero virtual time and dies
+// in flight only after the handler has already moved on).
+func ifdownWave(sessions int, seed int64) Scenario {
+	sc := FlashCrowd(sessions, seed)
+	sc.Name = "flashcrowd-ifdown"
+	sc.Description = "poisson burst with a mid-session WiFi outage wave"
+	profile := msplayer.TestbedProfile(seed)
+	profile.Throttle = &origin.ThrottleConfig{BurstBytes: 256 << 10, RateFactor: 3}
+	sc.Profile = &profile
+	co := &sc.Cohorts[0]
+	// The wave starts after the 2 s arrival window, so every affected
+	// session has established connections and transfers in flight when
+	// its interface drops.
+	co.Events = []Event{{
+		Kind:     EventWiFiDown,
+		At:       3 * time.Second,
+		Duration: 2 * time.Second,
+		Fraction: 0.5,
+		Stagger:  5 * time.Millisecond,
+	}}
+	return sc
+}
+
+// TestTeardownDeterministicUnderChurn is the acceptance gate for the
+// deterministic shutdown pipeline: two same-seed 200-session flashcrowd
+// runs with a mid-session interface-down wave must produce byte-identical
+// full reports — per-origin request, byte and abort totals included —
+// with every origin book settled (no in-flight remainders) and no
+// wall-clock quiescence polling anywhere in the teardown path. Run it
+// with -race: the former failure mode was wall-clock-racy teardown
+// accounting at exactly this kind of scale.
+func TestTeardownDeterministicUnderChurn(t *testing.T) {
+	const sessions = 200
+	run := func() *Report {
+		rep, err := Run(context.Background(), ifdownWave(sessions, 23))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	repA := run()
+	a, b := repA.String(), run().String()
+	if a != b {
+		t.Fatalf("same-seed reports differ:\n--- run 1\n%s--- run 2\n%s", a, b)
+	}
+
+	if repA.Fleet.Errored != 0 {
+		t.Errorf("%d sessions errored; the outage wave should be survivable via LTE", repA.Fleet.Errored)
+	}
+	if !repA.LoadsSettled {
+		t.Error("origin books did not settle after the drain barrier")
+	}
+	var aborted int64
+	for _, l := range repA.Loads {
+		aborted += l.Aborted
+		if l.InFlight != 0 {
+			t.Errorf("server %s left %d requests in flight after drain", l.Addr, l.InFlight)
+		}
+		if l.Aborted > l.Total {
+			t.Errorf("server %s: aborted %d > total %d", l.Addr, l.Aborted, l.Total)
+		}
+	}
+	if aborted == 0 {
+		t.Error("no aborted requests recorded; the scenario failed to exercise mid-flight teardown")
+	}
+}
+
+// TestDensecrowdTeardownDeterministic repeats the byte-identity check
+// at densecrowd population density (lighter sessions, heavier conn
+// churn), at a population sized to stay fast under -race.
+func TestDensecrowdTeardownDeterministic(t *testing.T) {
+	sessions := 250
+	if testing.Short() {
+		sessions = 120
+	}
+	run := func() string {
+		sc, err := Builtin("densecrowd", sessions, 59)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(context.Background(), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Fleet.Errored != 0 {
+			t.Fatalf("%d sessions errored", rep.Fleet.Errored)
+		}
+		if !rep.LoadsSettled {
+			t.Fatal("origin books did not settle")
+		}
+		return rep.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same-seed densecrowd reports differ:\n--- run 1\n%s--- run 2\n%s", a, b)
+	}
+}

@@ -13,6 +13,17 @@
 // would park their internal goroutines on plain channels, invisible to
 // the clock). Connections are persistent, so each range request after
 // the first costs one request round trip, exactly as in the paper.
+//
+// Teardown is deterministic end to end: Transport.Shutdown aborts every
+// connection through the netem conn abort protocol (a clock event at
+// one pinned virtual instant), the Server's request lifecycle hooks
+// (WithRequestHooks) attribute each request's bytes and Aborted
+// disposition on clock-registered goroutines, and Server.Drain joins
+// the per-connection loops on the clock. Per-request context
+// cancellation remains available for callers outside the emulation's
+// timeline (an unregistered watcher aborts the conn mid-request), but a
+// deterministic teardown makes those watchers no-ops by scheduling its
+// own aborts first — the earliest abort wins.
 package httpx
 
 import (
@@ -71,14 +82,20 @@ type Transport struct {
 	iface *netem.Interface
 	part  *netem.Participant
 
-	mu   sync.Mutex
-	idle map[string][]*persistConn
+	mu     sync.Mutex
+	idle   map[string][]*persistConn
+	live   map[*persistConn]struct{} // every open conn (idle and in use)
+	closed error                     // non-nil once Shutdown ran; fails new dials
 }
 
 // NewTransport builds the transport underlying NewClient; exposed so
 // callers can share one connection pool across clients.
 func NewTransport(iface *netem.Interface) *Transport {
-	return &Transport{iface: iface, idle: make(map[string][]*persistConn)}
+	return &Transport{
+		iface: iface,
+		idle:  make(map[string][]*persistConn),
+		live:  make(map[*persistConn]struct{}),
+	}
 }
 
 // Bind attaches the owning goroutine's clock handle. Call before the
@@ -195,6 +212,10 @@ const (
 
 func (t *Transport) getConn(ctx context.Context, addr string) (pc *persistConn, reused bool, err error) {
 	t.mu.Lock()
+	if err := t.closed; err != nil {
+		t.mu.Unlock()
+		return nil, false, err
+	}
 	if pcs := t.idle[addr]; len(pcs) > 0 {
 		pc := pcs[len(pcs)-1]
 		t.idle[addr] = pcs[:len(pcs)-1]
@@ -210,19 +231,85 @@ func (t *Transport) getConn(ctx context.Context, addr string) (pc *persistConn, 
 		conn.Close()
 		return nil, false, fmt.Errorf("httpx: secure handshake with %s: %w", addr, err)
 	}
-	return &persistConn{conn: conn, br: getReader(conn)}, false, nil
+	pc = &persistConn{conn: conn, br: getReader(conn)}
+	t.mu.Lock()
+	if err := t.closed; err != nil {
+		// Shut down while the dial was parked on the clock: the
+		// teardown sweep could not see this conn, so retire it here.
+		t.mu.Unlock()
+		t.discard(pc)
+		return nil, false, err
+	}
+	t.live[pc] = struct{}{}
+	t.mu.Unlock()
+	return pc, false, nil
 }
 
 // discard retires a connection for good: the emulated conn is closed
 // and its buffered reader returns to the pool. Callers must be the
 // conn's sole owner (nothing may read pc.br afterwards).
 func (t *Transport) discard(pc *persistConn) {
+	t.mu.Lock()
+	delete(t.live, pc)
+	t.mu.Unlock()
 	pc.conn.Close()
 	if pc.br != nil {
 		putReader(pc.br)
 		pc.br = nil
 	}
 }
+
+// Shutdown retires the transport at the current emulated instant: new
+// dials fail with err, idle connections are closed, and in-use
+// connections are aborted with err. Because netem aborts are clock
+// events (see netem.Conn.AbortAt), calling Shutdown from a runnable
+// registered goroutine pins the whole sweep to one deterministic
+// virtual instant — every in-flight request on this transport, and
+// every server handler serving it, observes the failure at exactly that
+// instant. Later per-request cancellation watchers become no-ops (the
+// earliest abort schedule wins). Shutdown is idempotent.
+func (t *Transport) Shutdown(err error) {
+	if err == nil {
+		err = errTransportClosed
+	}
+	t.mu.Lock()
+	if t.closed != nil {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = err
+	idle := t.idle
+	t.idle = make(map[string][]*persistConn)
+	idleSet := make(map[*persistConn]bool, len(idle))
+	for _, pcs := range idle {
+		for _, pc := range pcs {
+			idleSet[pc] = true
+		}
+	}
+	var inUse []*persistConn
+	for pc := range t.live {
+		if !idleSet[pc] {
+			inUse = append(inUse, pc)
+		}
+	}
+	t.mu.Unlock()
+	for _, pcs := range idle {
+		for _, pc := range pcs {
+			t.discard(pc) // graceful close: the server sees EOF, not an abort
+		}
+	}
+	// In-use conns are aborted, not closed: their owning fetch loops are
+	// parked in clock-visible reads and wake with err by the abort rule;
+	// each owner retires its own conn (and pooled reader) afterwards.
+	// All aborts land at the caller's single pinned virtual instant, so
+	// the map iteration order is unobservable.
+	for _, pc := range inUse {
+		abortConn(pc.conn, err)
+	}
+}
+
+// errTransportClosed is the default Shutdown error.
+var errTransportClosed = fmt.Errorf("httpx: transport shut down")
 
 // dropIdle discards every pooled connection to addr.
 func (t *Transport) dropIdle(addr string) {
@@ -237,7 +324,7 @@ func (t *Transport) dropIdle(addr string) {
 
 func (t *Transport) putIdle(addr string, pc *persistConn) {
 	t.mu.Lock()
-	if len(t.idle[addr]) < maxIdlePerHost {
+	if t.closed == nil && len(t.idle[addr]) < maxIdlePerHost {
 		t.idle[addr] = append(t.idle[addr], pc)
 		t.mu.Unlock()
 		return

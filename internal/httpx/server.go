@@ -27,13 +27,49 @@ type Server struct {
 	l     net.Listener
 	h     http.Handler
 	hs    handshake.Params
+
+	// Request lifecycle hooks, fixed before the accept loop starts.
+	reqStart func(*http.Request)
+	reqDone  func(req *http.Request, bodyBytes int64, aborted bool)
+
+	// Connection-loop accounting behind the Drain barrier. Conn loops
+	// are clock-registered goroutines, so their exits land at emulated
+	// instants; a drainer parked on cond therefore joins them on the
+	// clock, with no wall-clock polling.
+	mu     sync.Mutex
+	cond   *netem.Cond
+	active int // running per-connection loops
+}
+
+// ServerOption configures a Server at Serve time (the accept loop runs
+// as soon as Serve returns, so options cannot be applied later).
+type ServerOption func(*Server)
+
+// WithRequestHooks observes every dispatched request: start fires when
+// the parsed request is handed to the handler, done fires after the
+// response is finished (or abandoned), reporting the body bytes the
+// handler produced and whether the request was aborted — i.e. the
+// response never reached the client intact because a connection write
+// failed (teardown abort, interface loss, server kill) or the handler
+// panicked. Both fire on the clock-registered per-connection goroutine,
+// so under a deterministic teardown every accounting mutation lands at
+// a deterministic emulated instant. Either hook may be nil.
+func WithRequestHooks(start func(*http.Request), done func(req *http.Request, bodyBytes int64, aborted bool)) ServerOption {
+	return func(s *Server) {
+		s.reqStart = start
+		s.reqDone = done
+	}
 }
 
 // Serve starts serving h on l, completing the emulated TLS-style
 // handshake (with processing delays hs) on every accepted connection
 // before reading requests. Close the returned server to stop.
-func Serve(clock *netem.Clock, l net.Listener, h http.Handler, hs handshake.Params) *Server {
+func Serve(clock *netem.Clock, l net.Listener, h http.Handler, hs handshake.Params, opts ...ServerOption) *Server {
 	s := &Server{clock: clock, l: l, h: h, hs: hs}
+	s.cond = netem.NewCond(clock, &s.mu)
+	for _, opt := range opts {
+		opt(s)
+	}
 	clock.Go(s.acceptLoop)
 	return s
 }
@@ -42,6 +78,25 @@ func Serve(clock *netem.Clock, l net.Listener, h http.Handler, hs handshake.Para
 // established connections (ErrServerDown), which unblocks and terminates
 // the per-connection loops.
 func (s *Server) Close() error { return s.l.Close() }
+
+// Drain parks the caller until every per-connection loop has unwound,
+// waiting on the emulation clock (p may be nil for an unregistered
+// caller, which parks as a transient). The caller must guarantee no new
+// connections will arrive — every client is gone or shut down —
+// otherwise the drain chases a moving target. It returns false when the
+// clock stopped before the loops unwound. After a true return, all
+// request accounting (WithRequestHooks done callbacks included) has
+// been published.
+func (s *Server) Drain(p *netem.Participant) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.active > 0 {
+		if !s.cond.Wait(p) {
+			return s.active == 0
+		}
+	}
+	return true
+}
 
 // Addr returns the listen address.
 func (s *Server) Addr() net.Addr { return s.l.Addr() }
@@ -71,11 +126,23 @@ func (s *Server) acceptLoop(p *netem.Participant) {
 			return
 		}
 		conn := c
+		s.mu.Lock()
+		s.active++
+		s.mu.Unlock()
 		s.clock.Go(func(cp *netem.Participant) { s.serveConn(cp, conn) })
 	}
 }
 
 func (s *Server) serveConn(p *netem.Participant, c net.Conn) {
+	// The active decrement is the outermost defer: by the time a drainer
+	// observes active == 0, this loop's request accounting (including
+	// the panic path) has fully published.
+	defer func() {
+		s.mu.Lock()
+		s.active--
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
 	defer c.Close()
 	// Contain handler panics to this connection, as net/http's server
 	// does: the conn dies, the process (and the experiment) survives.
@@ -105,15 +172,36 @@ func (s *Server) serveConn(p *netem.Participant, c net.Conn) {
 		}
 		req.RemoteAddr = remoteAddr
 		w.reset(req.Method == http.MethodHead)
-		s.h.ServeHTTP(w, req)
-		if req.Body != nil {
-			io.Copy(io.Discard, req.Body)
-			req.Body.Close()
-		}
-		if !w.finish() || req.Close {
+		if !s.serveRequest(w, req) || req.Close {
 			return
 		}
 	}
+}
+
+// serveRequest dispatches one request through the lifecycle hooks and
+// reports whether the connection can carry another. The done hook fires
+// on every path out; a request counts as aborted when its response did
+// not reach the client intact — a connection write failed (teardown
+// abort, interface loss, server kill) or the handler panicked (the
+// panic then continues into the conn-level recover). Retiring the
+// connection for framing reasons (Connection: close, close-delimited
+// body) is a clean completion.
+func (s *Server) serveRequest(w *responseWriter, req *http.Request) (keepAlive bool) {
+	if s.reqStart != nil {
+		s.reqStart(req)
+	}
+	completed := false
+	if s.reqDone != nil {
+		defer func() { s.reqDone(req, w.written, !completed) }()
+	}
+	s.h.ServeHTTP(w, req)
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+	keepAlive = w.finish()
+	completed = w.err == nil
+	return keepAlive
 }
 
 // ConnParticipant returns the clock Participant of the server
@@ -144,6 +232,7 @@ type responseWriter struct {
 	hasCL       bool
 	declaredCL  int64 // parsed Content-Length when hasCL
 	written     int64 // body bytes actually framed
+	err         error // first connection write/flush failure, if any
 }
 
 // reset clears per-request state for the next keep-alive request,
@@ -158,6 +247,7 @@ func (w *responseWriter) reset(isHead bool) {
 	w.hasCL = false
 	w.declaredCL = 0
 	w.written = 0
+	w.err = nil
 }
 
 // Header implements http.ResponseWriter.
@@ -210,18 +300,31 @@ func (w *responseWriter) Write(b []byte) (int, error) {
 	w.written += int64(len(b))
 	if w.chunked {
 		if _, err := fmt.Fprintf(w.bw, "%x\r\n", len(b)); err != nil {
-			return 0, err
+			return 0, w.fail(err)
 		}
 		n, err := w.bw.Write(b)
 		if err != nil {
-			return n, err
+			return n, w.fail(err)
 		}
 		if _, err := io.WriteString(w.bw, "\r\n"); err != nil {
-			return n, err
+			return n, w.fail(err)
 		}
 		return n, nil
 	}
-	return w.bw.Write(b)
+	n, err := w.bw.Write(b)
+	if err != nil {
+		return n, w.fail(err)
+	}
+	return n, nil
+}
+
+// fail records the first connection write failure (the request's abort
+// disposition) and returns err for the caller to propagate.
+func (w *responseWriter) fail(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	return err
 }
 
 // copyBufPool recycles the scratch buffers ReadFrom streams bodies
@@ -265,7 +368,8 @@ func (w *responseWriter) finish() bool {
 	if w.chunked {
 		io.WriteString(w.bw, "0\r\n\r\n")
 	}
-	if w.bw.Flush() != nil {
+	if err := w.bw.Flush(); err != nil {
+		w.fail(err)
 		return false
 	}
 	if w.header.Get("Connection") == "close" {

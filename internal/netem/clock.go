@@ -59,6 +59,13 @@ type Clock struct {
 
 	done chan struct{} // closed by Stop; wakes every parked waiter
 
+	// frozen/frozenAt pin Now() at the stop instant: once Stop has run,
+	// every Now() call returns the same value in both clock modes, so
+	// post-teardown accessors (metrics, buffer levels) read a stable
+	// emulated time instead of a wall clock that keeps running.
+	frozen   atomic.Bool
+	frozenAt atomic.Int64 // emulated offset from base at Stop, in ns
+
 	// realtime mode
 	realtime  bool
 	scale     float64
@@ -221,7 +228,9 @@ func (c *Clock) Go(fn func(*Participant)) {
 
 // Stop terminates the clock. Parked waiters are woken immediately (in
 // both clock modes) through the done channel; the emulation is expected
-// to be torn down afterwards.
+// to be torn down afterwards. Now() is frozen at the stop instant: a
+// stopped clock reports the same emulated time forever, in both modes,
+// so teardown-path reads (session metrics, buffer levels) are stable.
 func (c *Clock) Stop() {
 	c.mu.Lock()
 	if c.stopped {
@@ -229,6 +238,12 @@ func (c *Clock) Stop() {
 		return
 	}
 	c.stopped = true
+	if c.realtime {
+		c.frozenAt.Store(int64(float64(time.Since(c.realStart)) * c.scale))
+	} else {
+		c.frozenAt.Store(c.virt.Load())
+	}
+	c.frozen.Store(true)
 	close(c.done)
 	c.sleepers = nil
 	c.mu.Unlock()
@@ -249,9 +264,13 @@ func (c *Clock) Stopped() bool {
 // Now returns the current emulated time. In virtual mode this is a
 // lock-free atomic read: registered participants can only observe the
 // clock between jumps (jumps require them all parked), and transient
-// observers tolerate the relaxed ordering by construction.
+// observers tolerate the relaxed ordering by construction. After Stop,
+// Now is frozen at the stop instant in both modes.
 func (c *Clock) Now() time.Time {
 	if c.realtime {
+		if c.frozen.Load() {
+			return c.base.Add(time.Duration(c.frozenAt.Load()))
+		}
 		real := time.Since(c.realStart)
 		return c.base.Add(time.Duration(float64(real) * c.scale))
 	}

@@ -332,3 +332,28 @@ func TestCondSignalTransfersCredit(t *testing.T) {
 			consumedAt.Sub(c.base), producedAt.Sub(c.base))
 	}
 }
+
+// TestStopFreezesNow pins the post-teardown time contract: once Stop
+// has run, Now returns the stop instant forever, in both clock modes —
+// so accessors consulted after teardown (player buffer levels, metrics
+// of cancelled sessions) read one stable emulated time instead of a
+// wall clock that keeps running.
+func TestStopFreezesNow(t *testing.T) {
+	c := NewScaledClock(1000) // 1 ms wall ≈ 1 s emulated: drift is obvious
+	time.Sleep(2 * time.Millisecond)
+	c.Stop()
+	frozen := c.Now()
+	time.Sleep(5 * time.Millisecond)
+	if !c.Now().Equal(frozen) {
+		t.Fatalf("scaled clock advanced after Stop: %v -> %v", frozen, c.Now())
+	}
+
+	v := NewVirtualClock()
+	v.Go(func(p *Participant) { p.Sleep(3 * time.Second) })
+	v.Sleep(time.Second)
+	v.Stop()
+	vf := v.Now()
+	if got := v.Now(); !got.Equal(vf) {
+		t.Fatalf("virtual clock moved after Stop: %v -> %v", vf, got)
+	}
+}

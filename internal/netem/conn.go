@@ -70,7 +70,9 @@ func (c *Conn) Read(p []byte) (int, error) {
 func (c *Conn) Write(p []byte) (int, error) { return c.out.write(p, c.part) }
 
 // Close implements net.Conn. The peer drains in-flight data, then sees
-// EOF; local reads fail immediately.
+// EOF; local reads fail from the close instant on (data that had
+// already arrived stays deliverable under the abort protocol's
+// delivered-before-abort rule, but a closing endpoint never reads it).
 func (c *Conn) Close() error {
 	c.out.close()
 	c.in.abort(errClosedConn)
@@ -80,11 +82,25 @@ func (c *Conn) Close() error {
 	return nil
 }
 
-// Abort hard-fails the connection in both directions with err, modelling
-// interface loss or a crashed peer.
+// Abort hard-fails the connection in both directions with err effective
+// at the current emulated instant, modelling interface loss or a
+// crashed peer. Equivalent to AbortAt(now, err); see AbortAt for the
+// determinism rules.
 func (c *Conn) Abort(err error) {
 	c.out.abort(err)
 	c.in.abort(err)
+}
+
+// AbortAt schedules a hard failure of both directions at the emulated
+// instant t (clamped to now). The abort is a clock event, not a
+// wall-clock side effect: both endpoints observe err exactly from t
+// onward, in-flight segments arriving at or before t remain
+// deliverable, and segments arriving strictly after t are dropped. The
+// earliest scheduled abort wins, so redundant abort sources commute and
+// teardown outcomes never depend on goroutine scheduling order.
+func (c *Conn) AbortAt(t time.Time, err error) {
+	c.out.abortAt(t, err)
+	c.in.abortAt(t, err)
 }
 
 // LocalAddr implements net.Conn.

@@ -60,6 +60,51 @@
 // Registered goroutines must not call the transient shims: the clock
 // would count them twice and wedge.
 //
+// # Shutdown and draining
+//
+// Teardown is part of the deterministic model, not an afterthought: a
+// connection abort is a scheduled clock event, never a racy side
+// effect. Conn.AbortAt(t, err) (and Conn.Abort, its t=now shorthand)
+// schedules a hard failure of both directions at the emulated instant
+// t, and from there every endpoint behaviour is a pure function of
+// virtual time:
+//
+//   - Reads and writes fail with err exactly from t onward.
+//   - Segments that arrived at or before t stay deliverable — a reader
+//     drains them first, even if it is only scheduled after t — then
+//     sees err (the delivered-before-abort rule).
+//   - Segments that would arrive strictly after t are dropped in
+//     flight: the sender's pre-t writes are accepted (it cannot tell
+//     yet), but the bytes never reach the peer (the dropped-at-abort
+//     rule). Strict inequality keeps same-instant races commutative: a
+//     segment arriving exactly at t is delivered whether or not its
+//     reader beat the abort to it.
+//   - The earliest scheduled abort wins; later re-schedules are no-ops,
+//     so redundant abort sources (a teardown sweep, a per-request
+//     cancellation watcher, interface loss) commute.
+//
+// Who initiates, and what parks where: an initiator that is RUNNABLE
+// and registered (a fleet session's teardown, a fault injector) pins
+// virtual time while it sweeps its connections, so every abort in the
+// sweep lands at one deterministic instant T; everything parked at T —
+// fetch loops in clock-visible reads, server loops in request reads or
+// paced writes — wakes through the abort's Cond broadcast and observes
+// err by the rules above, at instants the clock alone decides. The only
+// scheduling races left are between goroutines runnable at the very
+// same virtual instant, which the protocol makes commute. Clock.Stop is
+// the out-of-band big hammer for ending an emulation from outside
+// emulated time: it wakes every parked waiter and freezes Now() at the
+// stop instant in both clock modes, so post-stop accessors read one
+// stable time instead of a wall clock that keeps running.
+//
+// Consumers build drain barriers on these semantics: httpx.Server
+// counts its per-connection loops and Server.Drain parks a caller (via
+// Cond) until they unwind, origin.Cluster.Drain chains that across
+// every server, and the fleet engine joins that barrier on the clock
+// after its sessions finish, then samples the per-origin books exactly
+// once — final, settled, and bit-identical per seed, with no wall-clock
+// quiescence polling anywhere.
+//
 // Internally the participant/idle counters are atomics and the clock
 // mutex guards only the deadline heap and the jump loop; wake tokens
 // are delivered outside the lock. Parks reuse the participant's wake

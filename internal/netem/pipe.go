@@ -69,6 +69,19 @@ func (r *ring[T]) pop() T {
 	return v
 }
 
+// popBack removes and returns the newest element; undefined when empty.
+// Used by the abort protocol to drop segments that would arrive at or
+// after the abort instant (the queue is arrival-ordered, so dropped
+// segments are always a suffix).
+func (r *ring[T]) popBack() T {
+	var zero T
+	i := (r.head + r.n - 1) & (len(r.buf) - 1)
+	v := r.buf[i]
+	r.buf[i] = zero
+	r.n--
+	return v
+}
+
 // segPool recycles segment payload buffers across every direction in
 // the process. Buffers are handed out by write sized to the pacing
 // segment and returned by read once fully consumed (or by teardown
@@ -141,8 +154,19 @@ type direction struct {
 	ackQueue     ring[ackPoint] // pending (ackTime, cumulative sent) marks
 	ssBaseline   int64          // ackedCum at the last slow-start (re)start
 
-	closed  bool  // writer closed: drain queue then EOF
-	aborted error // hard failure: surfaces immediately on both ends
+	closed bool // writer closed: drain queue then EOF
+
+	// Abort protocol state. An abort is a scheduled event at an emulated
+	// instant, not a wall-clock side effect: abortErr/abortTime are set
+	// once (earliest schedule wins) and every endpoint behaviour is then
+	// a pure function of virtual time — reads and writes fail once the
+	// clock reaches abortTime, segments that arrived at or before the
+	// abort instant stay deliverable (even if read later), and segments
+	// that would arrive strictly after it are dropped in flight.
+	// Outcomes therefore never depend on goroutine scheduling order
+	// around the abort.
+	abortErr  error
+	abortTime time.Time
 }
 
 func newDirection(clock *Clock, p LinkParams) *direction {
@@ -203,9 +227,9 @@ func (d *direction) write(p []byte, part *Participant) (int, error) {
 	for len(p) > 0 {
 		d.mu.Lock()
 		for {
-			if d.aborted != nil {
+			if err := d.abortedBy(d.clock.Now()); err != nil {
 				d.mu.Unlock()
-				return written, d.aborted
+				return written, err
 			}
 			if d.closed {
 				d.mu.Unlock()
@@ -216,8 +240,9 @@ func (d *direction) write(p []byte, part *Participant) (int, error) {
 			}
 			// Send buffer full: space is freed only by reads, and a
 			// reader waiting out an arrival wakes through the clock, so
-			// this wait cannot deadlock. A false return means the clock
-			// stopped and the reader will never drain.
+			// this wait cannot deadlock (a pending abort re-wakes every
+			// waiter at the abort instant). A false return means the
+			// clock stopped and the reader will never drain.
 			if !d.cond.Wait(part) {
 				d.mu.Unlock()
 				return written, errClosedConn
@@ -268,20 +293,26 @@ func (d *direction) write(p []byte, part *Participant) (int, error) {
 			// it arrives.
 			d.ackQueue.push(ackPoint{t: arr.Add(d.params.Delay), cum: d.sentCum})
 		}
-		// Coalesce into the tail segment when the arrival instant is
-		// identical (a clamped backlog) and the pooled buffer has room:
-		// the reader drains by arrival instant, so merging changes
-		// neither timing nor content, only queue churn.
-		if last := d.lastSegment(); last != nil && last.arrival.Equal(arr) &&
+		if d.abortErr != nil && arr.After(d.abortTime) {
+			// Dropped-at-abort rule: the segment would arrive strictly
+			// after the scheduled abort instant, so it is accepted from
+			// the sender (which cannot tell yet) but vanishes in flight
+			// and never occupies the receive queue.
+		} else if last := d.lastSegment(); last != nil && last.arrival.Equal(arr) &&
 			len(last.data)+segBytes <= cap(last.data) {
+			// Coalesce into the tail segment when the arrival instant is
+			// identical (a clamped backlog) and the pooled buffer has
+			// room: the reader drains by arrival instant, so merging
+			// changes neither timing nor content, only queue churn.
 			last.data = append(last.data, p[:segBytes]...)
+			d.buffered += segBytes
 		} else {
 			data, box := getSegBuf(segBytes)
 			copy(data, p[:segBytes])
 			d.queue.push(segment{data: data, box: box, arrival: arr})
+			d.buffered += segBytes
 		}
 		p = p[segBytes:]
-		d.buffered += segBytes
 		written += segBytes
 		d.cond.Broadcast()
 		d.mu.Unlock()
@@ -307,12 +338,16 @@ func (d *direction) lastSegment() *segment {
 func (d *direction) read(p []byte, part *Participant) (int, error) {
 	for {
 		d.mu.Lock()
-		if d.aborted != nil {
-			err := d.aborted
-			d.mu.Unlock()
-			return 0, err
-		}
 		if d.queue.len() == 0 {
+			// Delivered-before-abort rule: the queue only ever holds
+			// segments arriving at or before the abort instant (later
+			// ones are dropped at enqueue/schedule time), so queued data
+			// is always drained before the abort error surfaces — even
+			// when the reader runs after the abort instant.
+			if err := d.abortedBy(d.clock.Now()); err != nil {
+				d.mu.Unlock()
+				return 0, err
+			}
 			if d.closed {
 				d.mu.Unlock()
 				return 0, errEOF
@@ -373,20 +408,68 @@ func (d *direction) close() {
 	d.mu.Unlock()
 }
 
-// abort poisons the direction with a hard error for both ends and
-// releases queued payload buffers — an aborted direction delivers
-// nothing more, so holding onto the segments would only delay reuse.
-func (d *direction) abort(err error) {
-	d.mu.Lock()
-	if d.aborted == nil {
-		d.aborted = err
-		for d.queue.len() > 0 {
-			putSegBuf(d.queue.pop())
-		}
-		d.unread = 0
+// abortedBy returns the abort error when the scheduled abort has taken
+// effect by the emulated instant now. Callers must hold d.mu.
+func (d *direction) abortedBy(now time.Time) error {
+	if d.abortErr != nil && !now.Before(d.abortTime) {
+		return d.abortErr
 	}
+	return nil
+}
+
+// abort schedules a hard failure effective at the current emulated
+// instant: both ends fail from now on, and queued segments that have
+// not yet arrived are dropped (already-arrived data stays deliverable).
+func (d *direction) abort(err error) { d.abortAt(d.clock.Now(), err) }
+
+// abortAt schedules a hard failure of the direction at the emulated
+// instant t (clamped to now). The earliest scheduled abort wins; a
+// later re-schedule is a no-op, which makes redundant abort sources
+// (teardown sweep, per-request cancellation watchers, interface loss)
+// commute. Segments whose arrival instant is strictly after t are
+// dropped immediately (releasing their pooled buffers); segments
+// arriving at or before t remain deliverable until read. Both
+// endpoints observe the error exactly from t onward, regardless of
+// when their goroutines are scheduled.
+func (d *direction) abortAt(t time.Time, err error) {
+	d.mu.Lock()
+	now := d.clock.Now()
+	if t.Before(now) {
+		t = now
+	}
+	if d.abortErr != nil && !d.abortTime.After(t) {
+		d.mu.Unlock()
+		return
+	}
+	d.abortErr, d.abortTime = err, t
+	// Dropped-at-abort rule: in-flight segments arriving strictly after
+	// the abort instant vanish; a segment arriving exactly at t counts
+	// as delivered. Strictness is what makes same-instant races
+	// commute: a reader runnable at t may already have (partially)
+	// consumed a segment with arrival == t, and dropping it here would
+	// make the outcome depend on which goroutine ran first (besides
+	// corrupting the unread/buffered accounting of a half-read head).
+	// The queue is arrival-ordered, so dropped segments form a suffix,
+	// and a partially consumed head (arrival <= now <= t) survives.
+	for d.queue.len() > 0 && d.queue.back().arrival.After(t) {
+		s := d.queue.popBack()
+		d.buffered -= len(s.data)
+		putSegBuf(s)
+	}
+	future := t.After(now)
 	d.cond.Broadcast()
 	d.mu.Unlock()
+	if future {
+		// Future abort: park a watcher that re-wakes all waiters at the
+		// abort instant, when the error becomes observable. Immediate
+		// aborts (the teardown hot path) never pay for this goroutine.
+		d.clock.Go(func(p *Participant) {
+			p.SleepUntil(t)
+			d.mu.Lock()
+			d.cond.Broadcast()
+			d.mu.Unlock()
+		})
+	}
 }
 
 // queuedBytes reports the bytes currently queued for delivery,

@@ -87,14 +87,21 @@ type serverInstance struct {
 }
 
 // serverLoad is the per-server request accounting behind Cluster.Loads.
+// Mutations ride the httpx request lifecycle hooks, which fire on the
+// server's clock-registered per-connection goroutines: under the
+// deterministic teardown pipeline every increment and decrement lands
+// at a deterministic emulated instant, so totals (and the Aborted
+// disposition) are exact per seed once the cluster has drained.
 type serverLoad struct {
 	mu       sync.Mutex
 	inFlight int
 	peak     int
 	total    int64
+	bytes    int64
+	aborted  int64
 }
 
-func (l *serverLoad) enter() {
+func (l *serverLoad) start(*http.Request) {
 	l.mu.Lock()
 	l.inFlight++
 	l.total++
@@ -104,9 +111,13 @@ func (l *serverLoad) enter() {
 	l.mu.Unlock()
 }
 
-func (l *serverLoad) exit() {
+func (l *serverLoad) done(_ *http.Request, bodyBytes int64, aborted bool) {
 	l.mu.Lock()
 	l.inFlight--
+	l.bytes += bodyBytes
+	if aborted {
+		l.aborted++
+	}
 	l.mu.Unlock()
 }
 
@@ -115,7 +126,8 @@ type ServerLoad struct {
 	// Addr and Network identify the server.
 	Addr    string
 	Network string
-	// InFlight is the number of requests currently being handled.
+	// InFlight is the number of requests currently being handled. After
+	// Cluster.Drain it is always zero.
 	InFlight int
 	// Peak is the maximum observed concurrent in-flight count. Note that
 	// requests whose emulated service intervals merely touch at a
@@ -124,6 +136,15 @@ type ServerLoad struct {
 	Peak int
 	// Total counts every request the server has started handling.
 	Total int64
+	// Bytes counts the response body bytes produced across requests,
+	// including the partial bodies of aborted requests (exact up to the
+	// deterministic abort instant).
+	Bytes int64
+	// Aborted counts requests with the Aborted disposition: the response
+	// never reached the client intact because the connection failed
+	// mid-response — session teardown, interface loss, or a server kill.
+	// Completed minus aborted request work is Total - Aborted.
+	Aborted int64
 }
 
 // Deploy builds and starts a cluster on n.
@@ -172,18 +193,15 @@ func (c *Cluster) start(addr, network string, h http.Handler) error {
 		return fmt.Errorf("origin: listen %s: %w", addr, err)
 	}
 	inst := &serverInstance{addr: addr, network: network}
-	// Every request passes through the instance's load accounting, so
-	// per-server utilisation is observable (Cluster.Loads) under
-	// population-scale concurrent fleets.
-	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		inst.load.enter()
-		defer inst.load.exit()
-		h.ServeHTTP(w, r)
-	})
 	// httpx.Serve runs the whole server side — handshake processing,
 	// request reads, response writes — on clock-registered goroutines,
-	// keeping the virtual clock's waiter accounting exact.
-	inst.srv = httpx.Serve(c.net.Clock(), inner, counted, c.cfg.Handshake)
+	// keeping the virtual clock's waiter accounting exact. The request
+	// lifecycle hooks feed the instance's load accounting (including
+	// the Aborted disposition and body byte attribution), so per-server
+	// utilisation is observable (Cluster.Loads) and exact under
+	// population-scale concurrent fleets.
+	inst.srv = httpx.Serve(c.net.Clock(), inner, h, c.cfg.Handshake,
+		httpx.WithRequestHooks(inst.load.start, inst.load.done))
 	c.mu.Lock()
 	c.servers[addr] = inst
 	c.all = append(c.all, inst)
@@ -206,10 +224,33 @@ func (c *Cluster) Loads() []ServerLoad {
 			InFlight: inst.load.inFlight,
 			Peak:     inst.load.peak,
 			Total:    inst.load.total,
+			Bytes:    inst.load.bytes,
+			Aborted:  inst.load.aborted,
 		})
 		inst.load.mu.Unlock()
 	}
 	return out
+}
+
+// Drain parks the caller until every server's per-connection loops have
+// unwound, joining them on the emulation clock (p may be nil to park as
+// a transient). Call it after every client is gone or shut down — e.g.
+// after a fleet's sessions have torn down their transports — and before
+// sampling Loads: a true return guarantees InFlight is zero everywhere
+// and every request's disposition has been recorded, so one Loads call
+// observes final, exact books. Returns false when the emulation clock
+// stopped before the books closed.
+func (c *Cluster) Drain(p *netem.Participant) bool {
+	c.mu.Lock()
+	insts := append([]*serverInstance(nil), c.all...)
+	c.mu.Unlock()
+	settled := true
+	for _, inst := range insts {
+		if !inst.srv.Drain(p) {
+			settled = false
+		}
+	}
+	return settled
 }
 
 // liveReplicas returns the not-killed video servers of a network,

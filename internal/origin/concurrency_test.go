@@ -139,24 +139,14 @@ func TestConcurrentWatchAndRange(t *testing.T) {
 		}
 	}
 
-	// Load accounting: every request must have been counted, and the
-	// books must close (a handler's deferred exit runs asynchronously
-	// after the client has its response, so wait briefly for zero).
-	deadline := time.Now().Add(2 * time.Second)
-	loads := cluster.Loads()
-	for {
-		busy := false
-		for _, l := range loads {
-			if l.InFlight != 0 {
-				busy = true
-			}
-		}
-		if !busy || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(time.Millisecond)
-		loads = cluster.Loads()
+	// Load accounting: every request must have been counted. Each client
+	// closed its idle connections before returning, so the cluster's
+	// drain barrier closes the books on the clock — no wall-clock
+	// settle polling.
+	if !cluster.Drain(nil) {
+		t.Fatal("cluster drain did not settle")
 	}
+	loads := cluster.Loads()
 	var total int64
 	for _, l := range loads {
 		if l.InFlight != 0 {

@@ -283,9 +283,23 @@ func (tb *Testbed) sessionStarted() {
 	}
 }
 
+// Drain parks the caller until the origin cluster's per-connection
+// loops have unwound, joining them on the emulation clock (p may be nil
+// to park as a transient). Call it after every session has completed —
+// session teardown aborts its connections at deterministic virtual
+// instants, so the server side unwinds on the clock too — and before
+// sampling Cluster().Loads(): a true return guarantees the per-server
+// books are final and exact. Returns false when the clock stopped
+// before the books closed.
+func (tb *Testbed) Drain(p *netem.Participant) bool {
+	return tb.cluster.Drain(p)
+}
+
 // Close tears the testbed down: origin servers shut down (aborting
 // their connections) and the clock stops, waking any remaining sleepers
-// in either clock mode.
+// in either clock mode. Now() is frozen at the stop instant, so
+// post-close accessors (session metrics, buffer levels) read a stable
+// emulated time.
 func (tb *Testbed) Close() {
 	tb.cluster.Close()
 	tb.clock.Stop()
