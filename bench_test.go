@@ -55,6 +55,23 @@ func BenchmarkFleetDensecrowd(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetMegacrowd exercises the 20k-session scale scenario at a
+// CI-friendly population: many thousands of wheel-resident arrival
+// deadlines and light SD sessions, the shape that stresses the clock's
+// sharded scheduling rather than the data plane.
+func BenchmarkFleetMegacrowd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc, err := fleet.Builtin("megacrowd", 500, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fleet.Run(context.Background(), sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchOpt keeps per-iteration work bounded; seeds vary per iteration.
 func benchOpt(i int) bench.Options { return bench.Options{Reps: 2, Seed: int64(i)*97 + 1} }
 

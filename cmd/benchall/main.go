@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/bench"
@@ -36,11 +37,21 @@ func main() {
 		jsonDir  = flag.String("json-dir", ".", "directory for the -json artifacts")
 		flashN   = flag.Int("json-flash-sessions", 200, "-json: flashcrowd session count")
 		denseN   = flag.Int("json-dense-sessions", 2000, "-json: densecrowd session count")
+		megaN    = flag.Int("json-mega-sessions", 20000, "-json: megacrowd session count (0 skips it)")
 		guard    = flag.String("guard", "", "re-run the fleet experiments of the given BENCH_fleet.json and fail on wall-time regression")
 		guardMax = flag.Float64("guard-factor", 1.25, "-guard: maximum allowed wall-time factor vs the baseline")
+		gogc     = flag.Int("gogc", 400, "GC target percentage, matching cmd/fleet (0 keeps the runtime default)")
 	)
 	flag.Parse()
 
+	if *gogc > 0 {
+		// Same GC target as cmd/fleet: fleet-scale experiments churn
+		// pooled buffers, and at the megacrowd population the default
+		// target makes wall time GC-bound and noisy — the guard and the
+		// baselines it compares against must measure under one
+		// configuration.
+		debug.SetGCPercent(*gogc)
+	}
 	opt := bench.Options{Reps: *reps, Seed: *seed, Parallel: *parallel}
 	w := os.Stdout
 	start := time.Now()
@@ -63,7 +74,7 @@ func main() {
 		// trajectory future PRs measure against. Experiments run
 		// sequentially so the allocation accounting is attributable.
 		fmt.Fprintln(w, "fleet benchmarks:")
-		fleetArt, err := bench.FleetArtifact(w, opt, *flashN, *denseN)
+		fleetArt, err := bench.FleetArtifact(w, opt, *flashN, *denseN, *megaN)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 //	fleet -list
 //	fleet -scenario flashcrowd -sessions 200 -seed 1
 //	fleet -scenario densecrowd -sessions 2000
+//	fleet -scenario megacrowd           # 20k light sessions, the scale proof
 //	fleet -scenario wifiwave -sessions 60
 //	fleet -scenario flashcrowd -cpuprofile cpu.out -memprofile mem.out
 package main

@@ -24,13 +24,28 @@ type Experiment struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// Artifact is the top-level BENCH_*.json document.
+// Artifact is the top-level BENCH_*.json document. GoVersion, NumCPU
+// and GOMAXPROCS describe the machine and runtime configuration that
+// produced the numbers: wall-time comparisons against an artifact from
+// a different configuration are noise, and the guard warns on them.
 type Artifact struct {
 	Kind        string       `json:"kind"` // "fleet" or "figs"
 	GoVersion   string       `json:"go_version"`
 	NumCPU      int          `json:"num_cpu"`
+	GoMaxProcs  int          `json:"gomaxprocs,omitempty"`
 	Seed        int64        `json:"seed"`
 	Experiments []Experiment `json:"experiments"`
+}
+
+// newArtifact stamps an artifact with the current runtime environment.
+func newArtifact(kind string, seed int64) *Artifact {
+	return &Artifact{
+		Kind:       kind,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+	}
 }
 
 // measure runs fn and captures its wall time and allocation cost.
@@ -70,18 +85,23 @@ func fleetMetrics(rep *fleet.Report) map[string]float64 {
 }
 
 // FleetArtifact runs the fleet-scale benchmarks — the flashcrowd
-// start-up study and the densecrowd population stress — at the given
-// session counts and returns the artifact for BENCH_fleet.json.
-func FleetArtifact(w io.Writer, opt Options, flashSessions, denseSessions int) (*Artifact, error) {
+// start-up study, the densecrowd population stress, and the megacrowd
+// 20k-session scale proof — at the given session counts (a count of 0
+// skips that experiment) and returns the artifact for BENCH_fleet.json.
+func FleetArtifact(w io.Writer, opt Options, flashSessions, denseSessions, megaSessions int) (*Artifact, error) {
 	opt = opt.withDefaults()
-	art := &Artifact{Kind: "fleet", GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(), Seed: opt.Seed}
+	art := newArtifact("fleet", opt.Seed)
 	for _, c := range []struct {
 		scenario string
 		sessions int
 	}{
 		{"flashcrowd", flashSessions},
 		{"densecrowd", denseSessions},
+		{"megacrowd", megaSessions},
 	} {
+		if c.sessions <= 0 {
+			continue
+		}
 		sc, err := fleet.Builtin(c.scenario, c.sessions, opt.Seed)
 		if err != nil {
 			return nil, err
@@ -107,7 +127,7 @@ func FleetArtifact(w io.Writer, opt Options, flashSessions, denseSessions int) (
 // repetition count and returns the artifact for BENCH_figs.json.
 func FigsArtifact(w io.Writer, opt Options) (*Artifact, error) {
 	opt = opt.withDefaults()
-	art := &Artifact{Kind: "figs", GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(), Seed: opt.Seed}
+	art := newArtifact("figs", opt.Seed)
 	add := func(name string, fn func() map[string]float64) {
 		var metrics map[string]float64
 		exp, _ := measure(name, nil, func() error {

@@ -32,6 +32,7 @@ var builtins = map[string]func(int, int64) Scenario{
 	"ramp":       LoadRamp,
 	"flashcrowd": FlashCrowd,
 	"densecrowd": DenseCrowd,
+	"megacrowd":  MegaCrowd,
 	"wifiwave":   WiFiWave,
 	"abtest":     SchedulerAB,
 }
@@ -98,6 +99,42 @@ func DenseCrowd(sessions int, seed int64) Scenario {
 				LowWater:        4 * time.Second,
 				RefillSize:      4 * time.Second,
 				StallRecovery:   2 * time.Second,
+			},
+			StopAfterPreBuffer: true,
+		}},
+	}
+}
+
+// MegaCrowd is the 20k-session scale proof: an order of magnitude past
+// DenseCrowd, with the per-session payload cut down further (the SD
+// format and a 5 s pre-buffer goal, ~440 KB per session) so the run
+// measures what it exists to measure — the emulator carrying tens of
+// thousands of concurrently parked sessions on one clock: timer-wheel
+// scheduling, shard contention, connection churn, origin fan-in. The
+// thirty-second Poisson window keeps tens of thousands of arrival
+// deadlines resident in the wheel's overflow level at once.
+func MegaCrowd(sessions int, seed int64) Scenario {
+	if sessions <= 0 {
+		sessions = 20000
+	}
+	return Scenario{
+		Name:        "megacrowd",
+		Description: "tens of thousands of SD pre-buffering sessions against one origin",
+		Seed:        seed,
+		Cohorts: []Cohort{{
+			Name:     "mega",
+			Sessions: sessions,
+			Paths:    msplayer.BothPaths,
+			Scheduler: SchedulerSpec{
+				Kind: "harmonic",
+			},
+			Arrival: ArrivalSpec{Kind: ArrivalPoisson, Window: 30 * time.Second},
+			Itag:    18, // SD360: light per-session payload at huge populations
+			Buffer: msplayer.BufferConfig{
+				PreBufferTarget: 5 * time.Second,
+				LowWater:        2 * time.Second,
+				RefillSize:      2 * time.Second,
+				StallRecovery:   time.Second,
 			},
 			StopAfterPreBuffer: true,
 		}},

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 )
 
@@ -96,16 +97,27 @@ func HeadStart(r1, r2 time.Duration) time.Duration {
 }
 
 // maxMsgSize bounds the wire size of any handshake message (the
-// certificate flight dominates); writeMsg stages messages in a stack
-// buffer of this size to keep connection setup allocation-free.
+// certificate flight dominates).
 const maxMsgSize = 3200
+
+// msgBufPool recycles message staging buffers. Message bodies are
+// all-zero filler (only the 5-byte header carries information), and
+// writeMsg never writes past the header, so a pooled buffer's body
+// stays zero across uses — each buffer is cleared exactly once at
+// birth instead of a ~3 KB stack clear per message, which added up
+// across every connection of a fleet.
+var msgBufPool = sync.Pool{
+	New: func() any { return new([5 + maxMsgSize]byte) },
+}
 
 func writeMsg(conn net.Conn, typ byte) error {
 	size := msgSize[typ]
-	var buf [5 + maxMsgSize]byte
+	buf := msgBufPool.Get().(*[5 + maxMsgSize]byte)
 	buf[0] = typ
 	binary.BigEndian.PutUint32(buf[1:5], uint32(size))
-	if _, err := conn.Write(buf[:5+size]); err != nil {
+	_, err := conn.Write(buf[:5+size])
+	msgBufPool.Put(buf)
+	if err != nil {
 		return fmt.Errorf("handshake: write msg %d: %w", typ, err)
 	}
 	return nil

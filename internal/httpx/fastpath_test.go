@@ -1,0 +1,130 @@
+package httpx
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bufConn is a net.Conn that records writes and serves reads from a
+// canned buffer — enough to drive the request/response fast paths.
+type bufConn struct {
+	bytes.Buffer
+}
+
+func (b *bufConn) Read(p []byte) (int, error)       { return b.Buffer.Read(p) }
+func (b *bufConn) Write(p []byte) (int, error)      { return b.Buffer.Write(p) }
+func (b *bufConn) Close() error                     { return nil }
+func (b *bufConn) LocalAddr() net.Addr              { return nil }
+func (b *bufConn) RemoteAddr() net.Addr             { return nil }
+func (b *bufConn) SetDeadline(time.Time) error      { return nil }
+func (b *bufConn) SetReadDeadline(time.Time) error  { return nil }
+func (b *bufConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestWriteRequestMatchesNetHTTP pins the fast request writer to
+// net/http's wire output: for every request shape the players send, the
+// bytes must be identical — a single divergent byte would shift the
+// emulated transfer timeline.
+func TestWriteRequestMatchesNetHTTP(t *testing.T) {
+	mk := func(method, url string, hdr map[string]string) *http.Request {
+		req, err := http.NewRequestWithContext(context.Background(), method, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		return req
+	}
+	cases := []*http.Request{
+		mk(http.MethodGet, "http://video1.youtube.wifi.test:443/videoplayback?v=qjT4T2gU9sM&itag=22&token=abc&expire=123&net=wifi", map[string]string{"Range": "bytes=1048576-2097151"}),
+		mk(http.MethodGet, "http://www.youtube.wifi.test:443/watch?v=qjT4T2gU9sM", nil),
+		mk(http.MethodHead, "http://video1.youtube.lte.test:443/videoplayback?v=x&itag=18", nil),
+		mk(http.MethodGet, "http://host.test/path", map[string]string{"Range": "bytes=0-0"}),
+	}
+	for _, req := range cases {
+		var want bytes.Buffer
+		if err := req.Write(&want); err != nil {
+			t.Fatal(err)
+		}
+		var got bufConn
+		if err := writeRequest(&got, req); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("%s %s:\nfast: %q\nwant: %q", req.Method, req.URL, got.String(), want.String())
+		}
+	}
+}
+
+// TestReadResponseMatchesNetHTTP drives identical wire responses — the
+// shapes the emulated origin produces — through the lean parser and
+// http.ReadResponse, comparing status, headers, framing metadata, body
+// bytes, and crucially the number of connection bytes consumed (a
+// desynced shared reader would corrupt the next keep-alive response).
+func TestReadResponseMatchesNetHTTP(t *testing.T) {
+	body4k := strings.Repeat("x", 4096)
+	wires := []string{
+		"HTTP/1.1 206 Partial Content\r\nAccept-Ranges: bytes\r\nContent-Length: 4096\r\nContent-Range: bytes 0-4095/9375000\r\nContent-Type: video/mp4\r\nX-Replica: video1\r\n\r\n" + body4k,
+		"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n",
+		"HTTP/1.1 404 Not Found\r\nContent-Type: text/plain; charset=utf-8\r\nTransfer-Encoding: chunked\r\n\r\nb\r\nnot found\r\n\r\n0\r\n\r\n",
+		"HTTP/1.1 200 OK\r\nConnection: close\r\nContent-Length: 2\r\n\r\nokNEXT",
+		"HTTP/1.1 204 No Content\r\n\r\n",
+	}
+	for _, wire := range wires {
+		// Append a sentinel so consumed-byte counts are comparable.
+		const sentinel = "SENTINEL-NEXT-RESPONSE"
+		req, _ := http.NewRequest(http.MethodGet, "http://h/", nil)
+
+		parse := func(read func(*bufio.Reader, *http.Request) (*http.Response, error)) (resp *http.Response, bodyBytes string, left int) {
+			br := bufio.NewReaderSize(strings.NewReader(wire+sentinel), 16<<10)
+			resp, err := read(br, req)
+			if err != nil {
+				t.Fatalf("parse %q: %v", wire[:20], err)
+			}
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatalf("body %q: %v", wire[:20], err)
+			}
+			rest, _ := io.ReadAll(br)
+			return resp, string(b), len(rest)
+		}
+		lean, leanBody, leanLeft := parse(readResponse)
+		ref, refBody, refLeft := parse(func(br *bufio.Reader, r *http.Request) (*http.Response, error) {
+			return http.ReadResponse(br, r)
+		})
+
+		if lean.StatusCode != ref.StatusCode || lean.Status != ref.Status ||
+			lean.Proto != ref.Proto || lean.Close != ref.Close ||
+			lean.ContentLength != ref.ContentLength {
+			t.Errorf("%q: metadata diverged:\nlean: %d %q %q close=%v cl=%d\nref:  %d %q %q close=%v cl=%d",
+				wire[:20], lean.StatusCode, lean.Status, lean.Proto, lean.Close, lean.ContentLength,
+				ref.StatusCode, ref.Status, ref.Proto, ref.Close, ref.ContentLength)
+		}
+		for k, v := range ref.Header {
+			if k == "Transfer-Encoding" {
+				// net/http moves it into resp.TransferEncoding; the lean
+				// parser keeps the header entry. Framing equality is
+				// covered by the body comparison.
+				continue
+			}
+			if got := lean.Header[k]; len(got) != len(v) || (len(v) > 0 && got[0] != v[0]) {
+				t.Errorf("%q: header %s: lean %v, ref %v", wire[:20], k, got, v)
+			}
+		}
+		if leanBody != refBody {
+			t.Errorf("%q: body diverged: lean %d bytes, ref %d bytes", wire[:20], len(leanBody), len(refBody))
+		}
+		// Close-delimited responses consume everything including the
+		// sentinel in both parsers; framed ones must leave it intact.
+		if leanLeft != refLeft {
+			t.Errorf("%q: consumed bytes diverged: lean leaves %d, ref leaves %d", wire[:20], leanLeft, refLeft)
+		}
+	}
+}

@@ -318,6 +318,68 @@ func (w *responseWriter) Write(b []byte) (int, error) {
 	return n, nil
 }
 
+// stableConnWriter is implemented by netem.Conn: a write whose buffer
+// is immutable and immortal may be aliased into delivery segments
+// instead of copied.
+type stableConnWriter interface {
+	WriteStable(p []byte) (int, error)
+}
+
+// WriteStable is Write for body bytes that are immutable and outlive
+// the response (borrowed views of the origin's content page cache).
+// On a Content-Length-framed response over a netem conn the bulk of
+// the bytes bypasses both the coalescing buffer and the pipe's segment
+// copy; otherwise it degrades to Write.
+//
+// The connection sees the exact write-call sequence bufio would have
+// produced — fill a partial buffer, flush it, direct-write a remainder
+// only when it exceeds the buffer, re-buffer a short tail — because
+// the pipe truncates its final pacing segment to each call's length:
+// different call boundaries would mean different segment sizes and a
+// different emulated timeline.
+func (w *responseWriter) WriteStable(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if len(b) == 0 || w.isHead || !bodyAllowed(w.status) {
+		return len(b), nil
+	}
+	sc, ok := w.conn.(stableConnWriter)
+	if !ok || w.chunked {
+		return w.Write(b)
+	}
+	w.written += int64(len(b))
+	size := w.bw.Available() + w.bw.Buffered()
+	total := 0
+	for len(b) > w.bw.Available() {
+		if w.bw.Buffered() == 0 && len(b) >= size {
+			n, err := sc.WriteStable(b)
+			total += n
+			b = b[n:]
+			if err != nil {
+				return total, w.fail(err)
+			}
+			continue
+		}
+		k := w.bw.Available()
+		if _, err := w.bw.Write(b[:k]); err != nil {
+			return total, w.fail(err)
+		}
+		total += k
+		b = b[k:]
+		if err := w.bw.Flush(); err != nil {
+			return total, w.fail(err)
+		}
+	}
+	if len(b) > 0 {
+		if _, err := w.bw.Write(b); err != nil {
+			return total, w.fail(err)
+		}
+		total += len(b)
+	}
+	return total, nil
+}
+
 // fail records the first connection write failure (the request's abort
 // disposition) and returns err for the caller to propagate.
 func (w *responseWriter) fail(err error) error {

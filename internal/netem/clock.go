@@ -1,7 +1,7 @@
 package netem
 
 import (
-	"container/heap"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,15 +21,27 @@ import (
 // background advancer goroutine and no wall-clock polling: virtual runs
 // are CPU-bound and their event order is independent of machine load.
 //
+// Pending deadlines live in a sharded timer wheel (see wheel.go):
+// each participant is assigned a shard at registration and its parks
+// touch only that shard's lock, so deadline scheduling no longer
+// serialises the whole emulation on one mutex, and the common park is
+// an O(1) bucket append instead of an O(log n) heap insert. The jump
+// loop finds the next instant from a lock-free per-shard
+// earliest-deadline summary (one atomic load per shard), pops every
+// sleeper due at that instant across all shards as one batch, and fans
+// the wake tokens out after all shard locks are released — sorted by
+// the same (deadline, seq) order the previous global heap popped in,
+// so firing order (and with it every downstream report byte) is
+// unchanged.
+//
 // The Participant handle is the unit of accounting: registering is a
-// counter increment, parking reuses the handle's wake channel and heap
-// node, and no per-park goroutine-identity lookup happens anywhere.
-// The participant/idle counters are atomics, so condition-variable
-// parks and wakes never take the clock lock at all; the mutex guards
-// only the deadline heap and the jump itself. This keeps the hot path
-// O(1) and allocation-free, which is what lets one clock carry tens of
-// thousands of concurrently parked session goroutines without
-// serialising them on a single lock.
+// counter increment, parking reuses the handle's wake channel and
+// wheel node, and no per-park goroutine-identity lookup happens
+// anywhere. The participant/idle counters are atomics, so
+// condition-variable parks and wakes never take any clock lock at all.
+// This keeps the hot path O(1) and allocation-free, which is what lets
+// one clock carry tens of thousands of concurrently parked session
+// goroutines without serialising them on a single lock.
 //
 // Goroutines that never registered (tests, example main functions) may
 // still call the clock-level blocking primitives (Clock.Sleep,
@@ -52,10 +64,16 @@ type Clock struct {
 	virt atomic.Int64 // current virtual offset from base, in ns
 	base time.Time    // virtual epoch
 
-	mu       sync.Mutex // guards sleepers, seq, stopped and the jump loop
-	sleepers sleeperHeap
-	seq      int64 // tiebreaker for heap ordering stability
-	stopped  bool
+	seq       atomic.Int64  // global tiebreaker for same-instant firing order
+	nextShard atomic.Uint32 // round-robin shard assignment
+	stopped   atomic.Bool
+
+	// jumpMu serialises the jump loop (and Stop) only: parks and
+	// cancels take shard locks, never this one.
+	jumpMu sync.Mutex
+	shards [numShards]clockShard
+	batch  sleeperBatch // jump-scratch; reused across jumps
+	fire   []wakeItem   // jump-scratch: batch snapshot fanned out lock-free
 
 	done chan struct{} // closed by Stop; wakes every parked waiter
 
@@ -76,41 +94,17 @@ type Clock struct {
 // by Register or Go that the owning goroutine threads through every
 // clock-visible park (Sleep, SleepUntil, Cond.Wait). A Participant
 // belongs to exactly one goroutine at a time and its park state (wake
-// channel, sleeper heap node) is reused across parks, so steady-state
+// channel, timer-wheel node) is reused across parks, so steady-state
 // parking allocates nothing and never consults a goroutine-identity
-// map.
+// map. Each participant is pinned to one wheel shard at registration
+// (round-robin), so all of its deadline parks contend only with the
+// 1/numShards of the emulation sharing that shard.
 type Participant struct {
-	c    *Clock
-	wake chan struct{} // cap 1; carries one wake token per park
-	s    sleeper       // reusable heap node for deadline parks
-	gone atomic.Bool   // unregistered
-}
-
-type sleeper struct {
-	deadline  time.Duration
-	seq       int64
-	ch        chan struct{}
-	transient bool // auto-registered for the duration of this sleep
-}
-
-type sleeperHeap []*sleeper
-
-func (h sleeperHeap) Len() int { return len(h) }
-func (h sleeperHeap) Less(i, j int) bool {
-	if h[i].deadline != h[j].deadline {
-		return h[i].deadline < h[j].deadline
-	}
-	return h[i].seq < h[j].seq
-}
-func (h sleeperHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *sleeperHeap) Push(x any)   { *h = append(*h, x.(*sleeper)) }
-func (h *sleeperHeap) Pop() any {
-	old := *h
-	n := len(old)
-	s := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return s
+	c     *Clock
+	wake  chan struct{} // cap 1; carries one wake token per park
+	s     sleeper       // reusable wheel node for deadline parks
+	shard uint32
+	gone  atomic.Bool // unregistered
 }
 
 // NewVirtualClock returns a deterministic discrete-event clock. Time only
@@ -118,10 +112,14 @@ func (h *sleeperHeap) Pop() any {
 // wait; it then jumps to the earliest pending deadline. Call Stop when
 // the emulation is finished.
 func NewVirtualClock() *Clock {
-	return &Clock{
+	c := &Clock{
 		base: time.Unix(1_700_000_000, 0), // arbitrary fixed epoch for determinism
 		done: make(chan struct{}),
 	}
+	for i := range c.shards {
+		c.shards[i].earliest.Store(sleeperNone)
+	}
+	return c
 }
 
 // NewScaledClock returns a real-time clock compressed by scale: an
@@ -147,7 +145,11 @@ func NewScaledClock(scale float64) *Clock {
 // returned handle, and pair every Register with Unregister. In realtime
 // mode the handle's primitives degrade to scaled wall-clock sleeps.
 func (c *Clock) Register() *Participant {
-	p := &Participant{c: c, wake: make(chan struct{}, 1)}
+	p := &Participant{
+		c:     c,
+		wake:  make(chan struct{}, 1),
+		shard: c.nextShard.Add(1) & (numShards - 1),
+	}
 	if !c.realtime {
 		c.parts.Add(1)
 	}
@@ -232,21 +234,23 @@ func (c *Clock) Go(fn func(*Participant)) {
 // stopped clock reports the same emulated time forever, in both modes,
 // so teardown-path reads (session metrics, buffer levels) are stable.
 func (c *Clock) Stop() {
-	c.mu.Lock()
-	if c.stopped {
-		c.mu.Unlock()
+	c.jumpMu.Lock()
+	if c.stopped.Load() {
+		c.jumpMu.Unlock()
 		return
 	}
-	c.stopped = true
 	if c.realtime {
 		c.frozenAt.Store(int64(float64(time.Since(c.realStart)) * c.scale))
 	} else {
 		c.frozenAt.Store(c.virt.Load())
 	}
 	c.frozen.Store(true)
+	c.stopped.Store(true)
 	close(c.done)
-	c.sleepers = nil
-	c.mu.Unlock()
+	for i := range c.shards {
+		c.shards[i].reset()
+	}
+	c.jumpMu.Unlock()
 }
 
 // Stopped reports whether Stop has been called. Blocking primitives
@@ -286,24 +290,25 @@ func (p *Participant) Sleep(d time.Duration) {
 }
 
 // SleepUntil parks the participant until the emulated instant t. The
-// park reuses the participant's wake channel and heap node, so the
-// steady state allocates nothing.
+// park reuses the participant's wake channel and wheel node on the
+// participant's own shard, so the steady state allocates nothing and
+// contends with no other shard.
 func (p *Participant) SleepUntil(t time.Time) {
 	c := p.c
 	if c.realtime {
 		c.SleepUntil(t)
 		return
 	}
-	c.mu.Lock()
-	deadline := t.Sub(c.base)
-	if c.stopped || deadline <= time.Duration(c.virt.Load()) {
-		c.mu.Unlock()
+	sh := &c.shards[p.shard]
+	deadline := int64(t.Sub(c.base))
+	sh.mu.Lock()
+	if c.stopped.Load() || deadline <= c.virt.Load() {
+		sh.mu.Unlock()
 		return
 	}
-	p.s = sleeper{deadline: deadline, seq: c.seq, ch: p.wake}
-	c.seq++
-	heap.Push(&c.sleepers, &p.s)
-	c.mu.Unlock()
+	p.s = sleeper{deadline: deadline, seq: c.seq.Add(1), ch: p.wake}
+	sh.push(&p.s)
+	sh.mu.Unlock()
 	// The sleeper becomes eligible to be popped only once idle is
 	// incremented: an advance requires idle == parts, and this
 	// goroutine is counted in parts but not yet in idle.
@@ -344,16 +349,16 @@ func (c *Clock) SleepUntil(t time.Time) {
 		}
 		return
 	}
-	c.mu.Lock()
-	deadline := t.Sub(c.base)
-	if c.stopped || deadline <= time.Duration(c.virt.Load()) {
-		c.mu.Unlock()
+	sh := &c.shards[c.nextShard.Add(1)&(numShards-1)]
+	sh.mu.Lock()
+	deadline := int64(t.Sub(c.base))
+	if c.stopped.Load() || deadline <= c.virt.Load() {
+		sh.mu.Unlock()
 		return
 	}
-	s := &sleeper{deadline: deadline, seq: c.seq, ch: make(chan struct{}, 1), transient: true}
-	c.seq++
-	heap.Push(&c.sleepers, s)
-	c.mu.Unlock()
+	s := &sleeper{deadline: deadline, seq: c.seq.Add(1), ch: make(chan struct{}, 1), transient: true}
+	sh.push(s)
+	sh.mu.Unlock()
 	c.parts.Add(1)
 	if c.idle.Add(1) == c.parts.Load() {
 		c.tryAdvance()
@@ -372,52 +377,256 @@ func (c *Clock) SleepUntil(t time.Time) {
 // the condition is re-evaluated and further jumps may fire immediately.
 //
 // The idle == parts check is a pair of atomic loads, re-evaluated under
-// the heap mutex on every loop iteration. A torn read can only produce
+// the jump mutex on every loop iteration. A torn read can only produce
 // equality at instants where the condition genuinely held (every
 // counter transition toward equality triggers its own tryAdvance, and
 // transitions away from it mean the affected goroutine is runnable and
 // will re-check when it parks), so jumps stay deterministic for fully
 // registered emulations.
 func (c *Clock) tryAdvance() {
-	// Due sleepers are collected under the mutex but their wake tokens
-	// are sent after it is released: a channel send can wake a
-	// goroutine (a futex syscall under contention), and doing that
-	// inside the critical section convoys every other parking
-	// goroutine behind it. Popping a registered sleeper decrements
-	// idle, so no further jump can fire until it parks again — sending
-	// its token late is indistinguishable from the goroutine being
-	// slow to run. A popped transient reopens the condition (it
-	// vanishes from the accounting), which the outer loop re-checks.
-	var wakeArr [16]*sleeper
+	if c.realtime {
+		return
+	}
+	// Due sleepers are collected into one batch under the jump mutex
+	// (taking each shard lock exactly once per jump) but their wake
+	// tokens are fanned out after every lock is released: a channel
+	// send can wake a goroutine (a futex syscall under contention), and
+	// doing that inside the critical section convoys other advance
+	// attempts behind it. Popping a registered sleeper decrements idle,
+	// so no further jump can fire until it parks again — sending its
+	// token late is indistinguishable from the goroutine being slow to
+	// run. A popped transient reopens the condition (it vanishes from
+	// the accounting), and a popped timer closes it (the pending
+	// callback holds the clock) until the callback has run; the outer
+	// loop re-checks both.
 	for {
-		wake := wakeArr[:0]
-		c.mu.Lock()
-		for !c.stopped && !c.realtime && len(c.sleepers) > 0 && c.idle.Load() == c.parts.Load() {
-			virt := time.Duration(c.virt.Load())
-			if earliest := c.sleepers[0].deadline; earliest > virt {
-				virt = earliest
-				c.virt.Store(int64(virt))
-			}
-			for len(c.sleepers) > 0 && c.sleepers[0].deadline <= virt {
-				s := heap.Pop(&c.sleepers).(*sleeper)
-				c.idle.Add(-1)
-				if s.transient {
-					c.parts.Add(-1)
-				}
-				wake = append(wake, s)
-			}
-		}
-		c.mu.Unlock()
-		if len(wake) == 0 {
+		c.jumpMu.Lock()
+		fire := c.collectDue()
+		c.jumpMu.Unlock()
+		if len(fire) == 0 {
 			return
 		}
-		for _, s := range wake {
+		for _, w := range fire {
+			if w.fn != nil {
+				// Timer callback: runs on this goroutine at the popped
+				// instant, under the hold collectDue took for it.
+				// Callbacks must not park (they broadcast, signal,
+				// schedule — never wait).
+				w.fn()
+				c.parts.Add(-1) // release the hold; loop re-checks
+				continue
+			}
 			select {
-			case s.ch <- struct{}{}:
+			case w.ch <- struct{}{}:
 			default:
 			}
 		}
 	}
+}
+
+// wakeItem is a popped sleeper's wake action, snapshotted under the
+// jump lock. Fan-out must not touch the sleeper nodes themselves: the
+// moment the first token of a batch is delivered, a woken goroutine may
+// reuse its own node for the next park — or reschedule a popped Timer,
+// whose node would be rewritten mid-fan-out.
+type wakeItem struct {
+	ch chan struct{}
+	fn func()
+}
+
+// collectDue advances virtual time while every participant is parked,
+// collecting every due sleeper across shards into one (deadline, seq)
+// sorted batch and snapshotting its wake actions. The caller holds
+// jumpMu; the returned slice is the clock's reusable scratch, valid
+// until the next collectDue call.
+func (c *Clock) collectDue() []wakeItem {
+	batch := c.batch[:0]
+	for !c.stopped.Load() && c.idle.Load() == c.parts.Load() {
+		// Lock-free earliest-deadline summary: one atomic load per
+		// shard names the next instant.
+		min := int64(sleeperNone)
+		for i := range c.shards {
+			if e := c.shards[i].earliest.Load(); e < min {
+				min = e
+			}
+		}
+		if min == sleeperNone {
+			break
+		}
+		virt := c.virt.Load()
+		if min > virt {
+			virt = min
+			c.virt.Store(virt)
+		}
+		// Pop only shards whose summary says they have due work: in the
+		// common case one shard owns the next instant and the other
+		// locks are never touched. The summary is exact while every
+		// participant is parked (nothing can push); the transient-shim
+		// race can at worst delay an unregistered sleeper to the next
+		// jump, which pop's <= comparison absorbs.
+		n0 := len(batch)
+		for i := range c.shards {
+			if c.shards[i].earliest.Load() <= virt {
+				batch = c.shards[i].popDue(virt, batch)
+			}
+		}
+		// Account the batch before re-checking the loop condition:
+		// registered sleepers return to the running state (idle--),
+		// transients vanish (parts-- too), and timers take a hold
+		// (parts++) released by tryAdvance after their callback runs.
+		for _, s := range batch[n0:] {
+			if s.fn != nil {
+				c.parts.Add(1)
+				continue
+			}
+			c.idle.Add(-1)
+			if s.transient {
+				c.parts.Add(-1)
+			}
+		}
+	}
+	c.batch = batch
+	if len(batch) > 1 {
+		// Same-instant wakes fire in (deadline, seq) order — exactly the
+		// retired global heap's pop order — so event sequencing is
+		// unchanged by the wheel. c.batch is a persistent field, so the
+		// sort interface conversion does not allocate.
+		sort.Sort(&c.batch)
+	}
+	fire := c.fire[:0]
+	for _, s := range batch {
+		fire = append(fire, wakeItem{ch: s.ch, fn: s.fn})
+	}
+	c.fire = fire
+	return fire
+}
+
+// A Timer runs a callback at an emulated instant without dedicating a
+// goroutine to waiting for it: the clock's jump loop fires the callback
+// when virtual time reaches the scheduled deadline. Consumers use it
+// for event-at-an-instant work that previously parked a whole goroutine
+// per event (future conn aborts, wake-the-waiters watchers).
+//
+// The callback runs on the jump goroutine at the exact scheduled
+// instant, while the clock is mid-jump: it must not park (no Sleep, no
+// Cond.Wait) — broadcasting a Cond, signalling, or scheduling further
+// timers is the intended use. In realtime mode the callback runs on a
+// private goroutine after the scaled wall delay.
+//
+// Schedule and Stop may be called from any running goroutine. A timer
+// holds at most one pending schedule: Schedule replaces the previous
+// one. Stop cancels the pending schedule if the callback has not fired
+// yet; a callback that is already firing cannot be recalled (it is
+// idempotent in every consumer here).
+type Timer struct {
+	c     *Clock
+	fn    func()
+	shard uint32
+
+	mu sync.Mutex // orders Schedule/Stop against each other
+	s  *sleeper   // current node; recycled unless abandoned to overflow
+	rt *rtTimer   // realtime mode
+}
+
+type rtTimer struct {
+	stop atomic.Bool
+}
+
+// NewTimer returns an unscheduled timer firing fn, pinned to the next
+// round-robin wheel shard.
+func (c *Clock) NewTimer(fn func()) *Timer {
+	return &Timer{c: c, fn: fn, shard: c.nextShard.Add(1) & (numShards - 1)}
+}
+
+// NewTimer returns an unscheduled timer firing fn, pinned to the
+// participant's own wheel shard: events the participant schedules stay
+// on the shard its parks already touch.
+func (p *Participant) NewTimer(fn func()) *Timer {
+	return &Timer{c: p.c, fn: fn, shard: p.shard}
+}
+
+// Schedule (re)schedules the timer to fire at the emulated instant t,
+// replacing any pending schedule. An instant at or before the current
+// emulated time runs the callback synchronously. On a stopped clock
+// Schedule is a no-op (parked waiters have already been woken through
+// the done channel).
+func (t *Timer) Schedule(at time.Time) {
+	c := t.c
+	if c.Stopped() {
+		return
+	}
+	if c.realtime {
+		t.mu.Lock()
+		if t.rt != nil {
+			t.rt.stop.Store(true)
+		}
+		rt := &rtTimer{}
+		t.rt = rt
+		t.mu.Unlock()
+		go func() {
+			c.SleepUntil(at)
+			if !rt.stop.Load() && !c.Stopped() {
+				t.fn()
+			}
+		}()
+		return
+	}
+	// The hold pins virtual time across the push for unregistered
+	// callers (mirroring Clock.Go's handoff window); for registered
+	// callers it is a cheap no-op-equivalent pair of atomic adds.
+	c.Hold()
+	defer c.Release()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sh := &c.shards[t.shard]
+	sh.mu.Lock()
+	if t.s != nil && t.s.queued != sleeperIdle {
+		if !sh.cancel(t.s) {
+			t.s = nil // abandoned to the overflow heap
+		}
+	}
+	deadline := int64(at.Sub(c.base))
+	if c.stopped.Load() {
+		sh.mu.Unlock()
+		return
+	}
+	if deadline <= c.virt.Load() {
+		sh.mu.Unlock()
+		t.fn()
+		return
+	}
+	if t.s == nil {
+		t.s = &sleeper{}
+	}
+	*t.s = sleeper{deadline: deadline, seq: c.seq.Add(1), fn: t.fn}
+	sh.push(t.s)
+	sh.mu.Unlock()
+}
+
+// Stop cancels the pending schedule, if any. It does not wait for a
+// callback that is already firing.
+func (t *Timer) Stop() {
+	c := t.c
+	if c.realtime {
+		t.mu.Lock()
+		if t.rt != nil {
+			t.rt.stop.Store(true)
+			t.rt = nil
+		}
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.s == nil {
+		return
+	}
+	sh := &c.shards[t.shard]
+	sh.mu.Lock()
+	if t.s.queued != sleeperIdle && !sh.cancel(t.s) {
+		t.s = nil // abandoned to the overflow heap
+	}
+	sh.mu.Unlock()
 }
 
 // Cond is a clock-aware condition variable: waiting parks the caller in
@@ -433,7 +642,7 @@ func (c *Clock) tryAdvance() {
 // A nil clock degrades to plain condition-variable behaviour (used by
 // unit tests that exercise data structures without an emulation clock).
 //
-// Neither Wait nor wake touches the clock mutex: parking is one atomic
+// Neither Wait nor wake touches any clock lock: parking is one atomic
 // increment (plus an advance attempt when the caller was the last
 // runner), waking one atomic decrement.
 type Cond struct {

@@ -67,7 +67,14 @@ func (c *Conn) Read(p []byte) (int, error) {
 }
 
 // Write implements net.Conn.
-func (c *Conn) Write(p []byte) (int, error) { return c.out.write(p, c.part) }
+func (c *Conn) Write(p []byte) (int, error) { return c.out.write(p, c.part, false) }
+
+// WriteStable is Write for callers that guarantee p is immutable and
+// outlives its delivery (the origin's content page cache): delivery
+// segments alias p instead of copying it into pooled buffers. Pacing
+// and arrival instants are identical to Write; only the copy is
+// skipped.
+func (c *Conn) WriteStable(p []byte) (int, error) { return c.out.write(p, c.part, true) }
 
 // Close implements net.Conn. The peer drains in-flight data, then sees
 // EOF; local reads fail from the close instant on (data that had

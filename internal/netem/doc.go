@@ -105,10 +105,51 @@
 // once — final, settled, and bit-identical per seed, with no wall-clock
 // quiescence polling anywhere.
 //
-// Internally the participant/idle counters are atomics and the clock
-// mutex guards only the deadline heap and the jump loop; wake tokens
-// are delivered outside the lock. Parks reuse the participant's wake
-// channel and heap node, so steady-state parking allocates nothing.
+// # Timer wheel
+//
+// Pending deadlines live in a sharded hierarchical timer wheel rather
+// than one global heap, so deadline scheduling is not a single lock the
+// whole emulation serialises on:
+//
+//   - Sharding is participant-affine: Register assigns each Participant
+//     one of the wheel's shards (round-robin), and every deadline park
+//     the participant makes touches only that shard's lock and cache
+//     lines, reusing the handle's embedded wheel node. Transient parks
+//     and timers are spread round-robin the same way. Two participants
+//     on different shards never contend on a park.
+//   - Each shard is a coarse-bucket wheel with an overflow level:
+//     ~1 ms buckets (deadlines keep full nanosecond resolution — the
+//     bucket width only coarsens the index, never the firing instant)
+//     spanning a ~268 ms horizon, with beyond-horizon deadlines in a
+//     per-shard min-heap that re-homes into buckets as the wheel
+//     advances. The dense deadline band (propagation delays, pacing
+//     quanta, think times) is an O(1) bucket append; only coarse
+//     session-scale waits pay a heap push, once.
+//   - The jump loop finds the next instant from a lock-free summary:
+//     each shard maintains its earliest pending deadline in an atomic,
+//     and the loop scans those (O(shards), no locks) before touching
+//     only the shards that actually own the instant.
+//   - Same-instant wakes are batched: all sleepers due at the jump
+//     instant across all shards are popped as one batch, and their wake
+//     tokens are fanned out after every shard lock is released, sorted
+//     by (deadline, seq) — the exact order the retired global heap
+//     popped in, so event sequencing (and with it every report byte) is
+//     unchanged. A differential test drives randomized schedules
+//     through the retired heap and the wheel and asserts identical
+//     firing sequences.
+//
+// The wheel also backs Timer, an event-at-an-instant callback that
+// replaces dedicated watcher goroutines (future conn aborts park no
+// goroutine at all): the jump loop runs the callback at the scheduled
+// instant, holding the clock until it completes, and Timer.Stop /
+// re-Schedule cancel the pending entry in place.
+//
+// Internally the participant/idle counters are atomics and the jump
+// mutex guards only the jump loop itself; wake tokens are delivered
+// outside every lock. Parks reuse the participant's wake channel and
+// wheel node, so steady-state parking allocates nothing
+// (TestWheelParkAllocs pins this, and bucket arrays are reused across
+// jumps).
 //
 // # Pooling invariants
 //

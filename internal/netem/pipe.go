@@ -164,9 +164,13 @@ type direction struct {
 	// abort instant stay deliverable (even if read later), and segments
 	// that would arrive strictly after it are dropped in flight.
 	// Outcomes therefore never depend on goroutine scheduling order
-	// around the abort.
-	abortErr  error
-	abortTime time.Time
+	// around the abort. abortTimer re-wakes parked waiters at a
+	// future abort instant; it is a clock timer-wheel entry, not a
+	// goroutine, so scheduling (and re-scheduling, when an earlier
+	// abort supersedes) is a bucket write on the owner's shard.
+	abortErr   error
+	abortTime  time.Time
+	abortTimer *Timer
 }
 
 func newDirection(clock *Clock, p LinkParams) *direction {
@@ -222,7 +226,15 @@ func (d *direction) ssRate(t time.Time) float64 {
 // It returns the number of bytes accepted and the abort error, if any.
 // part is the writing goroutine's clock handle (nil parks as
 // transient).
-func (d *direction) write(p []byte, part *Participant) (int, error) {
+//
+// stable marks p as immutable and immortal for the purposes of this
+// write (a borrowed view of the origin's content page cache): instead
+// of copying into a pooled segment buffer, the queue aliases sub-slices
+// of p directly (capacity clipped to length, so the coalescing append
+// can never touch bytes beyond the slice and falls back to a fresh
+// segment instead). Pacing, arrival instants and delivered bytes are
+// identical either way — only the copy disappears.
+func (d *direction) write(p []byte, part *Participant, stable bool) (int, error) {
 	written := 0
 	for len(p) > 0 {
 		d.mu.Lock()
@@ -304,7 +316,12 @@ func (d *direction) write(p []byte, part *Participant) (int, error) {
 			// identical (a clamped backlog) and the pooled buffer has
 			// room: the reader drains by arrival instant, so merging
 			// changes neither timing nor content, only queue churn.
+			// (Aliased stable segments advertise no spare capacity, so
+			// they are never appended into.)
 			last.data = append(last.data, p[:segBytes]...)
+			d.buffered += segBytes
+		} else if stable {
+			d.queue.push(segment{data: p[:segBytes:segBytes], arrival: arr})
 			d.buffered += segBytes
 		} else {
 			data, box := getSegBuf(segBytes)
@@ -457,18 +474,43 @@ func (d *direction) abortAt(t time.Time, err error) {
 		putSegBuf(s)
 	}
 	future := t.After(now)
-	d.cond.Broadcast()
-	d.mu.Unlock()
-	if future {
-		// Future abort: park a watcher that re-wakes all waiters at the
-		// abort instant, when the error becomes observable. Immediate
-		// aborts (the teardown hot path) never pay for this goroutine.
-		d.clock.Go(func(p *Participant) {
-			p.SleepUntil(t)
+	if future && d.abortTimer == nil {
+		d.abortTimer = d.clock.NewTimer(func() {
 			d.mu.Lock()
 			d.cond.Broadcast()
 			d.mu.Unlock()
 		})
+	}
+	watcher := d.abortTimer
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	if !future {
+		return
+	}
+	// Future abort: a wheel timer re-wakes all waiters at the abort
+	// instant, when the error becomes observable. An earlier abort
+	// superseding a later one reschedules the same timer (its old entry
+	// is cancelled in place); immediate aborts (the teardown hot path)
+	// never schedule anything.
+	//
+	// Schedule runs outside d.mu (a stale schedule fires the broadcast
+	// callback synchronously, which retakes d.mu), so two racing
+	// abortAt calls could otherwise interleave as set(t1) set(t2<t1)
+	// schedule(t2) schedule(t1), pinning the timer at the later
+	// instant while abortTime holds the earlier one. Converge instead:
+	// after scheduling, re-read abortTime and reschedule until the
+	// timer's target matches it — abortTime only ever moves earlier,
+	// so the loop terminates, and earliest-abort-wins stays true
+	// regardless of goroutine interleaving.
+	for {
+		watcher.Schedule(t)
+		d.mu.Lock()
+		cur := d.abortTime
+		d.mu.Unlock()
+		if cur.Equal(t) {
+			return
+		}
+		t = cur
 	}
 }
 
