@@ -1,0 +1,104 @@
+// Command detlint runs the determinism / buffer-ownership analyzer
+// suite (internal/detlint) over the named packages, typically:
+//
+//	go run ./cmd/detlint ./...
+//
+// Exit status: 0 when every finding is suppressed by a
+// //detlint:allow directive (or there are none), 1 on unsuppressed
+// findings or malformed directives, 2 on load errors.
+//
+//	-suppressions  audit mode: print every //detlint:allow directive
+//	               in the tree (file:line, analyzers, reason) and exit;
+//	               the escape-hatch surface stays reviewable as a list.
+//	-v             also print the findings each directive suppressed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/detlint"
+)
+
+func main() {
+	suppressions := flag.Bool("suppressions", false, "list every //detlint:allow directive and exit")
+	verbose := flag.Bool("v", false, "also print suppressed findings")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: detlint [-suppressions] [-v] packages...\n\nanalyzers:\n")
+		for _, a := range detlint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-11s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := detlint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	dirs := detlint.CollectDirectives(pkgs)
+	if *suppressions {
+		for _, d := range dirs {
+			if d.Malformed != "" {
+				fmt.Printf("%s:%d: MALFORMED: %s\n", d.Pos.Filename, d.Pos.Line, d.Malformed)
+				continue
+			}
+			fmt.Printf("%s:%d: %s -- %s\n", d.Pos.Filename, d.Pos.Line, strings.Join(d.Analyzers, ","), d.Reason)
+		}
+		fmt.Printf("%d suppression directives\n", len(dirs))
+		return
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			// A clean run over code that did not type-check proves
+			// nothing, so type errors fail the check loudly.
+			fmt.Fprintf(os.Stderr, "detlint: %s: type error: %v\n", pkg.PkgPath, terr)
+			failed = true
+		}
+	}
+
+	diags, err := detlint.RunAnalyzers(pkgs, detlint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+		os.Exit(2)
+	}
+	kept, suppressed := detlint.FilterSuppressed(diags, dirs)
+
+	for _, d := range kept {
+		fmt.Println(d)
+		failed = true
+	}
+	for _, d := range dirs {
+		if d.Malformed != "" {
+			fmt.Printf("%s:%d: malformed //detlint:allow: %s\n", d.Pos.Filename, d.Pos.Line, d.Malformed)
+			failed = true
+		}
+	}
+	if *verbose {
+		for _, d := range suppressed {
+			fmt.Printf("suppressed: %s\n", d)
+		}
+	}
+	for _, d := range detlint.Unused(dirs) {
+		// Stale escape hatches get flagged, not silently tolerated —
+		// but only as a warning: analyzers sharing a line (one directive,
+		// two runs) and OS-specific code make hard failure too brittle.
+		fmt.Printf("warning: %s:%d: //detlint:allow %s suppresses nothing (stale?)\n",
+			d.Pos.Filename, d.Pos.Line, strings.Join(d.Analyzers, ","))
+	}
+	fmt.Printf("detlint: %d findings, %d suppressed by %d directives across %d packages\n",
+		len(kept), len(suppressed), len(dirs), len(pkgs))
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -77,7 +77,7 @@ func repeat(w io.Writer, opt Options, fn runner) []float64 {
 	for r := 0; r < opt.Reps; r++ {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(r int) {
+		go func(r int) { //detlint:allow baredgo -- parallel reps run whole emulations side by side; OS goroutines by design
 			defer wg.Done()
 			defer func() { <-sem }()
 			v, err := fn(r)

@@ -74,7 +74,7 @@ func TestChunkManagerOutOfOrderLimitBlocks(t *testing.T) {
 	select {
 	case s := <-got:
 		t.Fatalf("acquire returned %+v despite full OOO store", s)
-	case <-time.After(30 * time.Millisecond):
+	case <-time.After(30 * time.Millisecond): //detlint:allow wallclock -- short real wait proves no chunk is ready yet
 	}
 	// Gap fills: frontier advances, the blocked acquire proceeds.
 	cm.complete(0, a, make([]byte, 100))
@@ -83,7 +83,7 @@ func TestChunkManagerOutOfOrderLimitBlocks(t *testing.T) {
 		if s.Off != 200 {
 			t.Fatalf("unblocked span = %+v, want off 200", s)
 		}
-	case <-time.After(2 * time.Second):
+	case <-time.After(2 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
 		t.Fatal("acquire still blocked after gap filled")
 	}
 }
@@ -129,12 +129,12 @@ func TestChunkManagerGateBlocksFreshWork(t *testing.T) {
 	select {
 	case s := <-got:
 		t.Fatalf("acquire returned %+v with closed gate", s)
-	case <-time.After(30 * time.Millisecond):
+	case <-time.After(30 * time.Millisecond): //detlint:allow wallclock -- short real wait proves no chunk is ready yet
 	}
 	cm.setGate(true)
 	select {
 	case <-got:
-	case <-time.After(2 * time.Second):
+	case <-time.After(2 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
 		t.Fatal("acquire still blocked after gate opened")
 	}
 }
@@ -147,14 +147,14 @@ func TestChunkManagerStopUnblocks(t *testing.T) {
 		_, ok := cm.acquire(0, 100, nil)
 		done <- ok
 	}()
-	time.Sleep(10 * time.Millisecond)
+	time.Sleep(10 * time.Millisecond) //detlint:allow wallclock -- real sleep lets goroutines park before asserting waiter accounting
 	cm.stop()
 	select {
 	case ok := <-done:
 		if ok {
 			t.Fatal("acquire returned ok after stop")
 		}
-	case <-time.After(2 * time.Second):
+	case <-time.After(2 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
 		t.Fatal("acquire not released by stop")
 	}
 }

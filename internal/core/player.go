@@ -382,7 +382,7 @@ func (p *Player) RunAs(ctx context.Context, part *netem.Participant) (*Metrics, 
 	// Relay external cancellation into the session's clock-visible
 	// state. The watcher is intentionally unregistered: it only runs on
 	// an event originating outside emulated time.
-	go func() {
+	go func() { //detlint:allow baredgo -- context-cancel relay is intentionally clock-invisible; it only forwards the abort
 		<-ctx.Done()
 		p.smu.Lock()
 		p.cancelled = true

@@ -1,0 +1,112 @@
+package detlint
+
+// The analyzer tests follow the x/tools analysistest convention: each
+// testdata/src/<analyzer> package compiles cleanly but carries
+// deliberately seeded violations, annotated in place with
+//
+//	// want "regexp"
+//
+// comments on the offending line. The runner loads the package through
+// the same go list pipeline as cmd/detlint, runs one analyzer, applies
+// //detlint:allow filtering, and then requires an exact match: every
+// kept diagnostic hits a want on its line, every want is hit, and every
+// suppression directive suppresses something.
+
+import (
+	"regexp"
+	"testing"
+)
+
+var wantRe = regexp.MustCompile(`want "([^"]+)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+func runAnalyzerTest(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	pkgs, err := Load("", "./testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			t.Fatalf("%s: type error: %v", p.PkgPath, e)
+		}
+	}
+
+	// Collect the want annotations, visiting each file once (a file can
+	// appear in both the plain and the test-augmented unit).
+	var wants []*expectation
+	seenFile := make(map[string]bool)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			filename := p.Fset.Position(f.Pos()).Filename
+			if seenFile[filename] {
+				continue
+			}
+			seenFile[filename] = true
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("bad want pattern %q: %v", m[1], err)
+						}
+						pos := p.Fset.Position(c.Pos())
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+					}
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("testdata/src/%s has no want annotations", name)
+	}
+
+	diags, err := RunAnalyzers(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	dirs := CollectDirectives(pkgs)
+	for _, d := range dirs {
+		if d.Malformed != "" {
+			t.Errorf("%s:%d: malformed directive: %s", d.Pos.Filename, d.Pos.Line, d.Malformed)
+		}
+	}
+	kept, _ := FilterSuppressed(diags, dirs)
+
+	for _, diag := range kept {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == diag.Pos.Filename && w.line == diag.Pos.Line && w.pattern.MatchString(diag.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", diag)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+	for _, d := range Unused(dirs) {
+		t.Errorf("%s:%d: suppression directive suppressed nothing", d.Pos.Filename, d.Pos.Line)
+	}
+}
+
+func TestWallclockAnalyzer(t *testing.T)  { runAnalyzerTest(t, WallclockAnalyzer, "wallclock") }
+func TestBaredgoAnalyzer(t *testing.T)    { runAnalyzerTest(t, BaredgoAnalyzer, "baredgo") }
+func TestGlobalrandAnalyzer(t *testing.T) { runAnalyzerTest(t, GlobalrandAnalyzer, "globalrand") }
+func TestMaprangeAnalyzer(t *testing.T)   { runAnalyzerTest(t, MaprangeAnalyzer, "maprange") }
+func TestBorrowckAnalyzer(t *testing.T)   { runAnalyzerTest(t, BorrowckAnalyzer, "borrowck") }

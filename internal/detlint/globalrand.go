@@ -1,0 +1,59 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalrandAllowed names the math/rand package-level functions that do
+// NOT draw from the process-global source: constructors fed an explicit
+// seed or source.
+var globalrandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// GlobalrandAnalyzer enforces the seeded-RNG rule (see the rand-audit
+// invariant notes in netem/pipe.go and netem/trace/trace.go): every
+// random draw in the emulation derives from the scenario seed through an
+// owned rand.New(rand.NewSource(subseed)) stream, so two same-seed runs
+// draw identical sequences. The top-level math/rand functions
+// (rand.Intn, rand.Float64, rand.Perm, rand.Seed, ...) share one
+// process-global, lock-guarded source whose draw interleaving depends on
+// goroutine scheduling — randomness from it is unreproducible by
+// construction.
+var GlobalrandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid the process-global math/rand functions; derive randomness from the scenario seed via rand.New(rand.NewSource(subseed))",
+	Run:  runGlobalrand,
+}
+
+func runGlobalrand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand are fine — only package-level
+			// functions touch the global source.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			if !globalrandAllowed[fn.Name()] {
+				pass.Reportf(sel.Pos(), "rand.%s draws from the process-global source; derive randomness from the scenario seed via rand.New(rand.NewSource(subseed))", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

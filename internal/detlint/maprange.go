@@ -1,0 +1,330 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MaprangeAnalyzer keeps Go's randomized map-iteration order out of
+// anything observable: two same-seed runs must print byte-identical
+// reports, so a loop that ranges over a map may not let its iteration
+// order reach an io.Writer, an escaping slice, or accounting state.
+// Flagged bodies:
+//
+//   - write to an io.Writer (fmt.Fprint* or a Write/WriteString/
+//     WriteByte/WriteRune method on a writer) — report lines would come
+//     out in a different order every run;
+//   - append to a slice declared outside the loop that is not sorted
+//     before it escapes — the canonical fix, extracting keys and
+//     sorting them first, passes because the sort makes the order
+//     deterministic again;
+//   - assignment through a field selector or a slice index rooted
+//     outside the loop — accounting structs mutated in iteration order.
+//
+// Deliberately not flagged (order-insensitive or out of mechanical
+// reach): plain scalar accumulation into an outside variable
+// (sum += v), inserts into another map (the final map contents do not
+// depend on insertion order), and side effects hidden behind function
+// calls.
+var MaprangeAnalyzer = &Analyzer{
+	Name: "maprange",
+	Doc:  "flag range-over-map loops whose iteration order leaks into writers, escaping slices, or accounting state",
+	Run:  runMaprange,
+}
+
+func runMaprange(pass *Pass) error {
+	for _, f := range pass.Files {
+		v := &maprangeVisitor{pass: pass}
+		ast.Walk(v, f)
+	}
+	return nil
+}
+
+// maprangeVisitor tracks the stack of enclosing function bodies so the
+// sorted-afterwards exemption can look past the loop's own extent.
+type maprangeVisitor struct {
+	pass    *Pass
+	funcs   []*ast.BlockStmt
+	inRange []*ast.RangeStmt
+}
+
+func (v *maprangeVisitor) Visit(n ast.Node) ast.Visitor {
+	switch n := n.(type) {
+	case nil:
+		return nil
+	case *ast.FuncDecl:
+		if n.Body == nil {
+			return nil
+		}
+		v.funcs = append(v.funcs, n.Body)
+		ast.Walk(v, n.Body)
+		v.funcs = v.funcs[:len(v.funcs)-1]
+		return nil
+	case *ast.FuncLit:
+		v.funcs = append(v.funcs, n.Body)
+		ast.Walk(v, n.Body)
+		v.funcs = v.funcs[:len(v.funcs)-1]
+		return nil
+	case *ast.RangeStmt:
+		if v.isMapRange(n) {
+			v.checkMapRange(n)
+			// Descend normally so nested map ranges are checked on
+			// their own; effects are attributed to the innermost
+			// enclosing map range by checkMapRange.
+		}
+	}
+	return v
+}
+
+func (v *maprangeVisitor) isMapRange(rs *ast.RangeStmt) bool {
+	tv, ok := v.pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func (v *maprangeVisitor) checkMapRange(rs *ast.RangeStmt) {
+	var appendTargets []types.Object
+	reported := false
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported {
+			reported = true
+			v.pass.Reportf(pos, format, args...)
+		}
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range owns its body's effects.
+			if n != rs && v.isMapRange(n) {
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				v.checkAssignTarget(rs, n.Tok, lhs, rhs, report, &appendTargets)
+			}
+		case *ast.IncDecStmt:
+			v.checkAssignTarget(rs, n.Tok, n.X, nil, report, &appendTargets)
+		case *ast.CallExpr:
+			v.checkWriterCall(rs, n, report)
+		}
+		return true
+	})
+	if reported || len(appendTargets) == 0 {
+		return
+	}
+	// The sorted-key extraction pattern: keys (or values) accumulated
+	// from the map are fine if the slice is sorted before it escapes.
+	enclosing := rs.Body
+	if len(v.funcs) > 0 {
+		enclosing = v.funcs[len(v.funcs)-1]
+	}
+	for _, obj := range appendTargets {
+		if !v.sortedAfter(enclosing, rs, obj) {
+			v.pass.Reportf(rs.Pos(), "values accumulated from a map range escape in iteration order (%s is never sorted); extract sorted keys first or sort before use", obj.Name())
+			return
+		}
+	}
+}
+
+// checkAssignTarget classifies one assignment target inside the loop
+// body. tok distinguishes := (new locals are loop-internal by
+// definition) from mutations.
+func (v *maprangeVisitor) checkAssignTarget(rs *ast.RangeStmt, tok token.Token, lhs ast.Expr, rhs ast.Expr, report func(token.Pos, string, ...any), appendTargets *[]types.Object) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if tok == token.DEFINE {
+			return
+		}
+		obj := v.pass.TypesInfo.Uses[lhs]
+		if obj == nil || !declaredOutside(obj, rs) {
+			return
+		}
+		// Accumulating via append leaks element order; plain scalar
+		// accumulation (sum += v, max tracking) does not.
+		if call, ok := skipParens(rhs).(*ast.CallExpr); ok && isBuiltinAppend(v.pass, call) {
+			*appendTargets = append(*appendTargets, obj)
+		}
+	case *ast.SelectorExpr:
+		if root := rootIdent(lhs); root != nil {
+			obj := v.pass.TypesInfo.Uses[root]
+			if obj != nil && declaredOutside(obj, rs) {
+				report(lhs.Pos(), "mutates %s.%s in map-iteration order; extract sorted keys first (iteration order leaks into accounting state)", root.Name, lhs.Sel.Name)
+			}
+		}
+	case *ast.IndexExpr:
+		// Writing into another map is order-insensitive (same final
+		// contents); writing into a slice or array is positional.
+		tv, ok := v.pass.TypesInfo.Types[lhs.X]
+		if !ok || tv.Type == nil {
+			return
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			return
+		}
+		if root := rootIdent(lhs); root != nil {
+			obj := v.pass.TypesInfo.Uses[root]
+			if obj != nil && declaredOutside(obj, rs) {
+				report(lhs.Pos(), "writes %s[...] in map-iteration order; extract sorted keys first", root.Name)
+			}
+		}
+	case *ast.StarExpr:
+		v.checkAssignTarget(rs, tok, lhs.X, rhs, report, appendTargets)
+	}
+}
+
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func (v *maprangeVisitor) checkWriterCall(rs *ast.RangeStmt, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := v.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			report(call.Pos(), "fmt.%s inside a map range emits output in iteration order; extract sorted keys first", fn.Name())
+		}
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !writerMethods[fn.Name()] {
+		return
+	}
+	if implementsIOWriter(sig.Recv().Type()) {
+		report(call.Pos(), "%s.%s inside a map range emits output in iteration order; extract sorted keys first", exprName(sel.X), fn.Name())
+	}
+}
+
+// sortedAfter reports whether a sort.* / slices.* call referencing obj
+// appears in body after the range statement.
+func (v *maprangeVisitor) sortedAfter(body *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := v.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && v.pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// --- small shared AST/type helpers ---
+
+func declaredOutside(obj types.Object, n ast.Node) bool {
+	return obj.Pos() == token.NoPos || obj.Pos() < n.Pos() || obj.Pos() >= n.End()
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func skipParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := skipParens(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func exprName(e ast.Expr) string {
+	if id := rootIdent(e); id != nil {
+		return id.Name
+	}
+	return "writer"
+}
+
+// ioWriter is a structurally built io.Writer, so the check does not
+// depend on the analyzed package importing io.
+var ioWriter = func() *types.Interface {
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(
+			types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+		), false)
+	fn := types.NewFunc(token.NoPos, nil, "Write", sig)
+	iface := types.NewInterfaceType([]*types.Func{fn}, nil)
+	iface.Complete()
+	return iface
+}()
+
+func implementsIOWriter(t types.Type) bool {
+	if types.Implements(t, ioWriter) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), ioWriter)
+	}
+	return false
+}

@@ -1,0 +1,150 @@
+package detlint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// allowPrefix is the suppression directive marker. The full form is
+//
+//	//detlint:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// placed either at the end of the offending line or on the line
+// directly above it. The reason is mandatory: an unexplained escape
+// hatch is itself a finding.
+const allowPrefix = "//detlint:allow"
+
+// Directive is one parsed //detlint:allow comment.
+type Directive struct {
+	Pos       token.Position
+	Analyzers []string
+	Reason    string
+	Malformed string // non-empty: why the directive could not be parsed
+
+	used bool
+}
+
+// CollectDirectives extracts every //detlint:allow directive from the
+// files, deduplicated by position (a file can appear in more than one
+// package unit) and sorted by position.
+func CollectDirectives(pkgs []*Package) []*Directive {
+	var dirs []*Directive
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowPrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					dirs = append(dirs, parseDirective(pos, c.Text))
+				}
+			}
+		}
+	}
+	sort.Slice(dirs, func(i, j int) bool {
+		a, b := dirs[i].Pos, dirs[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return dirs
+}
+
+func parseDirective(pos token.Position, text string) *Directive {
+	d := &Directive{Pos: pos}
+	rest := strings.TrimPrefix(text, allowPrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		d.Malformed = "directive must be followed by a space and analyzer names"
+		return d
+	}
+	names, reason, ok := strings.Cut(rest, "--")
+	if !ok || strings.TrimSpace(reason) == "" {
+		d.Malformed = "missing reason: write //detlint:allow <analyzer> -- <reason>"
+		return d
+	}
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !knownAnalyzer(n) {
+			d.Malformed = fmt.Sprintf("unknown analyzer %q", n)
+			return d
+		}
+		d.Analyzers = append(d.Analyzers, n)
+	}
+	if len(d.Analyzers) == 0 {
+		d.Malformed = "no analyzer names given"
+		return d
+	}
+	d.Reason = strings.TrimSpace(reason)
+	return d
+}
+
+func knownAnalyzer(name string) bool {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Directive) allows(diag Diagnostic) bool {
+	if d.Malformed != "" || d.Pos.Filename != diag.Pos.Filename {
+		return false
+	}
+	if diag.Pos.Line != d.Pos.Line && diag.Pos.Line != d.Pos.Line+1 {
+		return false
+	}
+	for _, n := range d.Analyzers {
+		if n == diag.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// FilterSuppressed partitions diagnostics into kept findings and
+// suppressed ones, marking the directives that did the suppressing.
+// Unused returns the directives that suppressed nothing (stale escape
+// hatches worth deleting) — meaningful only when the full suite ran.
+func FilterSuppressed(diags []Diagnostic, dirs []*Directive) (kept, suppressed []Diagnostic) {
+	for _, diag := range diags {
+		matched := false
+		for _, d := range dirs {
+			if d.allows(diag) {
+				d.used = true
+				matched = true
+			}
+		}
+		if matched {
+			suppressed = append(suppressed, diag)
+		} else {
+			kept = append(kept, diag)
+		}
+	}
+	return kept, suppressed
+}
+
+// Unused returns the well-formed directives that FilterSuppressed never
+// marked as used.
+func Unused(dirs []*Directive) []*Directive {
+	var out []*Directive
+	for _, d := range dirs {
+		if d.Malformed == "" && !d.used {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+// Package baredgo exercises detlint/baredgo: bare go statements are
+// findings, spawns routed through a Clock.Go-shaped API are not, and
+// _test.go files are exempt.
+package baredgo
+
+// clock mimics the netem.Clock registered-spawn API; the analyzer only
+// cares that the spawn is not a bare go statement.
+type clock struct{}
+
+func (clock) Go(fn func()) { fn() }
+
+func bareLiteral() {
+	go func() {}() // want "bare go statement spawns a clock-invisible goroutine"
+}
+
+func bareNamed() {
+	go helper() // want "bare go statement spawns a clock-invisible goroutine"
+}
+
+func helper() {}
+
+func viaClock(c clock) {
+	c.Go(helper) // registered spawn: not a finding
+}
+
+func suppressed() {
+	go helper() //detlint:allow baredgo -- testdata: relay that originates outside emulated time
+}

@@ -1,0 +1,114 @@
+// Package borrowck exercises detlint/borrowck: CachedSlice results,
+// WriteStable parameters, and sync.Pool payloads are borrowed views;
+// retaining one beyond the call is a finding, while the sanctioned
+// owner-write and copy-out patterns pass.
+package borrowck
+
+import "sync"
+
+// content mimics videostore.Content: CachedSlice hands out borrowed
+// views into its page cache (matching is by method name).
+type content struct{ page []byte }
+
+func (c *content) CachedSlice(off int64, n int) []byte {
+	return c.page[off : off+int64(n) : off+int64(n)]
+}
+
+// clock mimics the netem.Clock spawn API: closures handed to Go outlive
+// the calling function.
+type clock struct{}
+
+func (clock) Go(fn func()) { fn() }
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+type holder struct {
+	view []byte
+}
+
+var global []byte
+
+func use([]byte) {}
+
+func fieldStore(h *holder, c *content) {
+	v := c.CachedSlice(0, 8)
+	h.view = v // want "borrowed view stored into field view"
+}
+
+func elementStore(c *content, dst [][]byte) {
+	v := c.CachedSlice(0, 8)
+	dst[0] = v // want "borrowed view stored into a container element"
+}
+
+func globalStore(c *content) {
+	global = c.CachedSlice(0, 8) // want "borrowed view stored into package variable global"
+}
+
+func goCapture(c *content) {
+	v := c.CachedSlice(0, 8)
+	go func() {
+		use(v) // want "borrowed slice v captured by go statement closure"
+	}()
+}
+
+func spawnCapture(clk clock, c *content) {
+	v := c.CachedSlice(0, 8)
+	clk.Go(func() {
+		use(v) // want "borrowed slice v captured by closure spawned via Go"
+	})
+}
+
+func appendGrow(c *content) []byte {
+	v := c.CachedSlice(0, 8)
+	return append(v, 0) // want "append on borrowed slice v"
+}
+
+func returned(c *content) []byte {
+	v := c.CachedSlice(0, 8)
+	return v // want "borrowed view returned from returned"
+}
+
+func composite(c *content) holder {
+	v := c.CachedSlice(0, 8)
+	return holder{view: v} // want "borrowed view stored into a composite literal"
+}
+
+// WriteStable's slice parameter is a borrow by contract: local
+// reslicing is fine, retaining it is not.
+func (h *holder) WriteStable(b []byte) (int, error) {
+	n := len(b)
+	b = b[:0]
+	h.view = b // want "borrowed view stored into field view"
+	return n, nil
+}
+
+// The pool owner writing into a buffer it just took from the pool is
+// the sanctioned ownership protocol, not a finding; copying out before
+// Put keeps nothing borrowed.
+func poolOwnerWrites() []byte {
+	bp := pool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, 'x')
+	out := append([]byte(nil), b...)
+	pool.Put(bp)
+	return out
+}
+
+// Handing a pool buffer to a spawned closure still leaks it past the
+// call, pool protocol or not.
+func poolSpawnCapture(clk clock) {
+	bp := pool.Get().(*[]byte)
+	clk.Go(func() {
+		use(*bp) // want "borrowed slice bp captured by closure spawned via Go"
+	})
+}
+
+// Copying the borrowed bytes severs the borrow.
+func copyOutPass(h *holder, c *content) {
+	v := c.CachedSlice(0, 8)
+	h.view = append([]byte(nil), v...)
+}
+
+func suppressedReturn(c *content) []byte {
+	return c.CachedSlice(0, 8) //detlint:allow borrowck -- testdata: documented borrow passthrough
+}

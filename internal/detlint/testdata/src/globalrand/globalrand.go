@@ -1,0 +1,29 @@
+// Package globalrand exercises detlint/globalrand: top-level math/rand
+// and math/rand/v2 functions draw from the process-global source and
+// are findings; explicitly seeded streams are not.
+package globalrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func violations() int {
+	n := rand.Intn(10)           // want "rand.Intn draws from the process-global source"
+	n += int(rand.Int63())       // want "rand.Int63 draws from the process-global source"
+	n += int(rand.Float64() * 8) // want "rand.Float64 draws from the process-global source"
+	n += randv2.IntN(10)         // want "rand.IntN draws from the process-global source"
+	return n
+}
+
+// An owned stream seeded from the scenario seed is the sanctioned
+// pattern: the constructors are allowed, and methods on the stream are
+// not package-level draws.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func suppressed() int {
+	return rand.Int() //detlint:allow globalrand -- testdata: justified global draw
+}

@@ -1,0 +1,93 @@
+// Package maprange exercises detlint/maprange: map-iteration order must
+// not reach writers, escaping slices, or accounting state; the
+// sorted-key extraction pattern and order-insensitive bodies pass.
+package maprange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func printsInMapOrder(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "fmt.Fprintf inside a map range emits output in iteration order"
+	}
+}
+
+func builderInMapOrder(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "sb.WriteString inside a map range emits output in iteration order"
+	}
+	return sb.String()
+}
+
+func escapesUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "values accumulated from a map range escape in iteration order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// The canonical fix: extract, then sort before the slice escapes.
+func sortedKeysPass(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type books struct {
+	total int
+}
+
+func accountingInMapOrder(b *books, m map[string]int) {
+	for _, v := range m {
+		b.total += v // want "mutates b.total in map-iteration order"
+	}
+}
+
+func sliceWriteInMapOrder(m map[string]int, out []int) {
+	i := 0
+	for _, v := range m {
+		out[i] = v // want "writes out"
+		i++
+	}
+}
+
+// Inserting into another map is order-insensitive: the final contents do
+// not depend on insertion order.
+func mapInsertPass(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Plain scalar accumulation commutes.
+func scalarSumPass(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Ranging over a slice is ordered; writers inside are fine.
+func sliceRangePass(w io.Writer, xs []string) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}
+
+func suppressedPrint(w io.Writer, m map[string]bool) {
+	for k := range m {
+		fmt.Fprintln(w, k) //detlint:allow maprange -- testdata: single-entry map by construction
+	}
+}

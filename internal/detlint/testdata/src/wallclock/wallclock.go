@@ -1,0 +1,38 @@
+// Package wallclock exercises detlint/wallclock: the package-level time
+// functions are findings, time.Time methods and constructors are not,
+// and //detlint:allow directives suppress justified sites.
+package wallclock
+
+import "time"
+
+func violations() {
+	_ = time.Now()                       // want "time.Now reads or waits on the wall clock"
+	time.Sleep(time.Millisecond)         // want "time.Sleep reads or waits on the wall clock"
+	_ = time.After(time.Second)          // want "time.After reads or waits on the wall clock"
+	_ = time.Tick(time.Second)           // want "time.Tick reads or waits on the wall clock"
+	_ = time.Since(time.Time{})          // want "time.Since reads or waits on the wall clock"
+	_ = time.Until(time.Time{})          // want "time.Until reads or waits on the wall clock"
+	_ = time.NewTimer(time.Second)       // want "time.NewTimer reads or waits on the wall clock"
+	_ = time.NewTicker(time.Second)      // want "time.NewTicker reads or waits on the wall clock"
+	_ = time.AfterFunc(time.Second, nil) // want "time.AfterFunc reads or waits on the wall clock"
+}
+
+// Methods on time.Time values are pure value arithmetic: only the
+// package-level functions consult the machine clock.
+func methodsAreFine(t, u time.Time) bool {
+	return t.After(u) || t.Before(u) || t.Sub(u) > 0
+}
+
+// Constructors and constants do not read the clock either.
+func constructorsAreFine() time.Time {
+	return time.Date(2014, 12, 2, 0, 0, 0, 0, time.UTC)
+}
+
+func suppressedSameLine() time.Time {
+	return time.Now() //detlint:allow wallclock -- testdata: justified wall-clock read
+}
+
+func suppressedLineAbove() {
+	//detlint:allow wallclock -- testdata: directive on the line above also applies
+	time.Sleep(time.Millisecond)
+}

@@ -90,7 +90,7 @@ func TestServerRejectsGarbage(t *testing.T) {
 		if err == nil {
 			t.Fatal("server accepted garbage")
 		}
-	case <-time.After(5 * time.Second):
+	case <-time.After(5 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
 		t.Fatal("server hung on garbage")
 	}
 }

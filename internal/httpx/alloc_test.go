@@ -51,7 +51,7 @@ func TestKeepAliveRequestAllocs(t *testing.T) {
 		if avg > 150 {
 			t.Fatalf("keep-alive request allocates %.0f times per request, want <= 150", avg)
 		}
-	case <-time.After(30 * time.Second):
+	case <-time.After(30 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
 		t.Fatal("request loop did not finish")
 	}
 }

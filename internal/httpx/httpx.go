@@ -183,7 +183,7 @@ func (t *Transport) roundTrip(ctx context.Context, req *http.Request, pc *persis
 	if ctx.Done() != nil {
 		done = make(chan struct{})
 		state = &reqState{}
-		go func() {
+		go func() { //detlint:allow baredgo -- context watcher only forwards cancellation into a conn abort; clock-invisible by design
 			select {
 			case <-ctx.Done():
 				if state.v.CompareAndSwap(reqActive, reqAborted) {
@@ -254,7 +254,7 @@ func writeRequest(conn net.Conn, req *http.Request) error {
 	b = append(b, " HTTP/1.1\r\nHost: "...)
 	b = append(b, host...)
 	b = append(b, "\r\nUser-Agent: Go-http-client/1.1\r\n"...)
-	for k, vv := range req.Header {
+	for k, vv := range req.Header { //detlint:allow maprange -- the fallback above caps this loop at one header key, so order cannot vary
 		if k == "Host" || k == "User-Agent" || k == "Content-Length" {
 			// Keys req.Write treats specially; keep semantics by falling
 			// back rather than second-guessing them.
@@ -557,7 +557,7 @@ func (t *Transport) Shutdown(err error) {
 		}
 	}
 	var inUse []*persistConn
-	for pc := range t.live {
+	for pc := range t.live { //detlint:allow maprange -- all aborts land at the caller's single pinned virtual instant; sweep order is unobservable
 		if !idleSet[pc] {
 			inUse = append(inUse, pc)
 		}

@@ -138,14 +138,14 @@ func TestGetRangeContextCancel(t *testing.T) {
 		_, err := GetRange(ctx, client, "http://srv.test:443/hang", 0, 1<<20-1)
 		done <- err
 	}()
-	time.Sleep(10 * time.Millisecond)
+	time.Sleep(10 * time.Millisecond) //detlint:allow wallclock -- real sleep lets goroutines park before asserting waiter accounting
 	cancel()
 	select {
 	case err := <-done:
 		if err == nil {
 			t.Fatal("cancelled fetch succeeded")
 		}
-	case <-time.After(5 * time.Second):
+	case <-time.After(5 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
 		t.Fatal("cancel did not interrupt fetch")
 	}
 }

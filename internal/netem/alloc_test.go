@@ -97,7 +97,7 @@ func TestSteadyStateTransferAllocs(t *testing.T) {
 		if avg > 4 {
 			t.Fatalf("steady-state transfer allocates %.1f times per %d KB block, want <= 4", avg, block>>10)
 		}
-	case <-time.After(30 * time.Second):
+	case <-time.After(30 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
 		t.Fatal("transfer did not reach steady state")
 	}
 	client.Close()

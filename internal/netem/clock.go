@@ -130,10 +130,10 @@ func NewScaledClock(scale float64) *Clock {
 		scale = 1
 	}
 	return &Clock{
-		base:      time.Now(),
+		base:      time.Now(), //detlint:allow wallclock -- scaled-real-time mode anchors the clock to the wall by definition
 		realtime:  true,
 		scale:     scale,
-		realStart: time.Now(),
+		realStart: time.Now(), //detlint:allow wallclock -- scaled-real-time mode anchors the clock to the wall by definition
 		done:      make(chan struct{}),
 	}
 }
@@ -220,7 +220,7 @@ func (c *Clock) Release() {
 // virtual instant of the spawn.
 func (c *Clock) Go(fn func(*Participant)) {
 	c.Hold()
-	go func() {
+	go func() { //detlint:allow baredgo -- this IS Clock.Go: the one registered spawn point
 		p := c.Register()
 		c.Release()
 		defer p.Unregister()
@@ -240,7 +240,7 @@ func (c *Clock) Stop() {
 		return
 	}
 	if c.realtime {
-		c.frozenAt.Store(int64(float64(time.Since(c.realStart)) * c.scale))
+		c.frozenAt.Store(int64(float64(time.Since(c.realStart)) * c.scale)) //detlint:allow wallclock -- realtime pacing converts wall progress into emulated time
 	} else {
 		c.frozenAt.Store(c.virt.Load())
 	}
@@ -275,7 +275,7 @@ func (c *Clock) Now() time.Time {
 		if c.frozen.Load() {
 			return c.base.Add(time.Duration(c.frozenAt.Load()))
 		}
-		real := time.Since(c.realStart)
+		real := time.Since(c.realStart) //detlint:allow wallclock -- realtime pacing converts wall progress into emulated time
 		return c.base.Add(time.Duration(float64(real) * c.scale))
 	}
 	return c.base.Add(time.Duration(c.virt.Load()))
@@ -341,7 +341,7 @@ func (c *Clock) SleepUntil(t time.Time) {
 		if emuLeft <= 0 {
 			return
 		}
-		timer := time.NewTimer(time.Duration(float64(emuLeft) / c.scale))
+		timer := time.NewTimer(time.Duration(float64(emuLeft) / c.scale)) //detlint:allow wallclock -- realtime SleepUntil waits out the scaled interval on a real timer
 		defer timer.Stop()
 		select {
 		case <-timer.C:
@@ -563,7 +563,7 @@ func (t *Timer) Schedule(at time.Time) {
 		rt := &rtTimer{}
 		t.rt = rt
 		t.mu.Unlock()
-		go func() {
+		go func() { //detlint:allow baredgo -- realtime timers fire on an OS timer goroutine; virtual mode never runs this path
 			c.SleepUntil(at)
 			if !rt.stop.Load() && !c.Stopped() {
 				t.fn()

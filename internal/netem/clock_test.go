@@ -12,9 +12,9 @@ func TestVirtualClockAdvancesToDeadline(t *testing.T) {
 	defer c.Stop()
 
 	start := c.Now()
-	real := time.Now()
-	c.Sleep(10 * time.Second) // emulated
-	if wall := time.Since(real); wall > 2*time.Second {
+	real := time.Now()                                  //detlint:allow wallclock -- asserts the virtual run needs negligible wall time
+	c.Sleep(10 * time.Second)                           // emulated
+	if wall := time.Since(real); wall > 2*time.Second { //detlint:allow wallclock -- asserts the virtual run needs negligible wall time
 		t.Fatalf("virtual 10s sleep took %v of wall time", wall)
 	}
 	if got := c.Now().Sub(start); got < 10*time.Second {
@@ -70,9 +70,9 @@ func TestVirtualClockNowMonotonic(t *testing.T) {
 func TestScaledClockCompressesSleep(t *testing.T) {
 	c := NewScaledClock(100)
 	defer c.Stop()
-	real := time.Now()
-	c.Sleep(time.Second) // emulated 1s -> ~10ms real
-	wall := time.Since(real)
+	real := time.Now()       //detlint:allow wallclock -- test measures wall-clock elapsed time on purpose
+	c.Sleep(time.Second)     // emulated 1s -> ~10ms real
+	wall := time.Since(real) //detlint:allow wallclock -- test measures wall-clock elapsed time on purpose
 	if wall < 5*time.Millisecond || wall > 500*time.Millisecond {
 		t.Fatalf("scaled sleep wall time = %v, want ~10ms", wall)
 	}
@@ -88,11 +88,11 @@ func TestClockStopWakesSleepers(t *testing.T) {
 		p.SleepUntil(c.Now().Add(time.Hour))
 		close(done)
 	})
-	time.Sleep(5 * time.Millisecond)
+	time.Sleep(5 * time.Millisecond) //detlint:allow wallclock -- real sleep lets goroutines park before asserting waiter accounting
 	c.Stop()
 	select {
 	case <-done:
-	case <-time.After(2 * time.Second):
+	case <-time.After(2 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
 		t.Fatal("sleeper not released by Stop")
 	}
 }
@@ -107,15 +107,15 @@ func TestScaledClockStopInterruptsSleep(t *testing.T) {
 		c.Sleep(time.Hour)
 		close(done)
 	}()
-	time.Sleep(5 * time.Millisecond)
-	real := time.Now()
+	time.Sleep(5 * time.Millisecond) //detlint:allow wallclock -- real sleep lets goroutines park before asserting waiter accounting
+	real := time.Now()               //detlint:allow wallclock -- test measures wall-clock elapsed time on purpose
 	c.Stop()
 	select {
 	case <-done:
-		if wall := time.Since(real); wall > time.Second {
+		if wall := time.Since(real); wall > time.Second { //detlint:allow wallclock -- test measures wall-clock elapsed time on purpose
 			t.Fatalf("Stop took %v to interrupt a realtime sleep", wall)
 		}
-	case <-time.After(2 * time.Second):
+	case <-time.After(2 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
 		t.Fatal("realtime sleeper not released by Stop")
 	}
 }
@@ -130,7 +130,7 @@ func TestSleepUntilPastReturnsImmediately(t *testing.T) {
 	}()
 	select {
 	case <-done:
-	case <-time.After(2 * time.Second):
+	case <-time.After(2 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
 		t.Fatal("SleepUntil in the past blocked")
 	}
 }
@@ -158,6 +158,7 @@ func TestVirtualClockWaitsForActiveParticipants(t *testing.T) {
 		<-release // deliberately invisible: holds the clock still
 	})
 	<-parked
+	//detlint:allow wallclock -- real sleep in real-time mode: no virtual jump may happen
 	time.Sleep(20 * time.Millisecond) // real time: no jump may happen
 	if got := c.Now().Sub(c.base); got != 0 {
 		t.Fatalf("clock advanced %v while a participant was runnable", got)
@@ -247,7 +248,7 @@ func TestClockConcurrentRegisterSleepStop(t *testing.T) {
 			}()
 		}
 		if round%2 == 0 {
-			time.Sleep(time.Duration(round%5) * time.Millisecond)
+			time.Sleep(time.Duration(round%5) * time.Millisecond) //detlint:allow wallclock -- real sleep staggers racing participants in wall time
 			c.Stop()
 		}
 		wg.Wait()
@@ -269,14 +270,14 @@ func TestCondWaitReleasedByStop(t *testing.T) {
 		mu.Unlock()
 		done <- ok
 	})
-	time.Sleep(5 * time.Millisecond)
+	time.Sleep(5 * time.Millisecond) //detlint:allow wallclock -- real sleep lets goroutines park before asserting waiter accounting
 	c.Stop()
 	select {
 	case ok := <-done:
 		if ok {
 			t.Fatal("Cond.Wait returned true after Stop")
 		}
-	case <-time.After(2 * time.Second):
+	case <-time.After(2 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
 		t.Fatal("Cond.Wait not released by Stop")
 	}
 	// Waiting on an already-stopped clock must not park at all.
@@ -339,11 +340,11 @@ func TestCondSignalTransfersCredit(t *testing.T) {
 // of cancelled sessions) read one stable emulated time instead of a
 // wall clock that keeps running.
 func TestStopFreezesNow(t *testing.T) {
-	c := NewScaledClock(1000) // 1 ms wall ≈ 1 s emulated: drift is obvious
-	time.Sleep(2 * time.Millisecond)
+	c := NewScaledClock(1000)        // 1 ms wall ≈ 1 s emulated: drift is obvious
+	time.Sleep(2 * time.Millisecond) //detlint:allow wallclock -- real sleep lets goroutines park before asserting waiter accounting
 	c.Stop()
 	frozen := c.Now()
-	time.Sleep(5 * time.Millisecond)
+	time.Sleep(5 * time.Millisecond) //detlint:allow wallclock -- real sleep lets goroutines park before asserting waiter accounting
 	if !c.Now().Equal(frozen) {
 		t.Fatalf("scaled clock advanced after Stop: %v -> %v", frozen, c.Now())
 	}

@@ -38,10 +38,15 @@
 //  1. Registered goroutines must never park invisibly (bare channel
 //     operations, time.Sleep): the clock would refuse to jump while
 //     they wait. Park through the goroutine's Participant or pass it to
-//     Cond.Wait.
+//     Cond.Wait. The no-wall-clock half of this rule is mechanically
+//     enforced by detlint/wallclock (see internal/detlint): time.Now,
+//     time.Sleep, time.After and friends are findings outside
+//     //detlint:allow-justified sites.
 //  2. Goroutines are spawned with Clock.Go (or under a Hold), so the
 //     clock cannot jump during the handoff between spawner and spawnee;
-//     Go passes the new goroutine its Participant.
+//     Go passes the new goroutine its Participant. Mechanically
+//     enforced by detlint/baredgo: a bare go statement in a non-test
+//     file is a finding.
 //  3. Wake-ups transfer accounting to the wakee at signal time
 //     (Cond.Signal pre-credits the waiter), so there is no window in
 //     which a runnable goroutine is invisible to the clock.
@@ -176,6 +181,13 @@
 // case the invariant is the same: a buffer returns to its pool only
 // after the last reader of its bytes has finished, and pooled buffers
 // above a size cap are dropped so one-off spikes cannot pin memory.
+// The retention half of these rules is mechanically enforced by
+// detlint/borrowck: storing a borrowed view (a CachedSlice result, a
+// WriteStable argument, a pooled payload) into longer-lived state,
+// capturing it in a spawned closure, or growing it with append is a
+// finding. Likewise detlint/globalrand keeps every rng seed-derived and
+// detlint/maprange keeps map-iteration order out of anything
+// observable; `go run ./cmd/detlint ./...` runs the whole suite.
 //
 // The emulator is a fluid model at a configurable pacing quantum
 // (default 20 ms of line time per delivery segment): transfer durations,

@@ -100,7 +100,7 @@ func (i *Interface) SetAlive(alive bool) {
 	i.alive = alive
 	var toAbort []*Conn
 	if !alive {
-		for c := range i.conns {
+		for c := range i.conns { //detlint:allow maprange -- conn aborts commute: all land at the same pinned virtual instant
 			toAbort = append(toAbort, c)
 		}
 		i.conns = make(map[*Conn]struct{})

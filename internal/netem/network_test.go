@@ -74,14 +74,14 @@ func TestInterfaceDownAbortsConns(t *testing.T) {
 		_, err := c.Read(make([]byte, 1))
 		errCh <- err
 	}()
-	time.Sleep(5 * time.Millisecond)
+	time.Sleep(5 * time.Millisecond) //detlint:allow wallclock -- real sleep lets goroutines park before asserting waiter accounting
 	iface.SetAlive(false)
 	select {
 	case err := <-errCh:
 		if !errors.Is(err, ErrInterfaceDown) {
 			t.Fatalf("read error = %v, want ErrInterfaceDown", err)
 		}
-	case <-time.After(2 * time.Second):
+	case <-time.After(2 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
 		t.Fatal("interface down did not abort read")
 	}
 	if _, err := iface.DialContext(context.Background(), "tcp", "srv.test:80"); !errors.Is(err, ErrInterfaceDown) {
@@ -115,14 +115,14 @@ func TestListenerCloseKillsConns(t *testing.T) {
 		_, err := c.Read(make([]byte, 1))
 		errCh <- err
 	}()
-	time.Sleep(5 * time.Millisecond)
+	time.Sleep(5 * time.Millisecond) //detlint:allow wallclock -- real sleep lets goroutines park before asserting waiter accounting
 	l.Close()
 	select {
 	case err := <-errCh:
 		if !errors.Is(err, ErrServerDown) {
 			t.Fatalf("read error = %v, want ErrServerDown", err)
 		}
-	case <-time.After(2 * time.Second):
+	case <-time.After(2 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
 		t.Fatal("listener close did not abort conns")
 	}
 	// Address is released for reuse.

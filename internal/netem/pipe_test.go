@@ -167,14 +167,14 @@ func TestPipeAbortSurfacesError(t *testing.T) {
 		_, err := client.Read(buf)
 		errCh <- err
 	}()
-	time.Sleep(5 * time.Millisecond)
+	time.Sleep(5 * time.Millisecond) //detlint:allow wallclock -- real sleep lets goroutines park before asserting waiter accounting
 	server.Abort(ErrServerDown)
 	select {
 	case err := <-errCh:
 		if err != ErrServerDown {
 			t.Fatalf("read error = %v, want ErrServerDown", err)
 		}
-	case <-time.After(2 * time.Second):
+	case <-time.After(2 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
 		t.Fatal("abort did not wake reader")
 	}
 }
@@ -194,12 +194,12 @@ func TestPipeSendBufferBlocksWriter(t *testing.T) {
 	select {
 	case <-wrote:
 		t.Fatal("writer did not block on full send buffer")
-	case <-time.After(50 * time.Millisecond):
+	case <-time.After(50 * time.Millisecond): //detlint:allow wallclock -- short real wait proves the write stays blocked
 	}
 	go io.Copy(io.Discard, client)
 	select {
 	case <-wrote:
-	case <-time.After(5 * time.Second):
+	case <-time.After(5 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
 		t.Fatal("writer never unblocked while reader drained")
 	}
 }

@@ -74,7 +74,7 @@ func TestPipeJitterPerInstanceSeed(t *testing.T) {
 	go func() { wg.Wait(); close(done) }()
 	select {
 	case <-done:
-	case <-time.After(30 * time.Second):
+	case <-time.After(30 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
 		t.Fatal("pipes did not drain")
 	}
 	if len(twin1.times) == 0 || len(twin1.times) != len(twin2.times) {

@@ -349,7 +349,7 @@ func TestWheelParkAllocs(t *testing.T) {
 		if avg > 0 {
 			t.Fatalf("steady-state wheel park allocates %.2f times per park pair, want 0", avg)
 		}
-	case <-time.After(10 * time.Second):
+	case <-time.After(10 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
 		t.Fatal("park loop did not finish")
 	}
 }

@@ -300,12 +300,16 @@ func (c *Cluster) Kill(addr string) error {
 	return nil
 }
 
-// Close shuts down every server in the cluster.
+// Close shuts down every server in the cluster, in deployment order:
+// teardown is part of the deterministic model too, so the close sweep
+// must not run in map-iteration order.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	insts := make([]*serverInstance, 0, len(c.servers))
-	for _, inst := range c.servers {
-		insts = append(insts, inst)
+	for _, inst := range c.all {
+		if _, live := c.servers[inst.addr]; live {
+			insts = append(insts, inst)
+		}
 	}
 	c.servers = make(map[string]*serverInstance)
 	c.mu.Unlock()

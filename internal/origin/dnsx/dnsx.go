@@ -7,6 +7,7 @@ package dnsx
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -51,7 +52,8 @@ func (r *Resolver) Lookup(network, name string) ([]string, error) {
 	return append([]string(nil), addrs...), nil
 }
 
-// Networks returns the registered network views (unordered).
+// Networks returns the registered network views, sorted so the listing
+// is stable across runs rather than map-iteration-ordered.
 func (r *Resolver) Networks() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -59,5 +61,6 @@ func (r *Resolver) Networks() []string {
 	for n := range r.views {
 		nets = append(nets, n)
 	}
+	sort.Strings(nets)
 	return nets
 }

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -211,7 +212,9 @@ func (c *Content) CachedSlice(off int64, n int) []byte {
 	if page >= contentMaxPages || po+int64(n) > contentPageSize {
 		return nil
 	}
-	return c.pageFor(page)[po : po+int64(n)]
+	// Cap-clip the view (3-index slice) so even a misbehaving caller
+	// cannot append into the rest of the cached page.
+	return c.pageFor(page)[po : po+int64(n) : po+int64(n)]
 }
 
 // generate fills p with the blob's bytes starting at off: the bulk one
@@ -290,12 +293,15 @@ func (c *Catalog) Get(id string) (*Video, error) {
 	return v, nil
 }
 
-// IDs returns the catalog's video IDs (unordered).
+// IDs returns the catalog's video IDs, sorted: callers feed them into
+// reports and scenario setup, so the order must not depend on map
+// iteration.
 func (c *Catalog) IDs() []string {
 	ids := make([]string, 0, len(c.videos))
 	for id := range c.videos {
 		ids = append(ids, id)
 	}
+	sort.Strings(ids)
 	return ids
 }
 

@@ -19,7 +19,7 @@ func TestScaledRealTimeMode(t *testing.T) {
 	// delays; 50x keeps the distortion within ~20%.
 	p.RealTimeScale = 50
 	tb := newTB(t, p)
-	wall := time.Now()
+	wall := time.Now() //detlint:allow wallclock -- test measures real elapsed time of the scaled clock
 	m, err := tb.Stream(context.Background(), SessionConfig{
 		Scheduler:          NewHarmonicScheduler(256<<10, 0.05),
 		Paths:              BothPaths,
@@ -34,7 +34,7 @@ func TestScaledRealTimeMode(t *testing.T) {
 	}
 	// ~4-6 emulated seconds at 50x is ~100 ms of wall time; allow
 	// generous slack for timer granularity.
-	if elapsed := time.Since(wall); elapsed > 10*time.Second {
+	if elapsed := time.Since(wall); elapsed > 10*time.Second { //detlint:allow wallclock -- test measures real elapsed time of the scaled clock
 		t.Fatalf("scaled mode took %v of wall time", elapsed)
 	}
 	// Emulated outcome comparable to the virtual-clock mode: 20 s of
