@@ -72,6 +72,28 @@ func BenchmarkFleetMegacrowd(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetColdedge runs the edge-cache stampede study at a
+// CI-friendly population: sessions route at two cold edge caches (one
+// coalescing fills, one stampeding) that fill from the origin over
+// emulated backhaul, exercising the whole three-tier delivery path.
+func BenchmarkFleetColdedge(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc, err := fleet.Builtin("coldedge", 40, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := fleet.Run(context.Background(), sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Edges) == 2 {
+			b.ReportMetric(rep.Edges[0].HitRatio(), "sf_hit_ratio")
+			b.ReportMetric(float64(rep.Edges[1].Fills), "stampede_fills")
+		}
+	}
+}
+
 // benchOpt keeps per-iteration work bounded; seeds vary per iteration.
 func benchOpt(i int) bench.Options { return bench.Options{Reps: 2, Seed: int64(i)*97 + 1} }
 

@@ -12,6 +12,8 @@
 //	fleet -scenario densecrowd -sessions 2000
 //	fleet -scenario megacrowd           # 20k light sessions, the scale proof
 //	fleet -scenario wifiwave -sessions 60
+//	fleet -scenario coldedge -sessions 200  # edge caches: single-flight vs stampede
+//	fleet -scenario edgemesh -sessions 80   # four tight edges, LRU vs LFU
 //	fleet -scenario flashcrowd -cpuprofile cpu.out -memprofile mem.out
 package main
 

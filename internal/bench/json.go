@@ -67,10 +67,11 @@ func measure(name string, metrics map[string]float64, fn func() error) (Experime
 	}, err
 }
 
-// fleetMetrics extracts the headline QoE numbers of a fleet report.
+// fleetMetrics extracts the headline QoE numbers of a fleet report,
+// plus the edge tier's aggregate books when the scenario has one.
 func fleetMetrics(rep *fleet.Report) map[string]float64 {
 	a := &rep.Fleet
-	return map[string]float64{
+	m := map[string]float64{
 		"sessions":        float64(a.Sessions),
 		"completed":       float64(a.Completed),
 		"virtual_elapsed": rep.Elapsed.Seconds(),
@@ -82,13 +83,31 @@ func fleetMetrics(rep *fleet.Report) map[string]float64 {
 		"fairness_jain":   a.Fairness(),
 		"wifi_share":      a.WiFiShare(),
 	}
+	if len(rep.Edges) > 0 {
+		var hits, misses, fills, evictions, backhaul int64
+		for _, e := range rep.Edges {
+			hits += e.Hits
+			misses += e.Misses
+			fills += e.Fills
+			evictions += e.Evictions
+			backhaul += e.BackhaulBytes
+		}
+		if hits+misses > 0 {
+			m["edge_hit_ratio"] = float64(hits) / float64(hits+misses)
+		}
+		m["edge_fills"] = float64(fills)
+		m["edge_evictions"] = float64(evictions)
+		m["edge_backhaul_bytes"] = float64(backhaul)
+	}
+	return m
 }
 
 // FleetArtifact runs the fleet-scale benchmarks — the flashcrowd
-// start-up study, the densecrowd population stress, and the megacrowd
-// 20k-session scale proof — at the given session counts (a count of 0
-// skips that experiment) and returns the artifact for BENCH_fleet.json.
-func FleetArtifact(w io.Writer, opt Options, flashSessions, denseSessions, megaSessions int) (*Artifact, error) {
+// start-up study, the densecrowd population stress, the megacrowd
+// 20k-session scale proof, and the coldedge cache-stampede study — at
+// the given session counts (a count of 0 skips that experiment) and
+// returns the artifact for BENCH_fleet.json.
+func FleetArtifact(w io.Writer, opt Options, flashSessions, denseSessions, megaSessions, coldEdgeSessions int) (*Artifact, error) {
 	opt = opt.withDefaults()
 	art := newArtifact("fleet", opt.Seed)
 	for _, c := range []struct {
@@ -98,6 +117,7 @@ func FleetArtifact(w io.Writer, opt Options, flashSessions, denseSessions, megaS
 		{"flashcrowd", flashSessions},
 		{"densecrowd", denseSessions},
 		{"megacrowd", megaSessions},
+		{"coldedge", coldEdgeSessions},
 	} {
 		if c.sessions <= 0 {
 			continue

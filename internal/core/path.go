@@ -22,6 +22,11 @@ type PathConfig struct {
 	Network string
 	// ProxyAddr is the web proxy to bootstrap from.
 	ProxyAddr string
+	// VideoServers, when non-empty, overrides the video-server list the
+	// proxy returns at bootstrap. Deployments with an edge-cache tier
+	// use it to steer the path at its network's edge instead of the
+	// origin replicas; failover still walks the list in order.
+	VideoServers []string
 }
 
 // path runs the fetch loop of one MSPlayer path: bootstrap against the
@@ -85,7 +90,7 @@ func (p *path) bootstrap(ctx context.Context) error {
 		}
 		info, err := p.fetchInfo(ctx)
 		if err == nil {
-			if len(info.VideoServers) == 0 {
+			if len(info.VideoServers) == 0 && len(p.cfg.VideoServers) == 0 {
 				err = fmt.Errorf("core: no video servers in network %s", p.cfg.Network)
 			} else if _, e := info.ContentLengthFor(p.player.cfg.Itag); e != nil {
 				err = e
@@ -99,6 +104,9 @@ func (p *path) bootstrap(ctx context.Context) error {
 		}
 		p.info = info
 		p.servers = info.VideoServers
+		if len(p.cfg.VideoServers) > 0 {
+			p.servers = p.cfg.VideoServers
+		}
 		p.serverIdx = 0
 		p.url = info.PlaybackURL(p.servers[0], p.player.cfg.Itag)
 		n, _ := info.ContentLengthFor(p.player.cfg.Itag)

@@ -12,6 +12,7 @@ import (
 // packages; the tree has exactly one producer per name.
 var borrowProducers = map[string]bool{
 	"CachedSlice": true, // videostore.Content: views into the content page cache
+	"PageView":    true, // edge.Cache: views of immutable edge-cache page buffers
 }
 
 // borrowParamFuncs names the functions/methods whose slice parameters

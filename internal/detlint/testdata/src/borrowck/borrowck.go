@@ -14,6 +14,14 @@ func (c *content) CachedSlice(off int64, n int) []byte {
 	return c.page[off : off+int64(n) : off+int64(n)]
 }
 
+// edgeCache mimics edge.Cache: PageView hands out borrowed views of
+// cached page buffers (matching is by method name).
+type edgeCache struct{ page []byte }
+
+func (e *edgeCache) PageView(pg int64) ([]byte, error) {
+	return e.page, nil
+}
+
 // clock mimics the netem.Clock spawn API: closures handed to Go outlive
 // the calling function.
 type clock struct{}
@@ -101,6 +109,19 @@ func poolSpawnCapture(clk clock) {
 	clk.Go(func() {
 		use(*bp) // want "borrowed slice bp captured by closure spawned via Go"
 	})
+}
+
+// PageView results are borrows exactly like CachedSlice results:
+// retaining one in a field is a finding, serving it onward as a plain
+// call argument is the sanctioned pattern.
+func pageViewFieldStore(h *holder, e *edgeCache) {
+	v, _ := e.PageView(0)
+	h.view = v // want "borrowed view stored into field view"
+}
+
+func pageViewServePass(h *holder, e *edgeCache) {
+	v, _ := e.PageView(0)
+	h.WriteStable(v[:4])
 }
 
 // Copying the borrowed bytes severs the borrow.

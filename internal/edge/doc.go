@@ -1,0 +1,58 @@
+// Package edge emulates an edge-cache tier in front of the origin
+// cluster: each Cache is an httpx server holding a bounded byte-budget
+// store of content pages, serving plain single-range videoplayback GETs
+// from cached pages and filling misses from an upstream origin replica
+// over an emulated backhaul link. It is the middle layer of the
+// YouTube-style delivery hierarchy the fleet scenarios model — client
+// access links in front, the sharded origin behind — and a new
+// experiment axis (cache policy x crowd shape x link mix) for the
+// deterministic QoE reports.
+//
+// # Ownership of cached pages
+//
+// A cached page buffer is allocated once by the fill that brought it
+// in and is immutable from that point on. The store only ever drops
+// references at eviction — buffers are never recycled, pooled, or
+// written again — so a view handed out by (*Cache).PageView remains
+// valid for as long as the holder keeps it, even across evictions (the
+// garbage collector keeps borrowed views alive). Handlers therefore
+// write page views straight through the httpx WriteStable zero-copy
+// path: the bytes are stable by construction. PageView is registered
+// as a borrow producer with detlint's borrowck, which flags callers
+// that retain a view beyond the call (struct fields, containers,
+// spawned closures) — serve it or copy it, never store it.
+//
+// # Determinism invariants
+//
+// The store's observable state — resident set, eviction order, and the
+// hit/miss/fill/evict/byte counters — is a pure function of the
+// scenario seed, independent of wall-clock goroutine interleaving:
+//
+//   - Recency and frequency are keyed to virtual time, never to a
+//     wall-clock or arrival-order counter. Same-instant touches
+//     commute: they set the same lastUse and add to the use count.
+//   - Eviction victims are picked by a total order — LRU compares
+//     (lastUse, videoID, itag, page), LFU compares (uses, videoID,
+//     itag, page) — so ties broken by (videoID, page) order, never by
+//     map iteration or insertion order. The victim scan walks a slice
+//     of resident pages, not a map.
+//   - Budget accounting charges every resident page one full PageSize
+//     (tail pages included), so same-instant concurrent inserts fold
+//     to the same resident set in any wall order: each insert adds its
+//     page then evicts global minima until the store fits, and with
+//     uniform page cost that greedy fold is order-independent.
+//   - A request is a hit only when the page's fill landed at a
+//     strictly earlier virtual instant. A request racing a fill
+//     completion at the same instant counts as a miss whichever way
+//     the wall-clock race resolves (it either joins the flight or sees
+//     a page whose fill instant equals now), and in neither case does
+//     it touch recency/frequency — so the counters and the eviction
+//     state cannot flap between runs.
+//   - Single-flight waiters take the filled bytes from the flight
+//     record, not a store re-lookup, so a same-instant eviction by an
+//     unrelated insert cannot change what a waiter observes.
+//   - The backhaul link is clean (no jitter, no loss), so the racy
+//     per-interface dial sequence perturbs nothing observable, and
+//     per-connection shaping makes a fill's duration a function of its
+//     start instant and size alone.
+package edge

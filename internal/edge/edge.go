@@ -1,0 +1,388 @@
+package edge
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/handshake"
+	"repro/internal/httpx"
+	"repro/internal/netem"
+	"repro/internal/origin"
+	"repro/internal/videostore"
+)
+
+// Network attaches an edge cache to one access network: the cache
+// listens at edge<name>.youtube.<network>.test:443 in that network and
+// fills misses from the named upstream origin replica.
+type Network struct {
+	// Name is the access network ("wifi", "lte").
+	Name string
+	// Upstream is the origin video-server address fills fetch from.
+	Upstream string
+}
+
+// Backhaul describes the edge-to-origin link. It is deliberately clean
+// — constant rate, no jitter, no loss — which is both realistic for a
+// provisioned backhaul and what keeps concurrent fills deterministic
+// (see doc.go).
+type Backhaul struct {
+	// RateMbps is the link rate (default 200 Mb/s).
+	RateMbps float64
+	// Delay is the one-way propagation delay (default 4 ms).
+	Delay time.Duration
+}
+
+func (b Backhaul) withDefaults() Backhaul {
+	if b.RateMbps == 0 {
+		b.RateMbps = 200
+	}
+	if b.Delay == 0 {
+		b.Delay = 4 * time.Millisecond
+	}
+	return b
+}
+
+// Config describes one edge cache deployment.
+type Config struct {
+	// Name labels the edge ("edge1") and prefixes its listener names.
+	Name string
+	// Networks are the access networks the edge serves, each with its
+	// fill upstream.
+	Networks []Network
+	// ByteBudget bounds the store; every resident page charges one full
+	// PageSize against it (default 8 MiB).
+	ByteBudget int64
+	// PageSize is the cache page granularity (default 64 KiB).
+	PageSize int64
+	// Policy is PolicyLRU (default) or PolicyLFU.
+	Policy string
+	// Stampede disables single-flight fill coalescing, reproducing
+	// cache-stampede storms: every concurrent miss fetches upstream.
+	Stampede bool
+	// Catalog is the served content catalog (for sizes and formats).
+	Catalog *videostore.Catalog
+	// Secret verifies client tokens and signs backhaul fill tokens;
+	// it must match the origin cluster's.
+	Secret []byte
+	// TokenTTL is the fill-token validity (default origin.TokenTTL).
+	TokenTTL time.Duration
+	// Handshake sets the edge server's Δ₁/Δ₂ processing delays.
+	Handshake handshake.Params
+	// Backhaul shapes the edge-to-origin link.
+	Backhaul Backhaul
+}
+
+// Stats is one edge's exact accounting, sampled after Drain.
+type Stats struct {
+	// Name and Policy identify the edge in reports.
+	Name   string
+	Policy string
+	// Hits counts page requests served from a previously filled page;
+	// Misses counts the rest (fillers, coalesced waiters, stampeders).
+	Hits, Misses int64
+	// Fills counts completed upstream fetches; with single-flight
+	// coalescing and no evictions it equals the distinct pages touched.
+	Fills int64
+	// Evictions counts pages dropped to fit the byte budget.
+	Evictions int64
+	// Pages and UsedBytes describe the final resident set.
+	Pages     int64
+	UsedBytes int64
+	// ServedBytes counts body bytes written toward clients;
+	// BackhaulBytes counts bytes fetched from the origin.
+	ServedBytes   int64
+	BackhaulBytes int64
+}
+
+// HitRatio is hits over page requests.
+func (s Stats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a running edge cache: one store, one backhaul interface,
+// and one httpx server per fronted access network.
+type Cache struct {
+	name     string
+	clock    *netem.Clock
+	catalog  *videostore.Catalog
+	secret   []byte
+	tokenTTL time.Duration
+	policy   string
+	pageSize int64
+	store    *store
+	backhaul *netem.Interface
+	addrs    map[string]string // network -> listener addr; immutable after Deploy
+	srvs     []*httpx.Server   // deploy order
+}
+
+// Deploy builds and starts an edge cache on n.
+func Deploy(n *netem.Network, cfg Config) (*Cache, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("edge: config needs a name")
+	}
+	if len(cfg.Networks) == 0 {
+		return nil, fmt.Errorf("edge: %s fronts no networks", cfg.Name)
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = videostore.DefaultCatalog()
+	}
+	if cfg.ByteBudget == 0 {
+		cfg.ByteBudget = 8 << 20
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 64 << 10
+	}
+	switch cfg.Policy {
+	case "":
+		cfg.Policy = PolicyLRU
+	case PolicyLRU, PolicyLFU:
+	default:
+		return nil, fmt.Errorf("edge: unknown policy %q", cfg.Policy)
+	}
+	if cfg.TokenTTL == 0 {
+		cfg.TokenTTL = origin.TokenTTL
+	}
+	bh := cfg.Backhaul.withDefaults()
+	clock := n.Clock()
+	e := &Cache{
+		name:     cfg.Name,
+		clock:    clock,
+		catalog:  cfg.Catalog,
+		secret:   cfg.Secret,
+		tokenTTL: cfg.TokenTTL,
+		policy:   cfg.Policy,
+		pageSize: cfg.PageSize,
+		store:    newStore(clock, cfg.ByteBudget, cfg.PageSize, cfg.Policy, cfg.Stampede),
+		addrs:    make(map[string]string),
+	}
+	link := netem.LinkParams{Rate: netem.Mbps(bh.RateMbps), Delay: bh.Delay, SlowStart: true}
+	e.backhaul = n.NewInterface(cfg.Name+"-backhaul", link, link)
+	for _, nw := range cfg.Networks {
+		if nw.Upstream == "" {
+			e.Close()
+			return nil, fmt.Errorf("edge: %s has no upstream in network %q", cfg.Name, nw.Name)
+		}
+		addr := fmt.Sprintf("%s.youtube.%s.test:443", cfg.Name, nw.Name)
+		l, err := n.Listen(addr, 0)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("edge: listen %s: %w", addr, err)
+		}
+		e.addrs[nw.Name] = addr
+		h := &netHandler{e: e, network: nw.Name, upstream: nw.Upstream}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/videoplayback", h.handlePlayback)
+		e.srvs = append(e.srvs, httpx.Serve(clock, l, mux, cfg.Handshake))
+	}
+	return e, nil
+}
+
+// Name returns the edge's label.
+func (e *Cache) Name() string { return e.name }
+
+// Addr returns the edge's listener address in a network ("" if the
+// edge does not front it).
+func (e *Cache) Addr(network string) string { return e.addrs[network] }
+
+// Stats snapshots the edge's books. Exact after Drain.
+func (e *Cache) Stats() Stats {
+	hits, misses, fills, evictions, resident, served, backhaul, used := e.store.stats()
+	return Stats{
+		Name: e.name, Policy: e.policy,
+		Hits: hits, Misses: misses, Fills: fills, Evictions: evictions,
+		Pages: resident, UsedBytes: used,
+		ServedBytes: served, BackhaulBytes: backhaul,
+	}
+}
+
+// Drain parks the caller until the edge's per-connection loops have
+// unwound (p may be nil to park as a transient), in deploy order.
+// After a true return the books are final.
+func (e *Cache) Drain(p *netem.Participant) bool {
+	settled := true
+	for _, srv := range e.srvs {
+		if !srv.Drain(p) {
+			settled = false
+		}
+	}
+	return settled
+}
+
+// Close shuts the edge's servers down in deploy order, aborting their
+// connections.
+func (e *Cache) Close() {
+	for _, srv := range e.srvs {
+		srv.Close()
+	}
+}
+
+// netHandler serves one access network's playback requests.
+type netHandler struct {
+	e        *Cache
+	network  string
+	upstream string
+}
+
+// handlePlayback answers GET /videoplayback exactly like an origin
+// video server — same query contract, same token checks, same header
+// shape — but from the edge store, filling misses over the backhaul.
+// Only the plain closed single-range GETs the players send are
+// supported; anything else is a 501.
+func (h *netHandler) handlePlayback(w http.ResponseWriter, r *http.Request) {
+	e := h.e
+	q := r.URL.Query()
+	id := q.Get("v")
+	v, err := e.catalog.Get(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if q.Get("net") != h.network {
+		http.Error(w, fmt.Sprintf("edge: token network %q not valid on %q", q.Get("net"), h.network), http.StatusForbidden)
+		return
+	}
+	if err := origin.VerifyToken(e.secret, id, h.network, q.Get("token"), q.Get("expire"), e.clock.Now()); err != nil {
+		http.Error(w, err.Error(), http.StatusForbidden)
+		return
+	}
+	itag, err := strconv.Atoi(q.Get("itag"))
+	if err != nil {
+		http.Error(w, "edge: bad itag", http.StatusBadRequest)
+		return
+	}
+	f, err := v.Format(itag)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	size := v.Size(f)
+	if r.Method != http.MethodGet {
+		http.Error(w, "edge: only GET is served", http.StatusNotImplemented)
+		return
+	}
+	from, to, ok := parsePlainRange(r.Header.Get("Range"))
+	if !ok {
+		http.Error(w, "edge: only plain single-range GETs are served", http.StatusNotImplemented)
+		return
+	}
+	if to >= size {
+		http.Error(w, "edge: range beyond content", http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+	hw := w.Header()
+	hw.Set("Content-Type", "video/mp4")
+	hw.Set("Accept-Ranges", "bytes")
+	hw.Set("X-Edge", e.name)
+	hw.Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", from, to, size))
+	hw.Set("Content-Length", strconv.FormatInt(to-from+1, 10))
+	w.WriteHeader(http.StatusPartialContent)
+
+	// The body streams page by page: acquire each page covering the
+	// range (hit, coalesced wait, or fill) and write its overlap through
+	// the stable zero-copy path in the origin's 32 KB strides. Page
+	// buffers are immutable and never recycled, so the borrowed views
+	// satisfy WriteStable's contract (doc.go, ownership).
+	sw, _ := w.(stableWriter)
+	cp := httpx.ConnParticipant(w)
+	for off := from; off <= to; {
+		data, err := e.PageView(cp, h, id, itag, size, off/e.pageSize)
+		if err != nil {
+			return // fill failed or emulation stopped; the conn is done either way
+		}
+		pstart := (off / e.pageSize) * e.pageSize
+		n := min(pstart+int64(len(data))-1, to) - off + 1
+		view := data[off-pstart : off-pstart+n]
+		for len(view) > 0 {
+			k := min(len(view), rangeChunk)
+			var werr error
+			var wn int
+			if sw != nil {
+				wn, werr = sw.WriteStable(view[:k])
+			} else {
+				wn, werr = w.Write(view[:k])
+			}
+			e.store.addServed(int64(wn))
+			if werr != nil {
+				return // aborted mid-body
+			}
+			view = view[k:]
+		}
+		off += n
+	}
+}
+
+// PageView returns the store's view of one content page, filling it
+// over the backhaul on a miss. The result is a borrowed view of an
+// immutable edge-owned buffer: serve it or copy it, never retain it
+// (registered as a detlint borrowck producer).
+func (e *Cache) PageView(p *netem.Participant, h *netHandler, video string, itag int, size, pg int64) ([]byte, error) {
+	key := pageKey{video: video, itag: itag, page: pg}
+	pstart := pg * e.pageSize
+	plen := min(e.pageSize, size-pstart)
+	return e.store.acquire(p, key, func() ([]byte, error) {
+		return e.fetchPage(p, h, video, itag, pstart, plen)
+	})
+}
+
+// fetchPage fetches one page-aligned range from the upstream origin
+// replica over the backhaul: a fresh connection per fill, bound to the
+// filling conn goroutine's clock handle, torn down when the body is
+// read. The bytes come back in an owned, never-recycled buffer.
+func (e *Cache) fetchPage(p *netem.Participant, h *netHandler, video string, itag int, pstart, plen int64) ([]byte, error) {
+	tr := httpx.NewTransport(e.backhaul)
+	tr.Bind(p)
+	defer tr.CloseIdleConnections()
+	expire := e.clock.Now().Add(e.tokenTTL)
+	info := origin.VideoInfo{
+		VideoID: video,
+		Network: h.network,
+		Token:   origin.SignToken(e.secret, video, expire, h.network),
+		Expire:  expire.Unix(),
+	}
+	url := info.PlaybackURL(h.upstream, itag)
+	return httpx.GetRange(context.Background(), &http.Client{Transport: tr}, url, pstart, pstart+plen-1)
+}
+
+// rangeChunk mirrors the origin's 32 KB response write strides, so
+// pacing and flush behaviour downstream of an edge looks like the
+// origin's.
+const rangeChunk = 32 << 10
+
+// stableWriter is implemented by httpx response writers for body bytes
+// that are immutable and outlive the response.
+type stableWriter interface {
+	WriteStable(b []byte) (int, error)
+}
+
+// parsePlainRange parses the closed single-range form the players send
+// ("bytes=a-b", both ends explicit).
+func parsePlainRange(s string) (from, to int64, ok bool) {
+	const pfx = "bytes="
+	if len(s) <= len(pfx) || s[:len(pfx)] != pfx {
+		return 0, 0, false
+	}
+	dash := -1
+	for i := len(pfx); i < len(s); i++ {
+		if s[i] == '-' {
+			dash = i
+			break
+		}
+	}
+	if dash < 0 {
+		return 0, 0, false
+	}
+	var err error
+	if from, err = strconv.ParseInt(s[len(pfx):dash], 10, 64); err != nil || from < 0 {
+		return 0, 0, false
+	}
+	if to, err = strconv.ParseInt(s[dash+1:], 10, 64); err != nil || to < from {
+		return 0, 0, false
+	}
+	return from, to, true
+}

@@ -1,0 +1,240 @@
+package edge
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newTestStore builds a clockless store with a hand-advanced virtual
+// now and a page size of one byte, so budgets read as page counts.
+func newTestStore(budget int64, policy string, stampede bool) (*store, *time.Time) {
+	s := newStore(nil, budget, 1, policy, stampede)
+	now := time.Unix(1000, 0)
+	s.now = func() time.Time { return now }
+	return s, &now
+}
+
+func key(video string, pg int64) pageKey { return pageKey{video: video, itag: 22, page: pg} }
+
+// get acquires a one-byte page, failing the test on error.
+func get(t *testing.T, s *store, k pageKey) {
+	t.Helper()
+	if _, err := s.acquire(nil, k, func() ([]byte, error) { return []byte{1}, nil }); err != nil {
+		t.Fatalf("acquire %v: %v", k, err)
+	}
+}
+
+// resident returns whether k is in the store.
+func resident(s *store, k pageKey) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.pages[k]
+	return ok
+}
+
+func wantResident(t *testing.T, s *store, in []pageKey, out []pageKey) {
+	t.Helper()
+	for _, k := range in {
+		if !resident(s, k) {
+			t.Errorf("page %v missing from store", k)
+		}
+	}
+	for _, k := range out {
+		if resident(s, k) {
+			t.Errorf("page %v still resident, want evicted", k)
+		}
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	s, now := newTestStore(3, PolicyLRU, false)
+	a, b, c, d := key("a", 0), key("b", 0), key("c", 0), key("d", 0)
+	get(t, s, a)
+	*now = now.Add(time.Second)
+	get(t, s, b)
+	*now = now.Add(time.Second)
+	get(t, s, c)
+	*now = now.Add(time.Second)
+	get(t, s, a) // refresh a's recency past b and c
+	*now = now.Add(time.Second)
+	get(t, s, d) // over budget: b is now the least recently used
+	wantResident(t, s, []pageKey{a, c, d}, []pageKey{b})
+	hits, misses, fills, evictions, res, _, _, _ := s.stats()
+	if hits != 1 || misses != 4 || fills != 4 || evictions != 1 || res != 3 {
+		t.Errorf("stats = hits %d misses %d fills %d evictions %d resident %d, want 1/4/4/1/3",
+			hits, misses, fills, evictions, res)
+	}
+}
+
+func TestLRUTieBreaksByKeyOrder(t *testing.T) {
+	s, now := newTestStore(2, PolicyLRU, false)
+	// b then a land at the same virtual instant: equal recency, so the
+	// eviction tie-break is pure (videoID, itag, page) order.
+	get(t, s, key("b", 0))
+	get(t, s, key("a", 0))
+	*now = now.Add(time.Second)
+	get(t, s, key("c", 0))
+	wantResident(t, s, []pageKey{key("b", 0), key("c", 0)}, []pageKey{key("a", 0)})
+
+	// Page index is the last tie-break component.
+	s2, now2 := newTestStore(2, PolicyLRU, false)
+	get(t, s2, key("v", 7))
+	get(t, s2, key("v", 3))
+	*now2 = now2.Add(time.Second)
+	get(t, s2, key("v", 9))
+	wantResident(t, s2, []pageKey{key("v", 7), key("v", 9)}, []pageKey{key("v", 3)})
+}
+
+func TestLFUEvictsLeastFrequentlyUsed(t *testing.T) {
+	s, now := newTestStore(2, PolicyLFU, false)
+	a, b, c := key("a", 0), key("b", 0), key("c", 0)
+	get(t, s, a)
+	get(t, s, b)
+	*now = now.Add(time.Second)
+	get(t, s, a) // a: 2 uses, b: 1
+	*now = now.Add(time.Second)
+	get(t, s, a) // a: 3 uses
+	*now = now.Add(time.Second)
+	get(t, s, c) // over budget: b has the fewest uses
+	wantResident(t, s, []pageKey{a, c}, []pageKey{b})
+}
+
+func TestLFUTieBreaksByKeyOrder(t *testing.T) {
+	s, now := newTestStore(2, PolicyLFU, false)
+	// Equal use counts; recency differs (b is older) but LFU must break
+	// the tie on key order, evicting a, not the least recent.
+	get(t, s, key("b", 0))
+	*now = now.Add(time.Second)
+	get(t, s, key("a", 0))
+	*now = now.Add(time.Second)
+	get(t, s, key("c", 0))
+	wantResident(t, s, []pageKey{key("b", 0), key("c", 0)}, []pageKey{key("a", 0)})
+}
+
+// TestSameInstantInsertOrderIndependent is the determinism core: two
+// stores folding the same pages at one virtual instant in opposite wall
+// orders converge on the same resident set.
+func TestSameInstantInsertOrderIndependent(t *testing.T) {
+	for _, policy := range []string{PolicyLRU, PolicyLFU} {
+		ab, _ := newTestStore(1, policy, false)
+		get(t, ab, key("a", 0))
+		get(t, ab, key("b", 0))
+		ba, _ := newTestStore(1, policy, false)
+		get(t, ba, key("b", 0))
+		get(t, ba, key("a", 0))
+		for _, k := range []pageKey{key("a", 0), key("b", 0)} {
+			if resident(ab, k) != resident(ba, k) {
+				t.Errorf("%s: residency of %v depends on insert order", policy, k)
+			}
+		}
+		wantResident(t, ab, []pageKey{key("b", 0)}, []pageKey{key("a", 0)})
+	}
+}
+
+// TestSingleFlightCoalesces pins the tentpole guarantee: N concurrent
+// misses on one page trigger exactly one upstream fetch, and every
+// caller gets the fetched bytes.
+func TestSingleFlightCoalesces(t *testing.T) {
+	s, _ := newTestStore(8, PolicyLRU, false)
+	const n = 8
+	var fetches atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fetch := func() ([]byte, error) {
+		fetches.Add(1)
+		close(started)
+		<-release
+		return []byte{42}, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	data := make([][]byte, n)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		data[0], errs[0] = s.acquire(nil, key("v", 0), fetch)
+	}()
+	<-started // the filler holds the flight; everyone else must coalesce
+	for i := 1; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data[i], errs[i] = s.acquire(nil, key("v", 0), fetch)
+		}()
+	}
+	close(release)
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if len(data[i]) != 1 || data[i][0] != 42 {
+			t.Fatalf("caller %d got %v, want [42]", i, data[i])
+		}
+	}
+	if got := fetches.Load(); got != 1 {
+		t.Fatalf("fetches = %d, want 1 (single-flight)", got)
+	}
+	_, misses, fills, _, _, _, _, _ := s.stats()
+	if fills != 1 {
+		t.Errorf("fills = %d, want 1", fills)
+	}
+	if misses != n {
+		t.Errorf("misses = %d, want %d (waiters count as misses)", misses, n)
+	}
+}
+
+// TestStampedeFetchesPerMiss checks the storm baseline: with coalescing
+// disabled every concurrent miss goes upstream.
+func TestStampedeFetchesPerMiss(t *testing.T) {
+	s, _ := newTestStore(8, PolicyLRU, true)
+	const n = 6
+	var fetches atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			if _, err := s.acquire(nil, key("v", 0), func() ([]byte, error) {
+				fetches.Add(1)
+				return []byte{7}, nil
+			}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	// At the same virtual instant no fill is a strict hit, so all n miss.
+	if got := fetches.Load(); got != n {
+		t.Fatalf("fetches = %d, want %d (stampede mode)", got, n)
+	}
+	_, _, fills, _, res, _, _, _ := s.stats()
+	if fills != n || res != 1 {
+		t.Errorf("fills = %d resident = %d, want %d/1", fills, res, n)
+	}
+}
+
+// TestStrictHitRule: a request at the fill's own instant is a miss; one
+// virtual tick later it is a hit.
+func TestStrictHitRule(t *testing.T) {
+	s, now := newTestStore(4, PolicyLRU, false)
+	k := key("v", 0)
+	get(t, s, k)
+	get(t, s, k) // same instant: resident, but not a strict hit
+	hits, misses, fills, _, _, _, _, _ := s.stats()
+	if hits != 0 || misses != 2 || fills != 1 {
+		t.Fatalf("same-instant: hits %d misses %d fills %d, want 0/2/1", hits, misses, fills)
+	}
+	*now = now.Add(time.Nanosecond)
+	get(t, s, k)
+	hits, misses, fills, _, _, _, _, _ = s.stats()
+	if hits != 1 || misses != 2 || fills != 1 {
+		t.Fatalf("after tick: hits %d misses %d fills %d, want 1/2/1", hits, misses, fills)
+	}
+}

@@ -2,14 +2,65 @@ package fleet
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
 	"repro"
+	"repro/internal/edge"
 	"repro/internal/netem"
 	"repro/internal/netem/trace"
 )
+
+// edgeNetworks are the access networks an edge tier fronts, matching
+// the testbed's two client links.
+var edgeNetworks = []string{"wifi", "lte"}
+
+// deployEdgeTier builds the scenario's edge caches against tb's origin
+// cluster, edge i filling from the network's replica i mod replicas.
+func deployEdgeTier(tb *msplayer.Testbed, spec *EdgeTierSpec) ([]*edge.Cache, error) {
+	cluster := tb.Cluster()
+	edges := make([]*edge.Cache, 0, len(spec.Edges))
+	for ei, es := range spec.Edges {
+		var nets []edge.Network
+		for _, nw := range edgeNetworks {
+			ups := cluster.VideoServerAddrs(nw)
+			if len(ups) == 0 {
+				return edges, fmt.Errorf("fleet: no origin replicas in network %q", nw)
+			}
+			nets = append(nets, edge.Network{Name: nw, Upstream: ups[ei%len(ups)]})
+		}
+		e, err := edge.Deploy(tb.Network(), edge.Config{
+			Name:       fmt.Sprintf("edge%d", ei+1),
+			Networks:   nets,
+			ByteBudget: es.ByteBudget,
+			PageSize:   es.PageSize,
+			Policy:     es.Policy,
+			Stampede:   es.Stampede,
+			Catalog:    cluster.Catalog(),
+			Secret:     cluster.Secret(),
+			TokenTTL:   cluster.TokenTTL(),
+			Handshake:  tb.Profile().Handshake,
+			Backhaul:   edge.Backhaul{RateMbps: spec.BackhaulMbps, Delay: spec.BackhaulDelay},
+		})
+		if err != nil {
+			return edges, err
+		}
+		edges = append(edges, e)
+	}
+	return edges, nil
+}
+
+// edgeServers is the per-network video-server override steering one
+// cohort's sessions at its edge.
+func edgeServers(e *edge.Cache) map[string][]string {
+	m := make(map[string][]string, len(edgeNetworks))
+	for _, nw := range edgeNetworks {
+		m[nw] = []string{e.Addr(nw)}
+	}
+	return m
+}
 
 // SessionResult is the outcome of one session in a fleet run.
 type SessionResult struct {
@@ -47,6 +98,20 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	}
 	defer tb.Close()
 
+	// The edge tier deploys before any session exists, so listener and
+	// backhaul creation order is a pure function of the scenario. Edges
+	// close before the testbed (LIFO), mirroring deploy order in reverse.
+	var edges []*edge.Cache
+	if sc.EdgeTier != nil {
+		edges, err = deployEdgeTier(tb, sc.EdgeTier)
+		for _, e := range edges {
+			defer e.Close()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	clock := tb.Clock()
 	// The driver registers so virtual time stays pinned at the scenario
 	// epoch until every session goroutine is spawned and parked on its
@@ -59,6 +124,14 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	var wg sync.WaitGroup
 	for ci := range sc.Cohorts {
 		co := &sc.Cohorts[ci]
+		var servers map[string][]string
+		if len(edges) > 0 {
+			ei := co.Edge - 1
+			if co.Edge == 0 {
+				ei = ci % len(edges)
+			}
+			servers = edgeServers(edges[ei])
+		}
 		results[ci] = make([]SessionResult, co.Sessions)
 		arrivalRng := rand.New(rand.NewSource(mix(sc.Seed, int64(ci), -1)))
 		arrivals, err := co.Arrival.times(co.Sessions, arrivalRng)
@@ -76,7 +149,7 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 			wg.Add(1)
 			clock.Go(func(sp *netem.Participant) {
 				defer wg.Done()
-				slot.Metrics, slot.Err = runSession(ctx, sp, tb, &profile, co, i, arrivals[i], sessSeed, start)
+				slot.Metrics, slot.Err = runSession(ctx, sp, tb, &profile, co, servers, i, arrivals[i], sessSeed, start)
 			})
 		}
 	}
@@ -92,11 +165,27 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	// clock, then sample the per-server books exactly once: after a
 	// settled drain they are final and exact — no wall-clock quiescence
 	// polling, no racy in-flight remainders.
-	settled := tb.Drain(driver)
+	// Edges drain first — their client-facing conns unwind, releasing any
+	// backhaul fills still in flight — then the origin behind them. After
+	// both barriers settle, edge and origin books alike are final.
+	settled := true
+	for _, e := range edges {
+		if !e.Drain(driver) {
+			settled = false
+		}
+	}
+	if !tb.Drain(driver) {
+		settled = false
+	}
 	loads := tb.Cluster().Loads()
+	edgeStats := make([]edge.Stats, 0, len(edges))
+	for _, e := range edges {
+		edgeStats = append(edgeStats, e.Stats())
+	}
 	driver.Unregister()
 
 	rep := buildReport(sc, results, loads)
+	rep.Edges = edgeStats
 	rep.LoadsSettled = settled
 	return rep, nil
 }
@@ -107,7 +196,7 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 // handle; every park — the arrival wait and the whole session via
 // StreamAs — goes through it.
 func runSession(ctx context.Context, sp *netem.Participant, tb *msplayer.Testbed, profile *msplayer.Profile,
-	co *Cohort, idx int, arrival time.Duration, sessSeed int64, start time.Time) (*msplayer.Metrics, error) {
+	co *Cohort, servers map[string][]string, idx int, arrival time.Duration, sessSeed int64, start time.Time) (*msplayer.Metrics, error) {
 	clock := tb.Clock()
 	sp.SleepUntil(start.Add(arrival))
 
@@ -172,6 +261,7 @@ func runSession(ctx context.Context, sp *netem.Participant, tb *msplayer.Testbed
 		Buffer:             co.Buffer,
 		Video:              co.Video,
 		Itag:               co.Itag,
+		VideoServers:       servers,
 		StopAfterPreBuffer: co.StopAfterPreBuffer,
 		StopAfterRefills:   co.StopAfterRefills,
 	})

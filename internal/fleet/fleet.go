@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/edge"
 )
 
 // SchedulerSpec names a chunk scheduler declaratively, so scenarios can
@@ -204,6 +205,58 @@ type Cohort struct {
 	StopAfterRefills int
 	// Events are mid-session disturbances applied to this cohort.
 	Events []Event
+	// Edge pins the cohort to one edge cache (1-based index into
+	// EdgeTierSpec.Edges). Zero spreads cohorts round-robin across the
+	// tier (cohort index mod edge count). Ignored without an edge tier.
+	Edge int
+}
+
+// EdgeSpec describes one edge cache of a scenario's edge tier.
+type EdgeSpec struct {
+	// ByteBudget bounds the edge store (default 8 MiB); every resident
+	// page charges one full PageSize against it.
+	ByteBudget int64
+	// PageSize is the cache page granularity (default 64 KiB).
+	PageSize int64
+	// Policy is edge.PolicyLRU (default) or edge.PolicyLFU.
+	Policy string
+	// Stampede disables single-flight fill coalescing on this edge, so
+	// concurrent misses storm the origin — the cache-stampede baseline.
+	Stampede bool
+}
+
+// EdgeTierSpec deploys edge caches between the fleet's clients and the
+// origin cluster. Every path of every session is routed at its cohort's
+// edge instead of the origin replicas; the edges fill misses from the
+// origin over emulated backhaul links.
+type EdgeTierSpec struct {
+	// Edges are the tier's caches, deployed as edge1, edge2, ... in
+	// order (at least one).
+	Edges []EdgeSpec
+	// BackhaulMbps is each edge's backhaul link rate (default 200).
+	BackhaulMbps float64
+	// BackhaulDelay is the backhaul one-way delay (default 4 ms).
+	BackhaulDelay time.Duration
+}
+
+func (t *EdgeTierSpec) validate() error {
+	if len(t.Edges) == 0 {
+		return fmt.Errorf("fleet: edge tier has no edges")
+	}
+	for ei, es := range t.Edges {
+		switch es.Policy {
+		case "", edge.PolicyLRU, edge.PolicyLFU:
+		default:
+			return fmt.Errorf("fleet: edge %d has unknown policy %q", ei+1, es.Policy)
+		}
+		if es.ByteBudget < 0 || es.PageSize < 0 {
+			return fmt.Errorf("fleet: edge %d has negative sizing", ei+1)
+		}
+	}
+	if t.BackhaulMbps < 0 {
+		return fmt.Errorf("fleet: negative backhaul rate")
+	}
+	return nil
 }
 
 // Scenario is a declarative description of one fleet run.
@@ -218,11 +271,20 @@ type Scenario struct {
 	Profile *msplayer.Profile
 	// Cohorts are the session populations (at least one).
 	Cohorts []Cohort
+	// EdgeTier, when non-nil, interposes edge caches between the
+	// clients and the origin cluster. Legacy scenarios (nil) are
+	// wire-identical to runs before the tier existed.
+	EdgeTier *EdgeTierSpec
 }
 
 func (sc Scenario) validate() error {
 	if len(sc.Cohorts) == 0 {
 		return fmt.Errorf("fleet: scenario %q has no cohorts", sc.Name)
+	}
+	if sc.EdgeTier != nil {
+		if err := sc.EdgeTier.validate(); err != nil {
+			return fmt.Errorf("fleet: scenario %q: %w", sc.Name, err)
+		}
 	}
 	for ci, co := range sc.Cohorts {
 		if co.Sessions <= 0 {
@@ -237,6 +299,14 @@ func (sc Scenario) validate() error {
 		for _, ev := range co.Events {
 			if err := ev.validate(); err != nil {
 				return fmt.Errorf("fleet: cohort %q: %w", co.Name, err)
+			}
+		}
+		if co.Edge != 0 {
+			if sc.EdgeTier == nil {
+				return fmt.Errorf("fleet: cohort %q pins edge %d but the scenario has no edge tier", co.Name, co.Edge)
+			}
+			if co.Edge < 0 || co.Edge > len(sc.EdgeTier.Edges) {
+				return fmt.Errorf("fleet: cohort %q pins edge %d of %d", co.Name, co.Edge, len(sc.EdgeTier.Edges))
 			}
 		}
 	}

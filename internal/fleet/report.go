@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/edge"
 	"repro/internal/origin"
 	"repro/internal/stats"
 )
@@ -141,6 +142,11 @@ type Report struct {
 	// attribution and Aborted dispositions are final and deterministic
 	// per seed.
 	Loads []origin.ServerLoad
+	// Edges snapshots per-edge cache accounting in deployment order,
+	// sampled once after the edge drain barrier; empty when the
+	// scenario has no edge tier (and then absent from the rendering,
+	// keeping legacy reports byte-identical).
+	Edges []edge.Stats
 	// LoadsSettled reports whether the origin drain barrier completed
 	// (it only fails when the emulation clock was stopped mid-run); when
 	// false the Loads table may be missing in-flight remainders and the
@@ -208,6 +214,25 @@ func (r *Report) String() string {
 	for _, l := range r.Loads {
 		fmt.Fprintf(&b, "  %-32s %-5s reqs=%d bytes=%d aborted=%d inflight=%d\n",
 			l.Addr, l.Network, l.Total, l.Bytes, l.Aborted, l.InFlight)
+	}
+	if len(r.Edges) > 0 {
+		var hits, misses, fills, evictions int64
+		for _, e := range r.Edges {
+			hits += e.Hits
+			misses += e.Misses
+			fills += e.Fills
+			evictions += e.Evictions
+		}
+		ratio := 0.0
+		if hits+misses > 0 {
+			ratio = float64(hits) / float64(hits+misses)
+		}
+		fmt.Fprintf(&b, "edge tier: %d edges, hit ratio %.3f (%d hits / %d misses), %d fills, %d evictions\n",
+			len(r.Edges), ratio, hits, misses, fills, evictions)
+		for _, e := range r.Edges {
+			fmt.Fprintf(&b, "  %-8s %-3s hits=%d misses=%d ratio=%.3f fills=%d evict=%d pages=%d served=%d backhaul=%d\n",
+				e.Name, e.Policy, e.Hits, e.Misses, e.HitRatio(), e.Fills, e.Evictions, e.Pages, e.ServedBytes, e.BackhaulBytes)
+		}
 	}
 	return b.String()
 }

@@ -35,6 +35,8 @@ var builtins = map[string]func(int, int64) Scenario{
 	"megacrowd":  MegaCrowd,
 	"wifiwave":   WiFiWave,
 	"abtest":     SchedulerAB,
+	"coldedge":   ColdEdge,
+	"edgemesh":   EdgeMesh,
 }
 
 // shortPlayBuffer is the playout configuration for full plays of the
@@ -138,6 +140,116 @@ func MegaCrowd(sessions int, seed int64) Scenario {
 			},
 			StopAfterPreBuffer: true,
 		}},
+	}
+}
+
+// ColdEdge is the cache-stampede study: a FlashCrowd-style Poisson
+// burst of pre-buffering sessions hits two cold edge caches at once.
+// Both cohorts stream the same clip, so every page is a miss exactly
+// once per edge — but edge1 coalesces concurrent misses into one
+// backhaul fill (single-flight) while edge2 runs in stampede mode and
+// lets every concurrent miss storm the origin. The per-edge fill and
+// backhaul-byte columns quantify what fill coalescing is worth under a
+// thundering herd; the budgets are sized so neither edge evicts, making
+// "fills == resident pages" the single-flight correctness signature.
+func ColdEdge(sessions int, seed int64) Scenario {
+	if sessions <= 0 {
+		sessions = 200
+	}
+	half := sessions / 2
+	if half < 1 {
+		half = 1
+	}
+	cohort := func(name string, n, edge int) Cohort {
+		return Cohort{
+			Name:               name,
+			Sessions:           n,
+			Paths:              msplayer.BothPaths,
+			Scheduler:          SchedulerSpec{Kind: "harmonic"},
+			Arrival:            ArrivalSpec{Kind: ArrivalPoisson, Window: 2 * time.Second},
+			StopAfterPreBuffer: true,
+			Edge:               edge,
+		}
+	}
+	return Scenario{
+		Name:        "coldedge",
+		Description: "flash crowd on cold edge caches: single-flight vs stampede fills",
+		Seed:        seed,
+		Cohorts: []Cohort{
+			cohort("coalesced", half, 1),
+			cohort("stampede", sessions-half, 2),
+		},
+		EdgeTier: &EdgeTierSpec{
+			Edges: []EdgeSpec{
+				{ByteBudget: 32 << 20},
+				{ByteBudget: 32 << 20, Stampede: true},
+			},
+		},
+	}
+}
+
+// EdgeMesh is the cache-policy comparison across a four-edge tier: two
+// LRU and two LFU edges with deliberately tight byte budgets, each
+// serving one cohort of HD pre-buffering sessions (the hot working set)
+// plus one later-arriving cohort of full SD short-clip plays (the
+// churn that pressures the store). The same offered load runs against
+// both policies, so the per-edge hit-ratio and eviction columns read as
+// an LRU-versus-LFU study under working-set churn.
+func EdgeMesh(sessions int, seed int64) Scenario {
+	if sessions <= 0 {
+		sessions = 80
+	}
+	per := sessions / 8
+	if per < 1 {
+		per = 1
+	}
+	var cohorts []Cohort
+	for i := 1; i <= 4; i++ {
+		cohorts = append(cohorts, Cohort{
+			Name:               fmt.Sprintf("hot%d", i),
+			Sessions:           per,
+			Paths:              msplayer.BothPaths,
+			Scheduler:          SchedulerSpec{Kind: "harmonic"},
+			Arrival:            ArrivalSpec{Kind: ArrivalSpread, Window: 5 * time.Second},
+			StopAfterPreBuffer: true,
+			Edge:               i,
+		})
+	}
+	churn := sessions - 4*per
+	for i := 1; i <= 4; i++ {
+		n := churn / 4
+		if i == 4 {
+			n = churn - 3*(churn/4)
+		}
+		if n < 1 {
+			n = 1
+		}
+		cohorts = append(cohorts, Cohort{
+			Name:      fmt.Sprintf("churn%d", i),
+			Sessions:  n,
+			Paths:     msplayer.BothPaths,
+			Scheduler: SchedulerSpec{Kind: "harmonic"},
+			Arrival:   ArrivalSpec{Kind: ArrivalPoisson, Start: 10 * time.Second, Window: 2 * time.Second},
+			Video:     "shortclip01",
+			Itag:      18,
+			Buffer:    shortPlayBuffer,
+			Edge:      i,
+		})
+	}
+	tight := EdgeSpec{ByteBudget: 4 << 20}
+	return Scenario{
+		Name:        "edgemesh",
+		Description: "four tight-budget edges, LRU vs LFU, hot HD set plus SD churn",
+		Seed:        seed,
+		Cohorts:     cohorts,
+		EdgeTier: &EdgeTierSpec{
+			Edges: []EdgeSpec{
+				tight,
+				tight,
+				{ByteBudget: 4 << 20, Policy: "lfu"},
+				{ByteBudget: 4 << 20, Policy: "lfu"},
+			},
+		},
 	}
 }
 

@@ -3,6 +3,7 @@ package origin
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -45,6 +46,12 @@ type ClusterConfig struct {
 	Throttle *ThrottleConfig
 	// Secret signs access tokens; a fixed default is used if empty.
 	Secret []byte
+	// Shards is the number of liveness/accounting shards the instance
+	// table is spread over (default 4). Sharding is wire-invisible: it
+	// only spreads the mutexes that liveReplicas/Kill contend on, and
+	// Loads/Drain/Close merge the shard books back into deployment
+	// order, so reports are byte-identical for any shard count.
+	Shards int
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -63,25 +70,43 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	if c.TokenTTL == 0 {
 		c.TokenTTL = TokenTTL
 	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
 	return c
 }
 
-// Cluster is a running emulated YouTube deployment.
+// Cluster is a running emulated YouTube deployment. Its instance table
+// is split into shards — each shard owns the liveness map and deploy
+// list of the instances hashed into it, under its own mutex — so the
+// per-bootstrap liveReplicas lookups and kill/teardown sweeps of a
+// population-scale fleet do not serialize on one cluster-wide lock.
+// Reads that merge across shards (Loads, Drain, Close) re-order the
+// per-shard books by global deployment sequence, so sharding never
+// shows up in reports.
 type Cluster struct {
 	cfg      ClusterConfig
 	net      *netem.Network
 	resolver *dnsx.Resolver
 
+	shards   []*clusterShard
+	deployed int                 // instances started so far; only Deploy's goroutine writes it
+	proxies  map[string]string   // network -> proxy addr; immutable after Deploy
+	byNet    map[string][]string // network -> deployed video server addrs; immutable after Deploy
+}
+
+// clusterShard owns a subset of the cluster's instances: their liveness
+// map (addr -> live instance) and the shard-local deploy list.
+type clusterShard struct {
 	mu      sync.Mutex
-	servers map[string]*serverInstance // addr -> live instance
-	all     []*serverInstance          // every instance ever started (deploy order)
-	proxies map[string]string          // network -> proxy addr
-	byNet   map[string][]string        // network -> live video server addrs
+	servers map[string]*serverInstance
+	all     []*serverInstance
 }
 
 type serverInstance struct {
 	addr    string
 	network string
+	seq     int // global deployment order, for merged snapshots
 	srv     *httpx.Server
 	load    serverLoad
 }
@@ -154,9 +179,12 @@ func Deploy(n *netem.Network, cfg ClusterConfig) (*Cluster, error) {
 		cfg:      cfg,
 		net:      n,
 		resolver: dnsx.NewResolver(),
-		servers:  make(map[string]*serverInstance),
+		shards:   make([]*clusterShard, cfg.Shards),
 		proxies:  make(map[string]string),
 		byNet:    make(map[string][]string),
+	}
+	for i := range c.shards {
+		c.shards[i] = &clusterShard{servers: make(map[string]*serverInstance)}
 	}
 	for _, network := range cfg.Networks {
 		proxyAddr := fmt.Sprintf("www.youtube.%s.test:443", network)
@@ -187,12 +215,41 @@ func Deploy(n *netem.Network, cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
+// shardFor maps a server address onto its owning shard (FNV-1a).
+func (c *Cluster) shardFor(addr string) *clusterShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= prime64
+	}
+	return c.shards[h%uint64(len(c.shards))]
+}
+
+// snapshot gathers every instance ever started across the shards and
+// restores global deployment order, so merged views (Loads, Drain,
+// Close) are independent of how addresses hashed into shards.
+func (c *Cluster) snapshot() []*serverInstance {
+	var insts []*serverInstance
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		insts = append(insts, sh.all...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i].seq < insts[j].seq })
+	return insts
+}
+
 func (c *Cluster) start(addr, network string, h http.Handler) error {
 	inner, err := c.net.Listen(addr, c.cfg.ServerDelay)
 	if err != nil {
 		return fmt.Errorf("origin: listen %s: %w", addr, err)
 	}
-	inst := &serverInstance{addr: addr, network: network}
+	inst := &serverInstance{addr: addr, network: network, seq: c.deployed}
+	c.deployed++
 	// httpx.Serve runs the whole server side — handshake processing,
 	// request reads, response writes — on clock-registered goroutines,
 	// keeping the virtual clock's waiter accounting exact. The request
@@ -202,19 +259,19 @@ func (c *Cluster) start(addr, network string, h http.Handler) error {
 	// population-scale concurrent fleets.
 	inst.srv = httpx.Serve(c.net.Clock(), inner, h, c.cfg.Handshake,
 		httpx.WithRequestHooks(inst.load.start, inst.load.done))
-	c.mu.Lock()
-	c.servers[addr] = inst
-	c.all = append(c.all, inst)
-	c.mu.Unlock()
+	sh := c.shardFor(addr)
+	sh.mu.Lock()
+	sh.servers[addr] = inst
+	sh.all = append(sh.all, inst)
+	sh.mu.Unlock()
 	return nil
 }
 
-// Loads snapshots per-server request accounting, in deployment order.
-// Killed servers stay in the snapshot with their final totals.
+// Loads snapshots per-server request accounting, merging the per-shard
+// books back into deployment order. Killed servers stay in the snapshot
+// with their final totals.
 func (c *Cluster) Loads() []ServerLoad {
-	c.mu.Lock()
-	insts := append([]*serverInstance(nil), c.all...)
-	c.mu.Unlock()
+	insts := c.snapshot()
 	out := make([]ServerLoad, 0, len(insts))
 	for _, inst := range insts {
 		inst.load.mu.Lock()
@@ -241,11 +298,8 @@ func (c *Cluster) Loads() []ServerLoad {
 // observes final, exact books. Returns false when the emulation clock
 // stopped before the books closed.
 func (c *Cluster) Drain(p *netem.Participant) bool {
-	c.mu.Lock()
-	insts := append([]*serverInstance(nil), c.all...)
-	c.mu.Unlock()
 	settled := true
-	for _, inst := range insts {
+	for _, inst := range c.snapshot() {
 		if !inst.srv.Drain(p) {
 			settled = false
 		}
@@ -254,13 +308,18 @@ func (c *Cluster) Drain(p *netem.Participant) bool {
 }
 
 // liveReplicas returns the not-killed video servers of a network,
-// preferred order preserved.
+// preferred order preserved. The per-network address list is immutable
+// after Deploy; only the per-address liveness check takes the owning
+// shard's lock, so concurrent bootstraps spread across shards instead
+// of serializing on one cluster mutex.
 func (c *Cluster) liveReplicas(network string) []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var live []string
 	for _, addr := range c.byNet[network] {
-		if _, ok := c.servers[addr]; ok {
+		sh := c.shardFor(addr)
+		sh.mu.Lock()
+		_, ok := sh.servers[addr]
+		sh.mu.Unlock()
+		if ok {
 			live = append(live, addr)
 		}
 	}
@@ -269,6 +328,16 @@ func (c *Cluster) liveReplicas(network string) []string {
 
 // Resolver returns the cluster's per-network DNS views.
 func (c *Cluster) Resolver() *dnsx.Resolver { return c.resolver }
+
+// Secret returns the token-signing secret, so co-operating tiers (edge
+// caches) can validate client tokens and mint backhaul fill tokens.
+func (c *Cluster) Secret() []byte { return c.cfg.Secret }
+
+// Catalog returns the deployed video catalog.
+func (c *Cluster) Catalog() *videostore.Catalog { return c.cfg.Catalog }
+
+// TokenTTL returns the effective access-token validity.
+func (c *Cluster) TokenTTL() time.Duration { return c.cfg.TokenTTL }
 
 // ProxyAddr returns the web proxy address for a network.
 func (c *Cluster) ProxyAddr(network string) (string, error) {
@@ -287,12 +356,13 @@ func (c *Cluster) VideoServerAddrs(network string) []string {
 // Kill shuts down the server at addr, aborting its connections with
 // netem.ErrServerDown. Subsequent watch responses omit the replica.
 func (c *Cluster) Kill(addr string) error {
-	c.mu.Lock()
-	inst, ok := c.servers[addr]
+	sh := c.shardFor(addr)
+	sh.mu.Lock()
+	inst, ok := sh.servers[addr]
 	if ok {
-		delete(c.servers, addr)
+		delete(sh.servers, addr)
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("origin: unknown server %q", addr)
 	}
@@ -304,15 +374,18 @@ func (c *Cluster) Kill(addr string) error {
 // teardown is part of the deterministic model too, so the close sweep
 // must not run in map-iteration order.
 func (c *Cluster) Close() {
-	c.mu.Lock()
-	insts := make([]*serverInstance, 0, len(c.servers))
-	for _, inst := range c.all {
-		if _, live := c.servers[inst.addr]; live {
-			insts = append(insts, inst)
+	var insts []*serverInstance
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for _, inst := range sh.all {
+			if _, live := sh.servers[inst.addr]; live {
+				insts = append(insts, inst)
+			}
 		}
+		sh.servers = make(map[string]*serverInstance)
+		sh.mu.Unlock()
 	}
-	c.servers = make(map[string]*serverInstance)
-	c.mu.Unlock()
+	sort.Slice(insts, func(i, j int) bool { return insts[i].seq < insts[j].seq })
 	for _, inst := range insts {
 		inst.srv.Close()
 	}

@@ -1,0 +1,76 @@
+package origin
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/httpx"
+	"repro/internal/netem"
+)
+
+// loadTable runs one fixed workload against a cluster deployed with the
+// given shard count and renders its Loads() books as text.
+func loadTable(t *testing.T, shards int) string {
+	t.Helper()
+	cluster, n, wifi, lte := testDeployment(t, ClusterConfig{ReplicasPerNetwork: 3, Shards: shards})
+	var wg sync.WaitGroup
+	var werr error
+	wg.Add(1)
+	n.Clock().Go(func(p *netem.Participant) {
+		defer wg.Done()
+		werr = func() error {
+			for _, side := range []struct {
+				iface   *netem.Interface
+				network string
+			}{{wifi, "wifi"}, {lte, "lte"}} {
+				tr := httpx.NewTransport(side.iface)
+				tr.Bind(p)
+				client := &http.Client{Transport: tr}
+				info, err := fetchInfoErr(cluster, side.iface, side.network, "shortclip01", p)
+				if err != nil {
+					return fmt.Errorf("%s: %w", side.network, err)
+				}
+				for i, s := range info.VideoServers {
+					// Uneven per-replica traffic, so a mis-merged table
+					// can't pass by symmetry.
+					if _, err := httpx.GetRange(context.Background(), client, info.PlaybackURL(s, 22), 0, int64(1000*(i+1))-1); err != nil {
+						return fmt.Errorf("%s replica %s: %w", side.network, s, err)
+					}
+				}
+				client.CloseIdleConnections()
+			}
+			return nil
+		}()
+	})
+	wg.Wait()
+	if werr != nil {
+		t.Fatalf("shards=%d: %v", shards, werr)
+	}
+	if !cluster.Drain(nil) {
+		t.Fatalf("shards=%d: cluster drain did not settle", shards)
+	}
+	var out string
+	for _, l := range cluster.Loads() {
+		out += fmt.Sprintf("%s %s %d %d %d %d\n", l.Addr, l.Network, l.Total, l.Bytes, l.Aborted, l.InFlight)
+	}
+	return out
+}
+
+// TestShardedLoadsMergeInDeploymentOrder pins the wire-invisibility of
+// instance-table sharding: the same workload against 1, 3 and 8 shards
+// must render identical Loads tables, ordered by global deployment
+// sequence, with every byte attributed.
+func TestShardedLoadsMergeInDeploymentOrder(t *testing.T) {
+	base := loadTable(t, 1)
+	if base == "" {
+		t.Fatal("empty loads table")
+	}
+	for _, shards := range []int{3, 8} {
+		if got := loadTable(t, shards); got != base {
+			t.Errorf("shards=%d loads table diverged:\n--- shards=1\n%s--- shards=%d\n%s", shards, base, shards, got)
+		}
+	}
+}

@@ -177,14 +177,14 @@ func TestTokenExpiry(t *testing.T) {
 	secret := []byte("s")
 	now := clock.Now()
 	expire := now.Add(time.Hour)
-	tok := signToken(secret, "shortclip01", expire, "wifi")
-	if err := verifyToken(secret, "shortclip01", "wifi", tok, itoa(expire.Unix()), now); err != nil {
+	tok := SignToken(secret, "shortclip01", expire, "wifi")
+	if err := VerifyToken(secret, "shortclip01", "wifi", tok, itoa(expire.Unix()), now); err != nil {
 		t.Fatalf("fresh token rejected: %v", err)
 	}
-	if err := verifyToken(secret, "shortclip01", "wifi", tok, itoa(expire.Unix()), now.Add(2*time.Hour)); err == nil {
+	if err := VerifyToken(secret, "shortclip01", "wifi", tok, itoa(expire.Unix()), now.Add(2*time.Hour)); err == nil {
 		t.Fatal("expired token accepted")
 	}
-	if err := verifyToken(secret, "shortclip01", "wifi", tok, "notanumber", now); err == nil {
+	if err := VerifyToken(secret, "shortclip01", "wifi", tok, "notanumber", now); err == nil {
 		t.Fatal("malformed expire accepted")
 	}
 }

@@ -13,19 +13,22 @@ import (
 // one-hour tokens issued by the YouTube web proxy servers.
 const TokenTTL = time.Hour
 
-// signToken computes the HMAC-SHA256 access token binding a video, an
+// SignToken computes the HMAC-SHA256 access token binding a video, an
 // expiry instant and the requesting network, mirroring how YouTube
 // tokens bind the video, a deadline and the client's public IP.
-func signToken(secret []byte, videoID string, expire time.Time, network string) string {
+// Exported so other emulated tiers of the deployment — the edge caches
+// fronting the origin — can mint fill tokens for their backhaul
+// requests with the shared cluster secret.
+func SignToken(secret []byte, videoID string, expire time.Time, network string) string {
 	mac := hmac.New(sha256.New, secret)
 	fmt.Fprintf(mac, "%s|%d|%s", videoID, expire.Unix(), network)
 	return hex.EncodeToString(mac.Sum(nil))
 }
 
-// verifyToken checks token validity for the given video/network at
+// VerifyToken checks token validity for the given video/network at
 // emulated time now. It returns a descriptive error for expired or
 // forged tokens so experiments can distinguish the two.
-func verifyToken(secret []byte, videoID, network, token, expireUnix string, now time.Time) error {
+func VerifyToken(secret []byte, videoID, network, token, expireUnix string, now time.Time) error {
 	exp, err := strconv.ParseInt(expireUnix, 10, 64)
 	if err != nil {
 		return fmt.Errorf("origin: malformed expire %q", expireUnix)
@@ -34,7 +37,7 @@ func verifyToken(secret []byte, videoID, network, token, expireUnix string, now 
 	if now.After(expire) {
 		return fmt.Errorf("origin: token expired at %v", expire)
 	}
-	want := signToken(secret, videoID, expire, network)
+	want := SignToken(secret, videoID, expire, network)
 	if !hmac.Equal([]byte(want), []byte(token)) {
 		return fmt.Errorf("origin: token signature mismatch")
 	}

@@ -64,7 +64,7 @@ func (s *VideoServer) handlePlayback(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("origin: token network %q not valid on %q", q.Get("net"), s.network), http.StatusForbidden)
 		return
 	}
-	if err := verifyToken(s.secret, id, s.network, q.Get("token"), q.Get("expire"), s.clock.Now()); err != nil {
+	if err := VerifyToken(s.secret, id, s.network, q.Get("token"), q.Get("expire"), s.clock.Now()); err != nil {
 		http.Error(w, err.Error(), http.StatusForbidden)
 		return
 	}

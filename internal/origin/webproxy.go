@@ -108,7 +108,7 @@ func (p *WebProxy) handleWatch(w http.ResponseWriter, r *http.Request) {
 		LengthSeconds: int64(v.Duration.Seconds()),
 		VideoServers:  p.servers(),
 		Network:       p.network,
-		Token:         signToken(p.secret, v.ID, expire, p.network),
+		Token:         SignToken(p.secret, v.ID, expire, p.network),
 		Expire:        expire.Unix(),
 		ClientAddr:    r.RemoteAddr,
 	}

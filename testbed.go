@@ -227,6 +227,9 @@ func (tb *Testbed) Network() *netem.Network { return tb.network }
 // Cluster exposes the emulated YouTube origin (for failure injection).
 func (tb *Testbed) Cluster() *origin.Cluster { return tb.cluster }
 
+// Profile returns the testbed's (defaulted) profile.
+func (tb *Testbed) Profile() Profile { return tb.profile }
+
 // Client returns the testbed's default client.
 func (tb *Testbed) Client() *Client { return tb.client }
 
@@ -324,6 +327,11 @@ type SessionConfig struct {
 	// Video/Itag override the testbed profile's clip.
 	Video string
 	Itag  int
+	// VideoServers, keyed by access-network name, overrides the
+	// video-server list each path gets at bootstrap. Fleet scenarios
+	// with an edge tier use it to route sessions at their cohort's
+	// edge cache instead of the origin replicas.
+	VideoServers map[string][]string
 }
 
 // NewSession builds a core player for cfg on the default client without
@@ -362,17 +370,16 @@ func (c *Client) NewSession(cfg SessionConfig) (*core.Player, error) {
 	if err != nil {
 		return nil, err
 	}
+	wifiPath := core.PathConfig{Iface: c.wifi, ProxyAddr: wifiProxy, VideoServers: cfg.VideoServers[c.wifi.Name()]}
+	ltePath := core.PathConfig{Iface: c.lte, ProxyAddr: lteProxy, VideoServers: cfg.VideoServers[c.lte.Name()]}
 	var paths []core.PathConfig
 	switch cfg.Paths {
 	case BothPaths:
-		paths = []core.PathConfig{
-			{Iface: c.wifi, ProxyAddr: wifiProxy},
-			{Iface: c.lte, ProxyAddr: lteProxy},
-		}
+		paths = []core.PathConfig{wifiPath, ltePath}
 	case WiFiOnly:
-		paths = []core.PathConfig{{Iface: c.wifi, ProxyAddr: wifiProxy}}
+		paths = []core.PathConfig{wifiPath}
 	case LTEOnly:
-		paths = []core.PathConfig{{Iface: c.lte, ProxyAddr: lteProxy}}
+		paths = []core.PathConfig{ltePath}
 	default:
 		return nil, fmt.Errorf("msplayer: unknown path selection %d", cfg.Paths)
 	}
