@@ -1,0 +1,149 @@
+package msplayer
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/videostore"
+)
+
+// TestServerKillRestartReprobed: a WiFi-only session loses BOTH of its
+// network's replicas, exhausts the failover list, parks in jittered
+// backoff/rebootstrap — and must re-probe and recover when one replica
+// restarts. The restarted instance has fresh books, so traffic on its
+// second Loads row proves the session really went back to it.
+func TestServerKillRestartReprobed(t *testing.T) {
+	tb := newTB(t, steadyProfile(9))
+	p, err := tb.NewSession(SessionConfig{
+		Scheduler: NewHarmonicScheduler(256<<10, 0.05),
+		Paths:     WiFiOnly,
+		Video:     "shortclip01",
+		Seed:      9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Inject(func(ip *netem.Participant) {
+		ip.Sleep(time.Second)
+		tb.Cluster().Kill("video1.youtube.wifi.test:443")
+		tb.Cluster().Kill("video2.youtube.wifi.test:443")
+		ip.Sleep(2 * time.Second)
+		if err := tb.Cluster().Restart("video1.youtube.wifi.test:443"); err != nil {
+			t.Errorf("restart: %v", err)
+		}
+	})()
+	m, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatalf("stream did not recover after restart: %v", err)
+	}
+	v, _ := videostore.DefaultCatalog().Get("shortclip01")
+	if m.TotalBytes != v.Size(videostore.HD720) {
+		t.Fatalf("TotalBytes = %d, want %d", m.TotalBytes, v.Size(videostore.HD720))
+	}
+	wifi := m.Paths[0]
+	if wifi.Failures == 0 {
+		t.Error("expected failed requests while both replicas were down")
+	}
+	if wifi.Rebootstraps == 0 {
+		t.Error("expected at least one rebootstrap after exhausting the replica list")
+	}
+	if !tb.Drain(nil) {
+		t.Fatal("origin books did not settle")
+	}
+	var rows, restartedReqs int
+	for _, l := range tb.Cluster().Loads() {
+		if l.Addr == "video1.youtube.wifi.test:443" {
+			rows++
+			if rows == 2 {
+				restartedReqs = int(l.Total)
+			}
+		}
+	}
+	if rows != 2 {
+		t.Fatalf("video1.wifi has %d load rows, want 2 (killed instance + restarted instance)", rows)
+	}
+	if restartedReqs == 0 {
+		t.Error("restarted replica served no requests: the path never re-probed it")
+	}
+}
+
+// TestInterfaceRecoveryWakesBackoff: SetAlive(true) arriving while the
+// only path is parked in backoff must not be missed — the path wakes at
+// its scheduled backoff instant, retries, and the session completes
+// instead of hanging. (The wake is the backoff timer, not the SetAlive:
+// recovery is observed on the next retry.)
+func TestInterfaceRecoveryWakesBackoff(t *testing.T) {
+	tb := newTB(t, steadyProfile(3))
+	p, err := tb.NewSession(SessionConfig{
+		Scheduler: NewHarmonicScheduler(256<<10, 0.05),
+		Paths:     WiFiOnly,
+		Video:     "shortclip01",
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Down at 1 s fails the in-flight request and parks the path in
+	// backoff; up again 600 ms later lands inside the backoff window
+	// (250 ms, 500 ms, 1 s, ... plus jitter from the session seed).
+	defer tb.Inject(func(ip *netem.Participant) {
+		ip.Sleep(time.Second)
+		tb.WiFi().SetAlive(false)
+		ip.Sleep(600 * time.Millisecond)
+		tb.WiFi().SetAlive(true)
+	})()
+	m, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatalf("stream did not survive the interface flap: %v", err)
+	}
+	v, _ := videostore.DefaultCatalog().Get("shortclip01")
+	if m.TotalBytes != v.Size(videostore.HD720) {
+		t.Fatalf("TotalBytes = %d, want %d", m.TotalBytes, v.Size(videostore.HD720))
+	}
+	if m.Paths[0].Failures == 0 {
+		t.Error("expected failed requests while the interface was down")
+	}
+}
+
+// TestBlackholeDeadlineFailsOver: a blackholed replica accepts
+// connections but never responds, so only the request deadline can
+// unwedge the path. With RequestTimeout set the path must time out,
+// fail over to the healthy replica, and finish the clip; without a
+// deadline it would park forever (TestDeadlineCutsBlackholedFreshDial
+// pins the exact timeout instants at the transport layer).
+func TestBlackholeDeadlineFailsOver(t *testing.T) {
+	tb := newTB(t, steadyProfile(7))
+	p, err := tb.NewSession(SessionConfig{
+		Scheduler:      NewHarmonicScheduler(256<<10, 0.05),
+		Paths:          WiFiOnly,
+		Video:          "shortclip01",
+		RequestTimeout: 800 * time.Millisecond,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Inject(func(ip *netem.Participant) {
+		ip.Sleep(1200 * time.Millisecond)
+		if err := tb.Cluster().Blackhole("video1.youtube.wifi.test:443", true); err != nil {
+			t.Errorf("blackhole: %v", err)
+		}
+	})()
+	m, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatalf("stream wedged on the blackholed replica: %v", err)
+	}
+	v, _ := videostore.DefaultCatalog().Get("shortclip01")
+	if m.TotalBytes != v.Size(videostore.HD720) {
+		t.Fatalf("TotalBytes = %d, want %d", m.TotalBytes, v.Size(videostore.HD720))
+	}
+	wifi := m.Paths[0]
+	if wifi.Timeouts == 0 {
+		t.Error("expected at least one request-deadline expiry against the blackholed replica")
+	}
+	if wifi.Failovers == 0 && wifi.Rebootstraps == 0 {
+		t.Error("expected a failover or rebootstrap away from the blackholed replica")
+	}
+}

@@ -99,15 +99,30 @@ func fleetMetrics(rep *fleet.Report) map[string]float64 {
 		m["edge_evictions"] = float64(evictions)
 		m["edge_backhaul_bytes"] = float64(backhaul)
 	}
+	if len(rep.Faults) > 0 {
+		recovered := 0
+		for _, w := range rep.Faults {
+			if w.Recovered {
+				recovered++
+			}
+		}
+		m["faults"] = float64(len(rep.Faults))
+		m["faults_recovered"] = float64(recovered)
+		m["failovers"] = float64(a.Failovers)
+		m["timeouts"] = float64(a.Timeouts)
+		m["rebootstraps"] = float64(a.Rebootstraps)
+		m["fault_stall_seconds"] = rep.FaultStallSeconds()
+	}
 	return m
 }
 
 // FleetArtifact runs the fleet-scale benchmarks — the flashcrowd
 // start-up study, the densecrowd population stress, the megacrowd
-// 20k-session scale proof, and the coldedge cache-stampede study — at
-// the given session counts (a count of 0 skips that experiment) and
-// returns the artifact for BENCH_fleet.json.
-func FleetArtifact(w io.Writer, opt Options, flashSessions, denseSessions, megaSessions, coldEdgeSessions int) (*Artifact, error) {
+// 20k-session scale proof, the coldedge cache-stampede study, and the
+// originstorm/edgeflap fault-plan studies — at the given session counts
+// (a count of 0 skips that experiment) and returns the artifact for
+// BENCH_fleet.json.
+func FleetArtifact(w io.Writer, opt Options, flashSessions, denseSessions, megaSessions, coldEdgeSessions, stormSessions, flapSessions int) (*Artifact, error) {
 	opt = opt.withDefaults()
 	art := newArtifact("fleet", opt.Seed)
 	for _, c := range []struct {
@@ -118,6 +133,8 @@ func FleetArtifact(w io.Writer, opt Options, flashSessions, denseSessions, megaS
 		{"densecrowd", denseSessions},
 		{"megacrowd", megaSessions},
 		{"coldedge", coldEdgeSessions},
+		{"originstorm", stormSessions},
+		{"edgeflap", flapSessions},
 	} {
 		if c.sessions <= 0 {
 			continue

@@ -35,6 +35,9 @@ type PathStats struct {
 	Failures int
 	// Failovers counts switches to another replica in the network.
 	Failovers int
+	// Timeouts counts failures caused by the per-request deadline
+	// (httpx.ErrRequestTimeout); a subset of Failures.
+	Timeouts int
 	// Rebootstraps counts renewed watch requests (token refresh or
 	// server-list refresh after persistent failures).
 	Rebootstraps int
@@ -124,6 +127,12 @@ func (r *metricsRecorder) failure(i int) {
 func (r *metricsRecorder) failover(i int) {
 	r.mu.Lock()
 	r.paths[i].Failovers++
+	r.mu.Unlock()
+}
+
+func (r *metricsRecorder) timeout(i int) {
+	r.mu.Lock()
+	r.paths[i].Timeouts++
 	r.mu.Unlock()
 }
 

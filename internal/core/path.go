@@ -27,6 +27,12 @@ type PathConfig struct {
 	// use it to steer the path at its network's edge instead of the
 	// origin replicas; failover still walks the list in order.
 	VideoServers []string
+	// RequestTimeout bounds every request the path issues (watch and
+	// range alike) with a virtual-time deadline: a server that accepts
+	// a connection and then never responds — a blackhole fault — turns
+	// into a retryable httpx.ErrRequestTimeout at exactly the deadline
+	// instant instead of parking the path forever. Zero disables it.
+	RequestTimeout time.Duration
 }
 
 // path runs the fetch loop of one MSPlayer path: bootstrap against the
@@ -46,6 +52,12 @@ type path struct {
 	servers   []string
 	serverIdx int
 	url       string
+
+	// rng is the path's private splitmix64 state for backoff jitter,
+	// derived from the session seed and path id. Only the fetch-loop
+	// goroutine draws from it, so the draw order — and therefore every
+	// jittered backoff instant — is deterministic per seed.
+	rng uint64
 }
 
 func newPath(id int, cfg PathConfig, pl *Player) *path {
@@ -53,7 +65,9 @@ func newPath(id int, cfg PathConfig, pl *Player) *path {
 		cfg.Network = cfg.Iface.Name()
 	}
 	tr := httpx.NewTransport(cfg.Iface)
-	return &path{id: id, cfg: cfg, player: pl, tr: tr, client: &http.Client{Transport: tr}}
+	tr.SetRequestTimeout(cfg.RequestTimeout)
+	return &path{id: id, cfg: cfg, player: pl, tr: tr, client: &http.Client{Transport: tr},
+		rng: uint64(pl.cfg.Seed)*0x9E3779B97F4A7C15 + uint64(id)*0xBF58476D1CE4E5B9}
 }
 
 // errClockStopped ends retry loops when the emulation is torn down
@@ -66,11 +80,16 @@ var errClockStopped = errors.New("core: emulation clock stopped")
 // reads and writes from the teardown instant on.
 var errSessionStopped = errors.New("core: session stopped")
 
-// backoff sleeps an exponentially growing emulated delay, capped at
-// 2 s, returning a non-nil error if the context was cancelled or the
-// clock stopped.
+// backoff sleeps an exponentially growing emulated delay — 250 ms
+// doubling to a 2 s cap, plus deterministic per-path jitter of up to
+// half the base — returning a non-nil error if the context was
+// cancelled or the clock stopped. The jitter matters under correlated
+// faults: when a server kill fails hundreds of sessions at one virtual
+// instant, un-jittered exponential backoff would march them all back
+// in lockstep, re-creating the stampede on every retry.
 func (p *path) backoff(ctx context.Context, attempt int) error {
 	d := 250 * time.Millisecond << uint(min(attempt, 3))
+	d += time.Duration(p.jitter(int64(d) / 2))
 	p.part.Sleep(d)
 	if err := ctx.Err(); err != nil {
 		return err
@@ -79,6 +98,20 @@ func (p *path) backoff(ctx context.Context, attempt int) error {
 		return errClockStopped
 	}
 	return nil
+}
+
+// jitter returns the next draw in [0, n) from the path's splitmix64
+// stream (0 when n <= 0).
+func (p *path) jitter(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	p.rng += 0x9E3779B97F4A7C15
+	z := p.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z % uint64(n))
 }
 
 // bootstrap fetches video metadata from the network's web proxy,
@@ -136,12 +169,15 @@ func (p *path) fetchInfo(ctx context.Context) (*origin.VideoInfo, error) {
 	return &info, nil
 }
 
-// failover rotates to the next replica in the network; once every
-// replica has been tried it re-bootstraps to refresh the server list
-// (picking up replacements and dropping killed servers).
+// failover rotates to the next replica in the network, wrapping past
+// the end of the list so replicas that failed earlier — and may have
+// recovered since — are re-probed instead of written off. Once a
+// failure streak has walked the whole list (attempt is the streak
+// count), it backs off and re-bootstraps to refresh the server list,
+// picking up restarted replicas and dropping killed ones.
 func (p *path) failover(ctx context.Context, attempt int) error {
-	p.serverIdx++
-	if p.serverIdx < len(p.servers) {
+	if len(p.servers) > 1 && attempt%len(p.servers) != 0 {
+		p.serverIdx = (p.serverIdx + 1) % len(p.servers)
 		p.player.metrics.failover(p.id)
 		p.url = p.info.PlaybackURL(p.servers[p.serverIdx], p.player.cfg.Itag)
 		return nil
@@ -186,6 +222,9 @@ func (p *path) run(ctx context.Context, part *netem.Participant) {
 				return
 			}
 			failStreak++
+			if errors.Is(err, httpx.ErrRequestTimeout) {
+				p.player.metrics.timeout(p.id)
+			}
 			var se *httpx.StatusError
 			if errors.As(err, &se) && (se.Code == http.StatusForbidden || se.Code == http.StatusUnauthorized) {
 				// Token expired or rejected: refresh via the proxy.

@@ -43,6 +43,10 @@ type Config struct {
 	// testbed uses it to anchor pending fault injections: their sleeps
 	// must not start running before the session participants exist.
 	OnRun func()
+	// Seed decorrelates the per-path backoff jitter streams across
+	// sessions. Zero is a valid seed; sessions sharing a seed draw
+	// identical jitter sequences.
+	Seed int64
 }
 
 func (c Config) validate() error {

@@ -5,11 +5,14 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/handshake"
 	"repro/internal/httpx"
 	"repro/internal/netem"
+	"repro/internal/netem/trace"
 	"repro/internal/origin"
 	"repro/internal/videostore"
 )
@@ -33,6 +36,11 @@ type Backhaul struct {
 	RateMbps float64
 	// Delay is the one-way propagation delay (default 4 ms).
 	Delay time.Duration
+	// Shape optionally transforms the constant base rate into a
+	// time-varying one — the fault engine compiles backhaul-degradation
+	// windows into it at deploy time, so a brown-out is part of the
+	// link's deterministic timetable rather than a runtime mutation.
+	Shape func(trace.Rate) trace.Rate
 }
 
 func (b Backhaul) withDefaults() Backhaul {
@@ -106,19 +114,27 @@ func (s Stats) HitRatio() float64 {
 }
 
 // Cache is a running edge cache: one store, one backhaul interface,
-// and one httpx server per fronted access network.
+// and one httpx server per fronted access network. The store pointer
+// is atomic because a cold Restart swaps in a wiped store while
+// stragglers of the previous incarnation (handlers finishing a
+// backhaul fill that outlived the outage abort) may still read it.
 type Cache struct {
 	name     string
+	n        *netem.Network
+	cfg      Config // post-defaults, for Restart
 	clock    *netem.Clock
 	catalog  *videostore.Catalog
 	secret   []byte
 	tokenTTL time.Duration
 	policy   string
 	pageSize int64
-	store    *store
+	store    atomic.Pointer[store]
 	backhaul *netem.Interface
 	addrs    map[string]string // network -> listener addr; immutable after Deploy
-	srvs     []*httpx.Server   // deploy order
+
+	mu   sync.Mutex
+	srvs []*httpx.Server // every incarnation's servers, deploy order
+	old  []*store        // stores retired by Restart; their books still count
 }
 
 // Deploy builds and starts an edge cache on n.
@@ -149,38 +165,87 @@ func Deploy(n *netem.Network, cfg Config) (*Cache, error) {
 		cfg.TokenTTL = origin.TokenTTL
 	}
 	bh := cfg.Backhaul.withDefaults()
+	cfg.Backhaul = bh
 	clock := n.Clock()
 	e := &Cache{
 		name:     cfg.Name,
+		n:        n,
+		cfg:      cfg,
 		clock:    clock,
 		catalog:  cfg.Catalog,
 		secret:   cfg.Secret,
 		tokenTTL: cfg.TokenTTL,
 		policy:   cfg.Policy,
 		pageSize: cfg.PageSize,
-		store:    newStore(clock, cfg.ByteBudget, cfg.PageSize, cfg.Policy, cfg.Stampede),
 		addrs:    make(map[string]string),
 	}
+	e.store.Store(newStore(clock, cfg.ByteBudget, cfg.PageSize, cfg.Policy, cfg.Stampede))
 	link := netem.LinkParams{Rate: netem.Mbps(bh.RateMbps), Delay: bh.Delay, SlowStart: true}
+	if bh.Shape != nil {
+		base := link.Rate
+		link.Trace = bh.Shape(trace.RateFunc(func(time.Time) float64 { return base }))
+	}
 	e.backhaul = n.NewInterface(cfg.Name+"-backhaul", link, link)
 	for _, nw := range cfg.Networks {
 		if nw.Upstream == "" {
 			e.Close()
 			return nil, fmt.Errorf("edge: %s has no upstream in network %q", cfg.Name, nw.Name)
 		}
-		addr := fmt.Sprintf("%s.youtube.%s.test:443", cfg.Name, nw.Name)
-		l, err := n.Listen(addr, 0)
+	}
+	if err := e.listen(); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// listen starts one httpx server per fronted network, registering the
+// edge's addresses. Called at Deploy and again by Restart (the outage
+// deregistered them).
+func (e *Cache) listen() error {
+	for _, nw := range e.cfg.Networks {
+		addr := fmt.Sprintf("%s.youtube.%s.test:443", e.name, nw.Name)
+		l, err := e.n.Listen(addr, 0)
 		if err != nil {
-			e.Close()
-			return nil, fmt.Errorf("edge: listen %s: %w", addr, err)
+			return fmt.Errorf("edge: listen %s: %w", addr, err)
 		}
 		e.addrs[nw.Name] = addr
 		h := &netHandler{e: e, network: nw.Name, upstream: nw.Upstream}
 		mux := http.NewServeMux()
 		mux.HandleFunc("/videoplayback", h.handlePlayback)
-		e.srvs = append(e.srvs, httpx.Serve(clock, l, mux, cfg.Handshake))
+		srv := httpx.Serve(e.clock, l, mux, e.cfg.Handshake)
+		e.mu.Lock()
+		e.srvs = append(e.srvs, srv)
+		e.mu.Unlock()
 	}
-	return e, nil
+	return nil
+}
+
+// Outage crashes the edge at the current instant: every listener
+// closes, established connections abort with netem.ErrServerDown and
+// new dials fail, while the store and its books stay frozen. Safe to
+// call from a netem.Timer callback — nothing here parks.
+func (e *Cache) Outage() {
+	e.mu.Lock()
+	srvs := append([]*httpx.Server(nil), e.srvs...)
+	e.mu.Unlock()
+	for _, srv := range srvs {
+		srv.Close()
+	}
+}
+
+// Restart cold-restarts an outaged edge: fresh listeners on the same
+// addresses over a wiped store. Resident pages are gone, so the first
+// request wave after recovery re-fills the working set — a re-fill
+// stampede, or a coalesced re-warm under single-flight. Books of
+// earlier incarnations keep counting in Stats; only the resident set
+// resets. Safe to call from a netem.Timer callback.
+func (e *Cache) Restart() error {
+	old := e.store.Swap(newStore(e.clock, e.cfg.ByteBudget, e.cfg.PageSize, e.policy, e.cfg.Stampede))
+	e.mu.Lock()
+	e.old = append(e.old, old)
+	e.mu.Unlock()
+	return e.listen()
 }
 
 // Name returns the edge's label.
@@ -190,9 +255,23 @@ func (e *Cache) Name() string { return e.name }
 // edge does not front it).
 func (e *Cache) Addr(network string) string { return e.addrs[network] }
 
-// Stats snapshots the edge's books. Exact after Drain.
+// Stats snapshots the edge's books. Exact after Drain. Counters
+// accumulate across cold restarts (the traffic happened, whichever
+// incarnation served it); the resident set is the current store's —
+// pages lost to a crash are not evictions.
 func (e *Cache) Stats() Stats {
-	hits, misses, fills, evictions, resident, served, backhaul, used := e.store.stats()
+	hits, misses, fills, evictions, resident, served, backhaul, used := e.store.Load().stats()
+	e.mu.Lock()
+	for _, s := range e.old {
+		h, m, f, ev, _, sv, bh, _ := s.stats()
+		hits += h
+		misses += m
+		fills += f
+		evictions += ev
+		served += sv
+		backhaul += bh
+	}
+	e.mu.Unlock()
 	return Stats{
 		Name: e.name, Policy: e.policy,
 		Hits: hits, Misses: misses, Fills: fills, Evictions: evictions,
@@ -205,8 +284,11 @@ func (e *Cache) Stats() Stats {
 // unwound (p may be nil to park as a transient), in deploy order.
 // After a true return the books are final.
 func (e *Cache) Drain(p *netem.Participant) bool {
+	e.mu.Lock()
+	srvs := append([]*httpx.Server(nil), e.srvs...)
+	e.mu.Unlock()
 	settled := true
-	for _, srv := range e.srvs {
+	for _, srv := range srvs {
 		if !srv.Drain(p) {
 			settled = false
 		}
@@ -217,7 +299,10 @@ func (e *Cache) Drain(p *netem.Participant) bool {
 // Close shuts the edge's servers down in deploy order, aborting their
 // connections.
 func (e *Cache) Close() {
-	for _, srv := range e.srvs {
+	e.mu.Lock()
+	srvs := append([]*httpx.Server(nil), e.srvs...)
+	e.mu.Unlock()
+	for _, srv := range srvs {
 		srv.Close()
 	}
 }
@@ -307,7 +392,7 @@ func (h *netHandler) handlePlayback(w http.ResponseWriter, r *http.Request) {
 			} else {
 				wn, werr = w.Write(view[:k])
 			}
-			e.store.addServed(int64(wn))
+			e.store.Load().addServed(int64(wn))
 			if werr != nil {
 				return // aborted mid-body
 			}
@@ -325,7 +410,7 @@ func (e *Cache) PageView(p *netem.Participant, h *netHandler, video string, itag
 	key := pageKey{video: video, itag: itag, page: pg}
 	pstart := pg * e.pageSize
 	plen := min(e.pageSize, size-pstart)
-	return e.store.acquire(p, key, func() ([]byte, error) {
+	return e.store.Load().acquire(p, key, func() ([]byte, error) {
 		return e.fetchPage(p, h, video, itag, pstart, plen)
 	})
 }

@@ -19,7 +19,10 @@ var edgeNetworks = []string{"wifi", "lte"}
 
 // deployEdgeTier builds the scenario's edge caches against tb's origin
 // cluster, edge i filling from the network's replica i mod replicas.
-func deployEdgeTier(tb *msplayer.Testbed, spec *EdgeTierSpec) ([]*edge.Cache, error) {
+// bhShapes carries per-edge backhaul rate transforms (1-based edge
+// index) compiled from the scenario's backhaul-degrade faults.
+func deployEdgeTier(tb *msplayer.Testbed, spec *EdgeTierSpec,
+	bhShapes map[int]func(trace.Rate) trace.Rate) ([]*edge.Cache, error) {
 	cluster := tb.Cluster()
 	edges := make([]*edge.Cache, 0, len(spec.Edges))
 	for ei, es := range spec.Edges {
@@ -42,7 +45,8 @@ func deployEdgeTier(tb *msplayer.Testbed, spec *EdgeTierSpec) ([]*edge.Cache, er
 			Secret:     cluster.Secret(),
 			TokenTTL:   cluster.TokenTTL(),
 			Handshake:  tb.Profile().Handshake,
-			Backhaul:   edge.Backhaul{RateMbps: spec.BackhaulMbps, Delay: spec.BackhaulDelay},
+			Backhaul: edge.Backhaul{RateMbps: spec.BackhaulMbps, Delay: spec.BackhaulDelay,
+				Shape: bhShapes[ei+1]},
 		})
 		if err != nil {
 			return edges, err
@@ -50,6 +54,91 @@ func deployEdgeTier(tb *msplayer.Testbed, spec *EdgeTierSpec) ([]*edge.Cache, er
 		edges = append(edges, e)
 	}
 	return edges, nil
+}
+
+// faultPlan is the armed form of a scenario's fault plan: one window
+// record per fault, recovery marks written by the timer callbacks that
+// execute the recoveries. Callbacks fire on the clock's jump goroutine
+// at exact virtual instants, so the records are deterministic per seed;
+// the mutex is only the cross-goroutine memory fence for the final
+// snapshot.
+type faultPlan struct {
+	mu      sync.Mutex
+	windows []FaultWindow
+}
+
+func (fp *faultPlan) recovered(i int) {
+	fp.mu.Lock()
+	fp.windows[i].Recovered = true
+	fp.mu.Unlock()
+}
+
+func (fp *faultPlan) snapshot() []FaultWindow {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return append([]FaultWindow(nil), fp.windows...)
+}
+
+// armFaults schedules the scenario's fault plan on the emulation clock:
+// one timer per onset and one per recovery, armed in fault order before
+// any session exists, so same-instant faults fire in plan order. The
+// callbacks run under a clock hold and never park (Kill, Restart,
+// Blackhole, Outage and edge Restart are all park-free by contract).
+// Backhaul-degrade faults are already compiled into the backhaul links
+// at deploy time; armFaults only records their windows.
+func armFaults(tb *msplayer.Testbed, sc *Scenario, edges []*edge.Cache, start time.Time) (*faultPlan, error) {
+	fp := &faultPlan{windows: make([]FaultWindow, len(sc.Faults))}
+	clock := tb.Clock()
+	cluster := tb.Cluster()
+	for fi, f := range sc.Faults {
+		fi, f := fi, f
+		w := &fp.windows[fi]
+		w.Kind = f.Kind
+		w.Start = f.At
+		if f.Duration > 0 {
+			w.End = f.At + f.Duration
+		}
+		switch f.Kind {
+		case FaultOriginKill, FaultOriginBlackhole:
+			addrs := cluster.VideoServerAddrs(f.Network)
+			if f.Replica > len(addrs) {
+				return nil, fmt.Errorf("fleet: fault %d targets replica %d of %d in network %q",
+					fi, f.Replica, len(addrs), f.Network)
+			}
+			addr := addrs[f.Replica-1]
+			w.Target = addr
+			if f.Kind == FaultOriginKill {
+				clock.NewTimer(func() { _ = cluster.Kill(addr) }).Schedule(start.Add(f.At))
+				if f.Duration > 0 {
+					clock.NewTimer(func() {
+						if cluster.Restart(addr) == nil {
+							fp.recovered(fi)
+						}
+					}).Schedule(start.Add(f.At + f.Duration))
+				}
+			} else {
+				clock.NewTimer(func() { _ = cluster.Blackhole(addr, true) }).Schedule(start.Add(f.At))
+				clock.NewTimer(func() {
+					if cluster.Blackhole(addr, false) == nil {
+						fp.recovered(fi)
+					}
+				}).Schedule(start.Add(f.At + f.Duration))
+			}
+		case FaultEdgeOutage:
+			e := edges[f.Edge-1]
+			w.Target = e.Name()
+			clock.NewTimer(func() { e.Outage() }).Schedule(start.Add(f.At))
+			clock.NewTimer(func() {
+				if e.Restart() == nil {
+					fp.recovered(fi)
+				}
+			}).Schedule(start.Add(f.At + f.Duration))
+		case FaultBackhaulDegrade:
+			w.Target = fmt.Sprintf("edge%d-backhaul", f.Edge)
+			w.Recovered = true // compiled into the link's rate profile
+		}
+	}
+	return fp, nil
 }
 
 // edgeServers is the per-network video-server override steering one
@@ -98,12 +187,30 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	}
 	defer tb.Close()
 
+	clock := tb.Clock()
+	// The scenario epoch: nothing is registered yet, so Now() cannot move
+	// before the driver registers below. Captured this early because the
+	// fault plan's backhaul windows are compiled into the edge links at
+	// deploy time.
+	start := clock.Now()
+
 	// The edge tier deploys before any session exists, so listener and
 	// backhaul creation order is a pure function of the scenario. Edges
 	// close before the testbed (LIFO), mirroring deploy order in reverse.
 	var edges []*edge.Cache
 	if sc.EdgeTier != nil {
-		edges, err = deployEdgeTier(tb, sc.EdgeTier)
+		var bhShapes map[int]func(trace.Rate) trace.Rate
+		for _, f := range sc.Faults {
+			if f.Kind != FaultBackhaulDegrade {
+				continue
+			}
+			if bhShapes == nil {
+				bhShapes = make(map[int]func(trace.Rate) trace.Rate)
+			}
+			bhShapes[f.Edge] = composeShape(bhShapes[f.Edge],
+				scaleWindow(start.Add(f.At), f.Duration, f.Factor))
+		}
+		edges, err = deployEdgeTier(tb, sc.EdgeTier, bhShapes)
 		for _, e := range edges {
 			defer e.Close()
 		}
@@ -112,13 +219,20 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 		}
 	}
 
-	clock := tb.Clock()
 	// The driver registers so virtual time stays pinned at the scenario
 	// epoch until every session goroutine is spawned and parked on its
 	// arrival deadline; otherwise early arrivals could burn virtual time
 	// before late cohorts exist.
 	driver := clock.Register()
-	start := clock.Now()
+
+	// The fault plan arms before any session exists: timers created here
+	// get the lowest sequence numbers, so a fault onset sharing an
+	// instant with session activity executes first, deterministically.
+	faults, err := armFaults(tb, &sc, edges, start)
+	if err != nil {
+		driver.Unregister()
+		return nil, err
+	}
 
 	results := make([][]SessionResult, len(sc.Cohorts))
 	var wg sync.WaitGroup
@@ -159,6 +273,14 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	wg.Wait()
 	driver.Resume()
 
+	// Ride out the fault horizon: recovery timers scheduled past the last
+	// session's completion (a restart nobody was waiting for) must fire
+	// before the books are sampled, or the window records — and the Loads
+	// rows a restart appends — would depend on wall-clock racing.
+	if len(sc.Faults) > 0 {
+		driver.SleepUntil(start.Add(sc.faultHorizon()).Add(time.Millisecond))
+	}
+
 	// Every session has torn down its transports through the clock-visible
 	// conn abort protocol, so the origin's per-connection loops unwind at
 	// deterministic virtual instants. Join that drain barrier on the
@@ -186,6 +308,8 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 
 	rep := buildReport(sc, results, loads)
 	rep.Edges = edgeStats
+	rep.Faults = faults.snapshot()
+	rep.epoch = start
 	rep.LoadsSettled = settled
 	return rep, nil
 }
@@ -264,6 +388,8 @@ func runSession(ctx context.Context, sp *netem.Participant, tb *msplayer.Testbed
 		VideoServers:       servers,
 		StopAfterPreBuffer: co.StopAfterPreBuffer,
 		StopAfterRefills:   co.StopAfterRefills,
+		RequestTimeout:     co.RequestTimeout,
+		Seed:               sessSeed,
 	})
 }
 

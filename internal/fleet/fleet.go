@@ -177,6 +177,87 @@ func (e Event) validate() error {
 	return nil
 }
 
+// Fault kinds.
+const (
+	// FaultOriginKill crashes an origin replica at At, aborting its
+	// connections; Duration > 0 restarts it (fresh process, fresh books)
+	// that much later, Duration == 0 leaves it down for good.
+	FaultOriginKill = "origin-kill"
+	// FaultOriginBlackhole wedges a replica for Duration: it keeps
+	// accepting connections and reading requests but never responds, so
+	// only clients with a request deadline ever see it fail.
+	FaultOriginBlackhole = "origin-blackhole"
+	// FaultEdgeOutage takes an edge cache down for Duration and then
+	// cold-restarts it: the store comes back empty, so the tier re-fills
+	// (coalesced or stampeding, per the edge's config).
+	FaultEdgeOutage = "edge-outage"
+	// FaultBackhaulDegrade scales an edge's backhaul rate by Factor
+	// inside [At, At+Duration), compiled into the backhaul link's rate
+	// profile at deploy time.
+	FaultBackhaulDegrade = "backhaul-degrade"
+)
+
+// Fault is one entry of a scenario's fault plan: a declarative,
+// deterministic infrastructure failure. Onsets and recoveries execute
+// via emulation-clock timers at exact virtual instants (offset At from
+// scenario start), so two runs of the same plan fail — and recover —
+// identically.
+type Fault struct {
+	// Kind selects the failure (see the Fault* constants).
+	Kind string
+	// At is the onset, offset from scenario start.
+	At time.Duration
+	// Duration is how long the fault lasts. Must be > 0 except for
+	// FaultOriginKill, where 0 means the replica never comes back.
+	Duration time.Duration
+	// Network and Replica (1-based, in deployment order) pick the origin
+	// replica for origin faults.
+	Network string
+	Replica int
+	// Edge picks the edge cache (1-based index into EdgeTierSpec.Edges)
+	// for edge faults.
+	Edge int
+	// Factor is the backhaul rate multiplier for FaultBackhaulDegrade.
+	Factor float64
+}
+
+func (f Fault) validate(sc *Scenario) error {
+	switch f.Kind {
+	case FaultOriginKill, FaultOriginBlackhole:
+		if f.Network == "" {
+			return fmt.Errorf("fleet: fault %q names no network", f.Kind)
+		}
+		if f.Replica < 1 {
+			return fmt.Errorf("fleet: fault %q replica %d (want 1-based)", f.Kind, f.Replica)
+		}
+		if f.Kind == FaultOriginBlackhole && f.Duration <= 0 {
+			return fmt.Errorf("fleet: fault %q has no duration", f.Kind)
+		}
+	case FaultEdgeOutage, FaultBackhaulDegrade:
+		if sc.EdgeTier == nil {
+			return fmt.Errorf("fleet: fault %q without an edge tier", f.Kind)
+		}
+		if f.Edge < 1 || f.Edge > len(sc.EdgeTier.Edges) {
+			return fmt.Errorf("fleet: fault %q edge %d of %d", f.Kind, f.Edge, len(sc.EdgeTier.Edges))
+		}
+		if f.Duration <= 0 {
+			return fmt.Errorf("fleet: fault %q has no duration", f.Kind)
+		}
+		if f.Kind == FaultBackhaulDegrade && f.Factor < 0 {
+			return fmt.Errorf("fleet: fault %q has negative factor", f.Kind)
+		}
+	default:
+		return fmt.Errorf("fleet: unknown fault kind %q", f.Kind)
+	}
+	if f.At < 0 {
+		return fmt.Errorf("fleet: fault %q at negative offset", f.Kind)
+	}
+	if f.Duration < 0 {
+		return fmt.Errorf("fleet: fault %q has negative duration", f.Kind)
+	}
+	return nil
+}
+
 // Cohort is a homogeneous group of sessions within a scenario.
 type Cohort struct {
 	// Name labels the cohort in reports.
@@ -203,6 +284,11 @@ type Cohort struct {
 	StopAfterPreBuffer bool
 	// StopAfterRefills ends sessions after N re-buffering cycles.
 	StopAfterRefills int
+	// RequestTimeout bounds every request the cohort's sessions issue
+	// with a virtual-time deadline; zero (the default) disables it.
+	// Scenarios with blackhole faults need it: a wedged server fails
+	// only through the deadline.
+	RequestTimeout time.Duration
 	// Events are mid-session disturbances applied to this cohort.
 	Events []Event
 	// Edge pins the cohort to one edge cache (1-based index into
@@ -275,6 +361,24 @@ type Scenario struct {
 	// clients and the origin cluster. Legacy scenarios (nil) are
 	// wire-identical to runs before the tier existed.
 	EdgeTier *EdgeTierSpec
+	// Faults is the scenario's deterministic fault plan, executed by
+	// emulation-clock timers at exact virtual instants. Scenarios
+	// without one (nil) render byte-identically to runs before the
+	// fault engine existed.
+	Faults []Fault
+}
+
+// faultHorizon is the latest instant the fault plan touches (offset
+// from scenario start): the run must not sample its final books before
+// every pending recovery timer has fired.
+func (sc Scenario) faultHorizon() time.Duration {
+	var h time.Duration
+	for _, f := range sc.Faults {
+		if end := f.At + f.Duration; end > h {
+			h = end
+		}
+	}
+	return h
 }
 
 func (sc Scenario) validate() error {
@@ -284,6 +388,11 @@ func (sc Scenario) validate() error {
 	if sc.EdgeTier != nil {
 		if err := sc.EdgeTier.validate(); err != nil {
 			return fmt.Errorf("fleet: scenario %q: %w", sc.Name, err)
+		}
+	}
+	for fi, f := range sc.Faults {
+		if err := f.validate(&sc); err != nil {
+			return fmt.Errorf("fleet: scenario %q fault %d: %w", sc.Name, fi, err)
 		}
 	}
 	for ci, co := range sc.Cohorts {

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -33,6 +34,14 @@ type Aggregate struct {
 	// WiFiBytes / TotalBytes hold the per-path traffic split.
 	WiFiBytes  int64
 	TotalBytes int64
+	// Failovers, Timeouts and Rebootstraps total the sessions' recovery
+	// actions across paths: replica switches, request-deadline expiries
+	// and renewed watch requests. Rendered only for scenarios with a
+	// fault plan, but accumulated always (they are zero when nothing
+	// fails).
+	Failovers    int
+	Timeouts     int
+	Rebootstraps int
 
 	// Jain's index needs only Σx and Σx² over per-session goodput, so
 	// the aggregate stays bounded no matter the fleet size.
@@ -63,6 +72,9 @@ func (a *Aggregate) add(r SessionResult) {
 		if p.Network == "wifi" {
 			a.WiFiBytes += p.Bytes
 		}
+		a.Failovers += p.Failovers
+		a.Timeouts += p.Timeouts
+		a.Rebootstraps += p.Rebootstraps
 	}
 	if m.Elapsed > 0 {
 		gp := float64(m.TotalBytes) * 8 / 1e6 / m.Elapsed.Seconds()
@@ -86,6 +98,9 @@ func (a *Aggregate) merge(o *Aggregate) {
 	a.Goodput.Merge(&o.Goodput)
 	a.WiFiBytes += o.WiFiBytes
 	a.TotalBytes += o.TotalBytes
+	a.Failovers += o.Failovers
+	a.Timeouts += o.Timeouts
+	a.Rebootstraps += o.Rebootstraps
 	a.gpSum += o.gpSum
 	a.gpSumSq += o.gpSumSq
 	a.gpN += o.gpN
@@ -122,6 +137,27 @@ type CohortReport struct {
 	Agg  Aggregate
 }
 
+// FaultWindow records one executed fault of a scenario's plan: what was
+// injected, into what, and whether the recovery action ran. Start and
+// End are offsets from scenario start (End 0 means the fault was never
+// scheduled to end, i.e. a forever-kill). Windows are deterministic per
+// seed: onsets and recoveries execute via emulation-clock timers.
+type FaultWindow struct {
+	// Kind is the Fault* constant.
+	Kind string
+	// Target is the failed component: an origin replica address, or the
+	// edge name ("edge2", "edge2-backhaul").
+	Target string
+	// Start and End bound the fault window.
+	Start time.Duration
+	End   time.Duration
+	// Recovered reports that the recovery action executed successfully
+	// (restart, un-blackhole, cold edge restart). Time-to-recovery is
+	// End - Start. Compiled faults (backhaul-degrade) are recovered by
+	// construction.
+	Recovered bool
+}
+
 // Report is the outcome of a fleet run.
 type Report struct {
 	// Scenario/Description/Seed echo the scenario.
@@ -147,6 +183,14 @@ type Report struct {
 	// scenario has no edge tier (and then absent from the rendering,
 	// keeping legacy reports byte-identical).
 	Edges []edge.Stats
+	// Faults records the executed fault plan in plan order; empty when
+	// the scenario has no plan (and then absent from the rendering,
+	// keeping legacy reports byte-identical).
+	Faults []FaultWindow
+	// epoch is the scenario-start instant on the emulation clock, the
+	// zero point of every FaultWindow offset; used to intersect session
+	// stalls (absolute instants) with fault windows.
+	epoch time.Time
 	// LoadsSettled reports whether the origin drain barrier completed
 	// (it only fails when the emulation clock was stopped mid-run); when
 	// false the Loads table may be missing in-flight remainders and the
@@ -234,7 +278,94 @@ func (r *Report) String() string {
 				e.Name, e.Policy, e.Hits, e.Misses, e.HitRatio(), e.Fills, e.Evictions, e.Pages, e.ServedBytes, e.BackhaulBytes)
 		}
 	}
+	if len(r.Faults) > 0 {
+		recovered := 0
+		for _, w := range r.Faults {
+			if w.Recovered {
+				recovered++
+			}
+		}
+		fmt.Fprintf(&b, "fault plan: %d faults, %d recovered; stall-seconds inside fault windows: %.3f\n",
+			len(r.Faults), recovered, r.FaultStallSeconds())
+		for i, w := range r.Faults {
+			fmt.Fprintf(&b, "  [%d] %-17s %-32s t=%.3fs", i+1, w.Kind, w.Target, w.Start.Seconds())
+			if w.End > w.Start {
+				fmt.Fprintf(&b, " dur=%.3fs", (w.End - w.Start).Seconds())
+			} else {
+				fmt.Fprintf(&b, " dur=forever")
+			}
+			if w.Recovered {
+				fmt.Fprintf(&b, " recovered ttr=%.3fs\n", (w.End - w.Start).Seconds())
+			} else {
+				fmt.Fprintf(&b, " not recovered\n")
+			}
+		}
+		fmt.Fprintf(&b, "robustness: failovers=%d timeouts=%d rebootstraps=%d\n",
+			r.Fleet.Failovers, r.Fleet.Timeouts, r.Fleet.Rebootstraps)
+		for i := range r.Cohorts {
+			a := &r.Cohorts[i].Agg
+			fmt.Fprintf(&b, "  cohort %-12q failovers=%d timeouts=%d rebootstraps=%d\n",
+				r.Cohorts[i].Name, a.Failovers, a.Timeouts, a.Rebootstraps)
+		}
+	}
 	return b.String()
+}
+
+// FaultStallSeconds sums, across all sessions, the playback stall time
+// that fell inside the (merged) fault windows — the QoE damage directly
+// attributable to the injected failures. Forever-faults extend to the
+// end of the run.
+func (r *Report) FaultStallSeconds() float64 {
+	type span struct{ s, e time.Duration }
+	var ivs []span
+	for _, w := range r.Faults {
+		end := w.End
+		if end <= w.Start {
+			end = r.Elapsed
+		}
+		if end > w.Start {
+			ivs = append(ivs, span{w.Start, end})
+		}
+	}
+	if len(ivs) == 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
+	merged := ivs[:1]
+	for _, v := range ivs[1:] {
+		if v.s <= merged[len(merged)-1].e {
+			if v.e > merged[len(merged)-1].e {
+				merged[len(merged)-1].e = v.e
+			}
+		} else {
+			merged = append(merged, v)
+		}
+	}
+	var total time.Duration
+	for _, cohort := range r.Results {
+		for _, res := range cohort {
+			if res.Metrics == nil {
+				continue
+			}
+			for _, st := range res.Metrics.Stalls {
+				ss := st.Start.Sub(r.epoch)
+				se := ss + st.Duration
+				for _, v := range merged {
+					lo, hi := ss, se
+					if v.s > lo {
+						lo = v.s
+					}
+					if v.e < hi {
+						hi = v.e
+					}
+					if hi > lo {
+						total += hi - lo
+					}
+				}
+			}
+		}
+	}
+	return total.Seconds()
 }
 
 func writeAggregate(b *strings.Builder, title string, a *Aggregate) {

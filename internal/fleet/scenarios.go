@@ -29,14 +29,16 @@ func BuiltinNames() []string {
 }
 
 var builtins = map[string]func(int, int64) Scenario{
-	"ramp":       LoadRamp,
-	"flashcrowd": FlashCrowd,
-	"densecrowd": DenseCrowd,
-	"megacrowd":  MegaCrowd,
-	"wifiwave":   WiFiWave,
-	"abtest":     SchedulerAB,
-	"coldedge":   ColdEdge,
-	"edgemesh":   EdgeMesh,
+	"ramp":        LoadRamp,
+	"flashcrowd":  FlashCrowd,
+	"densecrowd":  DenseCrowd,
+	"megacrowd":   MegaCrowd,
+	"wifiwave":    WiFiWave,
+	"abtest":      SchedulerAB,
+	"coldedge":    ColdEdge,
+	"edgemesh":    EdgeMesh,
+	"originstorm": OriginStorm,
+	"edgeflap":    EdgeFlap,
 }
 
 // shortPlayBuffer is the playout configuration for full plays of the
@@ -249,6 +251,92 @@ func EdgeMesh(sessions int, seed int64) Scenario {
 				{ByteBudget: 4 << 20, Policy: "lfu"},
 				{ByteBudget: 4 << 20, Policy: "lfu"},
 			},
+		},
+	}
+}
+
+// OriginStorm is the failure-storm robustness study: a FlashCrowd-style
+// Poisson burst of pre-buffering sessions, then the fault plan sweeps
+// through the origin replicas mid-crowd — the first WiFi replica
+// crashes (and restarts ten seconds later), the first LTE replica
+// wedges into a blackhole (accepting connections, never answering) and
+// the second LTE replica crashes while the first is still wedged. The
+// cohort runs with a request deadline, so blackholed requests surface
+// as timeouts at exact virtual instants; the robustness block counts
+// the resulting failovers, timeouts and re-bootstraps, and the fault
+// windows publish each replica's downtime and time-to-recovery.
+func OriginStorm(sessions int, seed int64) Scenario {
+	if sessions <= 0 {
+		sessions = 200
+	}
+	return Scenario{
+		Name:        "originstorm",
+		Description: "replica crash + blackhole storm under a pre-buffering crowd",
+		Seed:        seed,
+		Cohorts: []Cohort{{
+			Name:               "storm",
+			Sessions:           sessions,
+			Paths:              msplayer.BothPaths,
+			Scheduler:          SchedulerSpec{Kind: "harmonic"},
+			Arrival:            ArrivalSpec{Kind: ArrivalPoisson, Window: 2 * time.Second},
+			StopAfterPreBuffer: true,
+			RequestTimeout:     1500 * time.Millisecond,
+		}},
+		Faults: []Fault{
+			{Kind: FaultOriginKill, At: 3 * time.Second, Duration: 10 * time.Second, Network: "wifi", Replica: 1},
+			{Kind: FaultOriginBlackhole, At: 4 * time.Second, Duration: 8 * time.Second, Network: "lte", Replica: 1},
+			{Kind: FaultOriginKill, At: 6 * time.Second, Duration: 6 * time.Second, Network: "lte", Replica: 2},
+		},
+	}
+}
+
+// EdgeFlap is the edge-tier robustness study: the ColdEdge crowd (a
+// coalescing edge and a stampeding edge, each serving half the
+// sessions) with a flapping tier — both edges suffer an outage
+// mid-crowd and cold-restart with wiped stores, so the tier re-fills
+// under load (single-flight on edge1, stampeding on edge2; cumulative
+// fills exceeding resident pages is the re-fill signature). A deep
+// backhaul degradation then slows edge2's fills to a crawl, which the
+// cohorts' request deadline converts into timeouts and jittered
+// backoff instead of wedged sessions.
+func EdgeFlap(sessions int, seed int64) Scenario {
+	if sessions <= 0 {
+		sessions = 200
+	}
+	half := sessions / 2
+	if half < 1 {
+		half = 1
+	}
+	cohort := func(name string, n, edge int) Cohort {
+		return Cohort{
+			Name:               name,
+			Sessions:           n,
+			Paths:              msplayer.BothPaths,
+			Scheduler:          SchedulerSpec{Kind: "harmonic"},
+			Arrival:            ArrivalSpec{Kind: ArrivalPoisson, Window: 2 * time.Second},
+			StopAfterPreBuffer: true,
+			RequestTimeout:     2 * time.Second,
+			Edge:               edge,
+		}
+	}
+	return Scenario{
+		Name:        "edgeflap",
+		Description: "edge outages with cold restarts plus a backhaul collapse under a flash crowd",
+		Seed:        seed,
+		Cohorts: []Cohort{
+			cohort("coalesced", half, 1),
+			cohort("stampede", sessions-half, 2),
+		},
+		EdgeTier: &EdgeTierSpec{
+			Edges: []EdgeSpec{
+				{ByteBudget: 32 << 20},
+				{ByteBudget: 32 << 20, Stampede: true},
+			},
+		},
+		Faults: []Fault{
+			{Kind: FaultEdgeOutage, At: 2500 * time.Millisecond, Duration: 1500 * time.Millisecond, Edge: 1},
+			{Kind: FaultEdgeOutage, At: 3 * time.Second, Duration: 1500 * time.Millisecond, Edge: 2},
+			{Kind: FaultBackhaulDegrade, At: 6 * time.Second, Duration: 4 * time.Second, Edge: 2, Factor: 0.02},
 		},
 	}
 }

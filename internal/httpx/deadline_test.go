@@ -1,0 +1,143 @@
+package httpx
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/handshake"
+	"repro/internal/netem"
+)
+
+// blackholeHarness is testServer with the *Server handle exposed, so
+// tests can flip the blackhole fault.
+func blackholeHarness(t *testing.T, h http.Handler) (*netem.Clock, *netem.Interface, *Server) {
+	t.Helper()
+	clock := netem.NewVirtualClock()
+	t.Cleanup(clock.Stop)
+	n := netem.NewNetwork(clock)
+	inner, err := n.Listen("srv.test:443", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(clock, inner, h, handshake.Params{})
+	t.Cleanup(func() { srv.Close() })
+	lp := netem.LinkParams{Rate: netem.Mbps(20), Delay: 5 * time.Millisecond}
+	return clock, n.NewInterface("wifi", lp, lp), srv
+}
+
+// runOnClock runs fn on a clock-registered goroutine and waits for it,
+// with a wall-clock watchdog against emulator deadlock.
+func runOnClock(t *testing.T, clock *netem.Clock, fn func(*netem.Participant) error) {
+	t.Helper()
+	done := make(chan error, 1)
+	clock.Go(func(p *netem.Participant) { done <- fn(p) })
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second): //detlint:allow wallclock -- test watchdog against emulator deadlock runs on wall time
+		t.Fatal("clock goroutine did not finish (wedged session?)")
+	}
+}
+
+// TestDeadlineCutsBlackholedFreshDial pins the deadline instant for the
+// worst blackhole case: the server accepts the fresh dial and then
+// never answers the handshake, so without the deadline the client would
+// park forever. The request must fail with ErrRequestTimeout at exactly
+// dial-instant + timeout — one attempt, no retry (nothing was reused).
+func TestDeadlineCutsBlackholedFreshDial(t *testing.T) {
+	blob := make([]byte, 256<<10)
+	clock, iface, srv := blackholeHarness(t, blobHandler(blob))
+	srv.SetBlackhole(true)
+
+	tr := NewTransport(iface)
+	tr.SetRequestTimeout(time.Second)
+	client := &http.Client{Transport: tr}
+
+	runOnClock(t, clock, func(p *netem.Participant) error {
+		tr.Bind(p)
+		start := clock.Now()
+		_, err := GetRange(context.Background(), client, "http://srv.test:443/blob", 0, 1023)
+		if !errors.Is(err, ErrRequestTimeout) {
+			t.Errorf("err = %v, want ErrRequestTimeout", err)
+		}
+		if got := clock.Now().Sub(start); got != time.Second {
+			t.Errorf("blackholed dial failed after %v, want exactly %v", got, time.Second)
+		}
+
+		// Recovery: un-blackhole and the same transport serves again.
+		srv.SetBlackhole(false)
+		if _, err := GetRange(context.Background(), client, "http://srv.test:443/blob", 0, 1023); err != nil {
+			t.Errorf("request after recovery failed: %v", err)
+		}
+		return nil
+	})
+}
+
+// TestDeadlineCutsBlackholedReusedConn pins the instant for the
+// mid-stream blackhole: the first request warms a pooled conn, then the
+// server wedges. The reused-conn attempt times out after one budget,
+// RoundTrip retries once on a fresh dial (as for any reused-conn
+// failure) under a fresh deadline, and that dial is blackholed too — so
+// the call fails at exactly 2 × timeout, deterministically.
+func TestDeadlineCutsBlackholedReusedConn(t *testing.T) {
+	blob := make([]byte, 256<<10)
+	clock, iface, srv := blackholeHarness(t, blobHandler(blob))
+
+	tr := NewTransport(iface)
+	tr.SetRequestTimeout(time.Second)
+	client := &http.Client{Transport: tr}
+
+	runOnClock(t, clock, func(p *netem.Participant) error {
+		tr.Bind(p)
+		if _, err := GetRange(context.Background(), client, "http://srv.test:443/blob", 0, 1023); err != nil {
+			return err
+		}
+		srv.SetBlackhole(true)
+		start := clock.Now()
+		_, err := GetRange(context.Background(), client, "http://srv.test:443/blob", 1024, 2047)
+		if !errors.Is(err, ErrRequestTimeout) {
+			t.Errorf("err = %v, want ErrRequestTimeout", err)
+		}
+		if got := clock.Now().Sub(start); got != 2*time.Second {
+			t.Errorf("blackholed reused conn failed after %v, want exactly %v (two attempts)", got, 2*time.Second)
+		}
+		return nil
+	})
+}
+
+// TestDeadlineLeavesFastRequestsAlone: a request that completes within
+// the budget must be untouched — same bytes, conn still pooled — and
+// its pending timer must not abort the next request on the conn.
+func TestDeadlineLeavesFastRequestsAlone(t *testing.T) {
+	blob := make([]byte, 256<<10)
+	for i := range blob {
+		blob[i] = byte(i * 13)
+	}
+	clock, iface, _ := blackholeHarness(t, blobHandler(blob))
+
+	tr := NewTransport(iface)
+	tr.SetRequestTimeout(10 * time.Second)
+	client := &http.Client{Transport: tr}
+
+	runOnClock(t, clock, func(p *netem.Participant) error {
+		tr.Bind(p)
+		for i := 0; i < 20; i++ {
+			from := int64(i * 1024)
+			got, err := GetRange(context.Background(), client, "http://srv.test:443/blob", from, from+1023)
+			if err != nil {
+				return err
+			}
+			for j, b := range got {
+				if b != blob[from+int64(j)] {
+					t.Fatalf("request %d byte %d mismatch", i, j)
+				}
+			}
+		}
+		return nil
+	})
+}

@@ -39,6 +39,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/handshake"
 	"repro/internal/netem"
@@ -86,6 +87,11 @@ type Transport struct {
 	iface *netem.Interface
 	part  *netem.Participant
 
+	// reqTimeout bounds each request attempt (dial, handshake, request
+	// write, response and body reads) with a netem.Timer racing the
+	// attempt; zero means no deadline. See SetRequestTimeout.
+	reqTimeout time.Duration
+
 	mu     sync.Mutex
 	idle   map[string][]*persistConn
 	live   map[*persistConn]struct{} // every open conn (idle and in use)
@@ -106,6 +112,84 @@ func NewTransport(iface *netem.Interface) *Transport {
 // first request from the goroutine that will issue every request on
 // this transport.
 func (t *Transport) Bind(p *netem.Participant) { t.part = p }
+
+// SetRequestTimeout arms a per-request deadline: every subsequent
+// request attempt that has not delivered its full body within d of
+// starting is aborted with ErrRequestTimeout at exactly that virtual
+// instant, converting a blackholed server (accepts connections, never
+// responds) into a retryable error instead of an eternal park. Zero
+// disables the deadline. The deadline requires a bound Participant
+// (Bind) and covers the whole attempt — dial, handshake, request
+// write, response header and body reads; RoundTrip's retry-once on a
+// reused conn runs under a fresh deadline. Call it before the first
+// request, from the owning goroutine.
+func (t *Transport) SetRequestTimeout(d time.Duration) { t.reqTimeout = d }
+
+// ErrRequestTimeout aborts requests whose SetRequestTimeout deadline
+// elapsed. Compare with errors.Is: it arrives wrapped in the dial,
+// handshake, response-read or body-read error of whichever stage the
+// deadline interrupted.
+var ErrRequestTimeout = fmt.Errorf("httpx: request deadline exceeded")
+
+// deadlineGuard races one request attempt against the transport's
+// request deadline. The attempt's connection is handed over via
+// setConn as soon as it exists (a deadline elapsing before the dial
+// returns aborts the conn the moment it materialises); fire and the
+// body owner arbitrate through the same reqState CAS as the context
+// watcher, so a timed-out conn is never repooled and at most one
+// abort is ever issued.
+type deadlineGuard struct {
+	state reqState
+	tm    *netem.Timer
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// armDeadline returns a scheduled guard for one request attempt, or
+// nil when no deadline is configured.
+func (t *Transport) armDeadline() *deadlineGuard {
+	if t.reqTimeout <= 0 || t.part == nil {
+		return nil
+	}
+	c := t.part.Clock()
+	g := &deadlineGuard{}
+	g.tm = t.part.NewTimer(g.fire)
+	g.tm.Schedule(c.Now().Add(t.reqTimeout))
+	return g
+}
+
+// setConn publishes the attempt's connection to the guard, aborting it
+// immediately when the deadline already fired conn-less.
+func (g *deadlineGuard) setConn(c net.Conn) {
+	g.mu.Lock()
+	g.conn = c
+	g.mu.Unlock()
+	if g.state.v.Load() == reqAborted {
+		abortConn(c, ErrRequestTimeout)
+	}
+}
+
+// fire runs on the clock's jump goroutine at the deadline instant. It
+// only CASes and schedules a conn abort — it never parks.
+func (g *deadlineGuard) fire() {
+	if !g.state.v.CompareAndSwap(reqActive, reqAborted) {
+		return
+	}
+	g.mu.Lock()
+	c := g.conn
+	g.mu.Unlock()
+	if c != nil {
+		abortConn(c, ErrRequestTimeout)
+	}
+}
+
+// stop cancels the pending deadline; nil-safe.
+func (g *deadlineGuard) stop() {
+	if g != nil {
+		g.tm.Stop()
+	}
+}
 
 // persistConn is one pooled connection with its read buffer (which may
 // hold bytes of the next response and so must persist with the conn).
@@ -137,11 +221,15 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		addr = net.JoinHostPort(addr, "80")
 	}
 	for attempt := 0; ; attempt++ {
-		pc, reused, err := t.getConn(ctx, addr)
+		// Each attempt runs under its own deadline: a retry after a
+		// timed-out reused conn gets the full budget for its fresh dial.
+		g := t.armDeadline()
+		pc, reused, err := t.getConn(ctx, addr, g)
 		if err != nil {
+			g.stop()
 			return nil, err
 		}
-		resp, err := t.roundTrip(ctx, req, pc, addr)
+		resp, err := t.roundTrip(ctx, req, pc, addr, g)
 		if err != nil {
 			// A pooled conn may have been aborted since it was cached
 			// (mobility event, server kill) — and if one was, its pooled
@@ -167,7 +255,7 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 }
 
-func (t *Transport) roundTrip(ctx context.Context, req *http.Request, pc *persistConn, addr string) (*http.Response, error) {
+func (t *Transport) roundTrip(ctx context.Context, req *http.Request, pc *persistConn, addr string, g *deadlineGuard) (*http.Response, error) {
 	// Watch for cancellation until the body is closed: aborting the conn
 	// wakes any clock-visible read the caller is parked in. The state
 	// CAS decides the race between the watcher aborting and the body
@@ -175,18 +263,27 @@ func (t *Transport) roundTrip(ctx context.Context, req *http.Request, pc *persis
 	// context that can never be cancelled (Done() == nil — the
 	// context.Background() of every fleet session) gets no watcher at
 	// all: spawning a goroutine and channel per request only to tear
-	// them down unused was measurable at 20k-session populations.
+	// them down unused was measurable at 20k-session populations. When a
+	// request deadline is armed its guard shares the same state, so the
+	// watcher, the deadline timer and the body owner arbitrate through
+	// one CAS — the earliest abort wins.
 	var (
 		done  chan struct{}
 		state *reqState
 	)
+	if g != nil {
+		state = &g.state
+	}
 	if ctx.Done() != nil {
 		done = make(chan struct{})
-		state = &reqState{}
+		if state == nil {
+			state = &reqState{}
+		}
+		watchState := state
 		go func() { //detlint:allow baredgo -- context watcher only forwards cancellation into a conn abort; clock-invisible by design
 			select {
 			case <-ctx.Done():
-				if state.v.CompareAndSwap(reqActive, reqAborted) {
+				if watchState.v.CompareAndSwap(reqActive, reqAborted) {
 					abortConn(pc.conn, ctx.Err())
 				}
 			case <-done:
@@ -197,6 +294,7 @@ func (t *Transport) roundTrip(ctx context.Context, req *http.Request, pc *persis
 		if done != nil {
 			close(done)
 		}
+		g.stop()
 		t.discard(pc)
 		if cerr := ctx.Err(); cerr != nil {
 			err = cerr
@@ -212,7 +310,7 @@ func (t *Transport) roundTrip(ctx context.Context, req *http.Request, pc *persis
 		return fail(fmt.Errorf("httpx: reading response: %w", err))
 	}
 	resp.Body = &bodyGuard{rc: resp.Body, t: t, pc: pc, addr: addr,
-		done: done, state: state, reusable: !resp.Close}
+		done: done, state: state, dl: g, reusable: !resp.Close}
 	return resp, nil
 }
 
@@ -480,7 +578,7 @@ const (
 	reqCompleted = 2 // body owner won: conn may be pooled
 )
 
-func (t *Transport) getConn(ctx context.Context, addr string) (pc *persistConn, reused bool, err error) {
+func (t *Transport) getConn(ctx context.Context, addr string, g *deadlineGuard) (pc *persistConn, reused bool, err error) {
 	t.mu.Lock()
 	if err := t.closed; err != nil {
 		t.mu.Unlock()
@@ -490,12 +588,21 @@ func (t *Transport) getConn(ctx context.Context, addr string) (pc *persistConn, 
 		pc := pcs[len(pcs)-1]
 		t.idle[addr] = pcs[:len(pcs)-1]
 		t.mu.Unlock()
+		if g != nil {
+			g.setConn(pc.conn)
+		}
 		return pc, true, nil
 	}
 	t.mu.Unlock()
 	conn, err := t.iface.Dial(ctx, addr, t.part)
 	if err != nil {
 		return nil, false, err
+	}
+	// Publish the conn before the handshake: a blackholed server accepts
+	// and then never responds, so the handshake read is the first park
+	// the deadline must be able to cut short.
+	if g != nil {
+		g.setConn(conn)
 	}
 	if err := handshake.Client(conn); err != nil {
 		conn.Close()
@@ -628,6 +735,7 @@ type bodyGuard struct {
 	addr     string
 	done     chan struct{}
 	state    *reqState
+	dl       *deadlineGuard // pending request deadline, if armed
 	reusable bool
 	sawEOF   bool
 	closed   bool
@@ -649,8 +757,11 @@ func (b *bodyGuard) Close() error {
 	completed := true
 	if b.done != nil {
 		close(b.done)
+	}
+	if b.state != nil {
 		completed = b.state.v.CompareAndSwap(reqActive, reqCompleted)
 	}
+	b.dl.stop()
 	if !b.sawEOF && completed && b.reusable {
 		// The conn is a pooling candidate: tolerate an undrained body
 		// that has in fact ended (e.g. a JSON decoder stopping at the

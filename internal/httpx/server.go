@@ -10,6 +10,7 @@ import (
 	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/handshake"
 	"repro/internal/netem"
@@ -31,6 +32,14 @@ type Server struct {
 	// Request lifecycle hooks, fixed before the accept loop starts.
 	reqStart func(*http.Request)
 	reqDone  func(req *http.Request, bodyBytes int64, aborted bool)
+
+	// blackhole makes the server accept connections and read requests
+	// but never respond (a wedged-process fault). Checked both before
+	// the handshake (new connections go silent) and before each request
+	// dispatch (established keep-alive connections go silent too — the
+	// clients most exposed to a wedged server are exactly the ones with
+	// a pooled connection to it).
+	blackhole atomic.Bool
 
 	// Connection-loop accounting behind the Drain barrier. Conn loops
 	// are clock-registered goroutines, so their exits land at emulated
@@ -78,6 +87,15 @@ func Serve(clock *netem.Clock, l net.Listener, h http.Handler, hs handshake.Para
 // established connections (ErrServerDown), which unblocks and terminates
 // the per-connection loops.
 func (s *Server) Close() error { return s.l.Close() }
+
+// SetBlackhole switches the server's blackhole fault on or off. A
+// blackholed server keeps accepting connections and reading requests
+// but never writes a byte back — the failure mode of a wedged process
+// behind a live listener. Swallowed connections terminate only when
+// the peer aborts them (a client request deadline, a transport
+// shutdown), so clients without a deadline hang forever, by design.
+// Safe to call from a netem.Timer callback: it only flips a flag.
+func (s *Server) SetBlackhole(on bool) { s.blackhole.Store(on) }
 
 // Drain parks the caller until every per-connection loop has unwound,
 // waiting on the emulation clock (p may be nil for an unregistered
@@ -154,6 +172,10 @@ func (s *Server) serveConn(p *netem.Participant, c net.Conn) {
 	if b, ok := c.(participantBinder); ok {
 		b.Bind(p)
 	}
+	if s.blackhole.Load() {
+		swallow(c)
+		return
+	}
 	if err := handshake.Server(c, p, s.hs); err != nil {
 		return
 	}
@@ -171,12 +193,22 @@ func (s *Server) serveConn(p *netem.Participant, c net.Conn) {
 			return
 		}
 		req.RemoteAddr = remoteAddr
+		if s.blackhole.Load() {
+			swallow(br)
+			return
+		}
 		w.reset(req.Method == http.MethodHead)
 		if !s.serveRequest(w, req) || req.Close {
 			return
 		}
 	}
 }
+
+// swallow reads and discards from r until it errors, never responding:
+// the read parks on the clock like any other connection read, so a
+// blackholed connection stays wedged at emulated instants until the
+// peer aborts it.
+func swallow(r io.Reader) { io.Copy(io.Discard, r) }
 
 // serveRequest dispatches one request through the lifecycle hooks and
 // reports whether the connection can carry another. The done hook fires

@@ -676,7 +676,9 @@ func NewCond(clock *Clock, l sync.Locker) *Cond {
 func (cv *Cond) Wait(p *Participant) bool {
 	w := condWaiter{}
 	var stopCh <-chan struct{}
-	if c := cv.clock; c != nil {
+	advance := false
+	c := cv.clock
+	if c != nil {
 		stopCh = c.done
 		if c.Stopped() {
 			return false
@@ -692,15 +694,24 @@ func (cv *Cond) Wait(p *Participant) bool {
 				c.parts.Add(1)
 			}
 			w.accounted = true
-			if c.idle.Add(1) == c.parts.Load() {
-				c.tryAdvance()
-			}
+			advance = c.idle.Add(1) == c.parts.Load()
 		}
 	} else {
 		w.ch = make(chan struct{}, 1)
 	}
 	cv.waiters = append(cv.waiters, w)
 	cv.L.Unlock()
+	// The advance runs only after L is released: tryAdvance fires due
+	// timer callbacks inline on this goroutine, and a callback may need
+	// L itself (a request-deadline callback aborting the very conn this
+	// goroutine parked reading) — firing under L would self-deadlock.
+	// Running it here is safe against lost wakeups because the waiter is
+	// already appended: any Signal/Broadcast issued from inside the
+	// advance sees it. And it is safe against a stale condition because
+	// tryAdvance re-checks idle == parts under the jump lock.
+	if advance {
+		c.tryAdvance()
+	}
 	ok := true
 	select {
 	case <-w.ch:

@@ -149,6 +149,38 @@
 // instant, holding the clock until it completes, and Timer.Stop /
 // re-Schedule cancel the pending entry in place.
 //
+// # Timer-driven fault callbacks
+//
+// Timers are the substrate for deterministic fault injection (request
+// deadlines in httpx, the fleet fault-plan engine's server kills,
+// blackholes and edge outages): arming a Timer at an exact virtual
+// instant makes the fault — and its recovery — part of the event
+// schedule, so two runs of the same plan fail identically. Callbacks
+// run under tight rules:
+//
+//  1. A callback executes on whichever goroutine performs the jump, at
+//     the popped instant, under a clock hold collectDue took for it.
+//     Same-instant timers fire in (deadline, seq) order, so arming
+//     order decides firing order at a shared instant.
+//  2. Callbacks must not park — no Sleep, no Cond.Wait, no emulated
+//     I/O. The clock is held; a parking callback wedges the jump loop.
+//     Broadcast, signal, abort, schedule another timer: fine. Follow-up
+//     work that must park (an edge cold-restart re-deploying a server)
+//     is done synchronously only if the API is documented park-free
+//     (origin.Cluster.Restart is), otherwise deferred to a registered
+//     goroutine woken by the callback.
+//  3. Callbacks may take emulation locks — abort a conn, flip a
+//     server's blackhole flag — because every park site releases its
+//     lock before advancing the clock: Cond.Wait appends its waiter,
+//     unlocks L, and only then attempts the advance that may run
+//     callbacks inline. (A callback firing under the parker's L would
+//     self-deadlock; the request-deadline callback aborting the very
+//     conn its goroutine parked reading is the canonical case.)
+//  4. No bare goroutines from callbacks: anything spawned goes through
+//     Clock.Go, same as everywhere else (detlint/baredgo enforces it),
+//     or the spawned work would be invisible to the accounting and the
+//     clock could jump past it.
+//
 // Internally the participant/idle counters are atomics and the jump
 // mutex guards only the jump loop itself; wake tokens are delivered
 // outside every lock. Parks reuse the participant's wake channel and

@@ -90,9 +90,12 @@ type Cluster struct {
 	resolver *dnsx.Resolver
 
 	shards   []*clusterShard
-	deployed int                 // instances started so far; only Deploy's goroutine writes it
-	proxies  map[string]string   // network -> proxy addr; immutable after Deploy
-	byNet    map[string][]string // network -> deployed video server addrs; immutable after Deploy
+	deployMu sync.Mutex              // orders start() calls (Deploy setup vs later Restarts)
+	deployed int                     // instances started so far; guarded by deployMu
+	proxies  map[string]string       // network -> proxy addr; immutable after Deploy
+	byNet    map[string][]string     // network -> deployed video server addrs; immutable after Deploy
+	handlers map[string]http.Handler // addr -> handler, for Restart; immutable after Deploy
+	networks map[string]string       // addr -> network, for Restart; immutable after Deploy
 }
 
 // clusterShard owns a subset of the cluster's instances: their liveness
@@ -182,6 +185,8 @@ func Deploy(n *netem.Network, cfg ClusterConfig) (*Cluster, error) {
 		shards:   make([]*clusterShard, cfg.Shards),
 		proxies:  make(map[string]string),
 		byNet:    make(map[string][]string),
+		handlers: make(map[string]http.Handler),
+		networks: make(map[string]string),
 	}
 	for i := range c.shards {
 		c.shards[i] = &clusterShard{servers: make(map[string]*serverInstance)}
@@ -248,8 +253,12 @@ func (c *Cluster) start(addr, network string, h http.Handler) error {
 	if err != nil {
 		return fmt.Errorf("origin: listen %s: %w", addr, err)
 	}
+	c.deployMu.Lock()
 	inst := &serverInstance{addr: addr, network: network, seq: c.deployed}
 	c.deployed++
+	c.handlers[addr] = h
+	c.networks[addr] = network
+	c.deployMu.Unlock()
 	// httpx.Serve runs the whole server side — handshake processing,
 	// request reads, response writes — on clock-registered goroutines,
 	// keeping the virtual clock's waiter accounting exact. The request
@@ -367,6 +376,49 @@ func (c *Cluster) Kill(addr string) error {
 		return fmt.Errorf("origin: unknown server %q", addr)
 	}
 	inst.srv.Close()
+	return nil
+}
+
+// Restart re-deploys a previously killed server at addr: a fresh
+// listener on the same address, a fresh httpx server over the original
+// handler, and a fresh accounting instance appended to the deployment
+// sequence (the killed instance keeps its final books in Loads, so a
+// crash/recovery cycle is visible as two rows). The replica re-enters
+// liveReplicas — and therefore subsequent watch responses — at the
+// instant Restart runs. Safe to call from a netem.Timer callback: the
+// listen and accept-loop spawn never park.
+func (c *Cluster) Restart(addr string) error {
+	c.deployMu.Lock()
+	h, ok := c.handlers[addr]
+	network := c.networks[addr]
+	c.deployMu.Unlock()
+	if !ok {
+		return fmt.Errorf("origin: server %q was never deployed", addr)
+	}
+	sh := c.shardFor(addr)
+	sh.mu.Lock()
+	_, live := sh.servers[addr]
+	sh.mu.Unlock()
+	if live {
+		return fmt.Errorf("origin: server %q is already running", addr)
+	}
+	return c.start(addr, network, h)
+}
+
+// Blackhole switches the wedged-process fault of the live server at
+// addr: on, it keeps accepting connections and reading requests but
+// never responds (see httpx.Server.SetBlackhole). Unlike Kill the
+// replica stays in liveReplicas — clients discover the fault only by
+// request deadline, which is the point.
+func (c *Cluster) Blackhole(addr string, on bool) error {
+	sh := c.shardFor(addr)
+	sh.mu.Lock()
+	inst, ok := sh.servers[addr]
+	sh.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("origin: unknown server %q", addr)
+	}
+	inst.srv.SetBlackhole(on)
 	return nil
 }
 

@@ -332,6 +332,14 @@ type SessionConfig struct {
 	// with an edge tier use it to route sessions at their cohort's
 	// edge cache instead of the origin replicas.
 	VideoServers map[string][]string
+	// RequestTimeout bounds every request either path issues with a
+	// virtual-time deadline (see core.PathConfig.RequestTimeout). Zero
+	// disables deadlines, the legacy behavior.
+	RequestTimeout time.Duration
+	// Seed decorrelates the session's backoff jitter streams from other
+	// sessions'; fleet runs derive it from the scenario seed and session
+	// index. Zero is a valid seed.
+	Seed int64
 }
 
 // NewSession builds a core player for cfg on the default client without
@@ -370,8 +378,10 @@ func (c *Client) NewSession(cfg SessionConfig) (*core.Player, error) {
 	if err != nil {
 		return nil, err
 	}
-	wifiPath := core.PathConfig{Iface: c.wifi, ProxyAddr: wifiProxy, VideoServers: cfg.VideoServers[c.wifi.Name()]}
-	ltePath := core.PathConfig{Iface: c.lte, ProxyAddr: lteProxy, VideoServers: cfg.VideoServers[c.lte.Name()]}
+	wifiPath := core.PathConfig{Iface: c.wifi, ProxyAddr: wifiProxy,
+		VideoServers: cfg.VideoServers[c.wifi.Name()], RequestTimeout: cfg.RequestTimeout}
+	ltePath := core.PathConfig{Iface: c.lte, ProxyAddr: lteProxy,
+		VideoServers: cfg.VideoServers[c.lte.Name()], RequestTimeout: cfg.RequestTimeout}
 	var paths []core.PathConfig
 	switch cfg.Paths {
 	case BothPaths:
@@ -395,6 +405,7 @@ func (c *Client) NewSession(cfg SessionConfig) (*core.Player, error) {
 		StopAfterPreBuffer: cfg.StopAfterPreBuffer,
 		StopAfterRefills:   cfg.StopAfterRefills,
 		OnRun:              tb.sessionStarted,
+		Seed:               cfg.Seed,
 	})
 }
 
