@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
@@ -67,6 +68,10 @@ func Guard(w io.Writer, baselinePath string, maxFactor float64, opt Options) err
 		if err != nil {
 			return err
 		}
+		// Match the engine the artifacts are recorded on (FleetArtifact
+		// pins the event-loop engine) so the wall-time factor compares
+		// like with like.
+		sc.Engine = fleet.EngineEventLoop
 		// Mega-scale experiments get one repetition: a 20k-session run
 		// is long enough that best-of-N would turn the CI gate into a
 		// multi-minute step, and proportionally far less noisy than the
@@ -77,6 +82,10 @@ func Guard(w io.Writer, baselinePath string, maxFactor float64, opt Options) err
 		}
 		best := time.Duration(0)
 		for r := 0; r < expReps; r++ {
+			// Attributable wall times, matching FleetArtifact: free the
+			// previous run's garbage so a mega-scale predecessor's
+			// retained RSS cannot page-thrash this measurement.
+			debug.FreeOSMemory()
 			start := time.Now() //detlint:allow wallclock -- guard times the benchmark run in real wall time
 			if _, err := fleet.Run(context.Background(), sc); err != nil {
 				return fmt.Errorf("bench: %s: %w", exp.Name, err)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/fleet"
@@ -17,11 +18,18 @@ import (
 // producing them, so successive PRs can track the perf trajectory of
 // the reproduction alongside its scientific outputs.
 type Experiment struct {
-	Name       string             `json:"name"`
-	WallSecs   float64            `json:"wall_secs"`
-	Allocs     uint64             `json:"allocs"`
-	AllocBytes uint64             `json:"alloc_bytes"`
-	Metrics    map[string]float64 `json:"metrics"`
+	Name       string  `json:"name"`
+	WallSecs   float64 `json:"wall_secs"`
+	Allocs     uint64  `json:"allocs"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+	// PeakGoroutines and PeakHeapBytes are sampled over the run by a
+	// wall-clock poller: the highest live-goroutine count and heap-alloc
+	// size observed. They are the footprint half of the event-loop
+	// engine's story — the QoE metrics must not move when the engine
+	// changes, these must.
+	PeakGoroutines int64              `json:"peak_goroutines,omitempty"`
+	PeakHeapBytes  uint64             `json:"peak_heap_bytes,omitempty"`
+	Metrics        map[string]float64 `json:"metrics"`
 }
 
 // Artifact is the top-level BENCH_*.json document. GoVersion, NumCPU
@@ -54,16 +62,49 @@ func newArtifact(kind string, seed int64) *Artifact {
 func measure(name string, metrics map[string]float64, fn func() error) (Experiment, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
+	// Peak sampler: a real-time poller alongside the experiment,
+	// recording the highest goroutine count and heap size it sees. The
+	// 5ms period keeps ReadMemStats' stop-the-world pauses to well under
+	// 1% of the run; a sampler necessarily reads between the peaks, so
+	// the recorded values are floors on the true maxima — comparable
+	// across runs, which is all the trajectory needs. The sampler itself
+	// is one of the goroutines it counts.
+	var peakG int64
+	var peakHeap uint64
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() { //detlint:allow baredgo -- footprint sampler lives outside the emulation; joined via channels before the measurement returns
+		defer close(sampled)
+		var ms runtime.MemStats
+		for {
+			if n := int64(runtime.NumGoroutine()); n > peakG {
+				peakG = n
+			}
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peakHeap {
+				peakHeap = ms.HeapAlloc
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond): //detlint:allow wallclock -- footprint sampler polls in real time, outside the emulation
+			}
+		}
+	}()
 	start := time.Now() //detlint:allow wallclock -- harness records wall-clock duration for the report
 	err := fn()
 	wall := time.Since(start) //detlint:allow wallclock -- harness records wall-clock duration for the report
+	close(stop)
+	<-sampled
 	runtime.ReadMemStats(&after)
 	return Experiment{
-		Name:       name,
-		WallSecs:   wall.Seconds(),
-		Allocs:     after.Mallocs - before.Mallocs,
-		AllocBytes: after.TotalAlloc - before.TotalAlloc,
-		Metrics:    metrics,
+		Name:           name,
+		WallSecs:       wall.Seconds(),
+		Allocs:         after.Mallocs - before.Mallocs,
+		AllocBytes:     after.TotalAlloc - before.TotalAlloc,
+		PeakGoroutines: peakG,
+		PeakHeapBytes:  peakHeap,
+		Metrics:        metrics,
 	}, err
 }
 
@@ -139,10 +180,23 @@ func FleetArtifact(w io.Writer, opt Options, flashSessions, denseSessions, megaS
 		if c.sessions <= 0 {
 			continue
 		}
+		// Return the previous experiment's garbage to the OS before
+		// measuring the next one: at GOGC=400 a mega-scale run leaves a
+		// multi-GB collection ceiling behind, and on a memory-tight
+		// runner the retained RSS turns every later experiment's wall
+		// time into a paging benchmark. Freeing between experiments
+		// makes wall, alloc and peak_* numbers attributable to their own
+		// experiment (virtual-time metrics are unaffected either way).
+		debug.FreeOSMemory()
 		sc, err := fleet.Builtin(c.scenario, c.sessions, opt.Seed)
 		if err != nil {
 			return nil, err
 		}
+		// The benchmarks run on the event-loop engine: the QoE metrics are
+		// byte-identical to the goroutine engine's per seed (the cross-
+		// engine parity tests pin that), while peak_goroutines and
+		// peak_heap_bytes record the footprint the engine exists to bound.
+		sc.Engine = fleet.EngineEventLoop
 		var rep *fleet.Report
 		exp, err := measure(fmt.Sprintf("%s_%d", c.scenario, c.sessions), nil, func() error {
 			var rerr error
@@ -153,8 +207,9 @@ func FleetArtifact(w io.Writer, opt Options, flashSessions, denseSessions, megaS
 			return nil, fmt.Errorf("bench: %s: %w", c.scenario, err)
 		}
 		exp.Metrics = fleetMetrics(rep)
-		fmt.Fprintf(w, "  %-18s wall=%6.2fs allocs=%d  p50=%.3fs sessions=%d\n",
-			exp.Name, exp.WallSecs, exp.Allocs, exp.Metrics["prebuffer_p50_s"], int(exp.Metrics["sessions"]))
+		fmt.Fprintf(w, "  %-18s wall=%6.2fs allocs=%d  p50=%.3fs sessions=%d  peak_goroutines=%d peak_heap=%.1fMB\n",
+			exp.Name, exp.WallSecs, exp.Allocs, exp.Metrics["prebuffer_p50_s"], int(exp.Metrics["sessions"]),
+			exp.PeakGoroutines, float64(exp.PeakHeapBytes)/(1<<20))
 		art.Experiments = append(art.Experiments, exp)
 	}
 	return art, nil

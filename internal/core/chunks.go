@@ -49,6 +49,19 @@ type Span struct {
 // End returns the exclusive end offset.
 func (s Span) End() int64 { return s.Off + s.Size }
 
+// chunkPayload is one completed chunk in the out-of-order store. The
+// blocking engine stores an owned contiguous buffer (data, recycled
+// through chunkPool after delivery); the evented engine stores borrowed
+// connection views (views, in stream order) plus the release callback
+// that returns their bytes to the connection once the chunk has been
+// delivered — the zero-copy path never materialises the chunk.
+type chunkPayload struct {
+	data    []byte   // owned buffer; the payload's bytes when release == nil
+	views   [][]byte // borrowed views; the payload's bytes when release != nil
+	release func()   // returns the views' bytes to their connection
+	size    int64    // total payload bytes (frontier advance)
+}
+
 // chunkManager hands out byte ranges to path fetchers and reassembles
 // completed chunks in order. Per the paper's design it stores at most
 // MaxOutOfOrder completed chunks that cannot yet be delivered; a path
@@ -68,13 +81,20 @@ type chunkManager struct {
 	total    int64 // content length; -1 until the first bootstrap
 	next     int64 // next unassigned offset
 	frontier int64 // delivered in-order up to here
-	stored   map[int64][]byte
+	stored   map[int64]chunkPayload
 	storedBy map[int64]int // offset -> path that fetched it
 	maxOOO   int
 	retry    []Span // failed chunks awaiting reassignment
 
 	gate    bool // fetching allowed (ON/OFF state)
 	stopped bool
+
+	// notify, when set, is invoked (outside mu) after every state change
+	// that Broadcasts cond. The evented engine points it at the session
+	// loop so parked path machines re-poll acquireTry at exactly the
+	// instants a blocking path would have woken from cond.Wait. It must
+	// be installed before the first path starts and never changed.
+	notify func()
 
 	sink io.Writer // receives the in-order byte stream (may be nil)
 	// onDeliver is called with the new frontier after in-order delivery;
@@ -93,13 +113,21 @@ func newChunkManager(clock *netem.Clock, maxOOO int, sink io.Writer) *chunkManag
 	}
 	cm := &chunkManager{
 		total:    -1,
-		stored:   make(map[int64][]byte),
+		stored:   make(map[int64]chunkPayload),
 		storedBy: make(map[int64]int),
 		maxOOO:   maxOOO,
 		sink:     sink,
 	}
 	cm.cond = netem.NewCond(clock, &cm.mu)
 	return cm
+}
+
+// notifyAfter runs the evented re-poll hook; call after releasing mu at
+// any site that Broadcasts cond.
+func (cm *chunkManager) notifyAfter() {
+	if cm.notify != nil {
+		cm.notify()
+	}
 }
 
 // setTotal installs the content length once known (first JSON decode).
@@ -110,6 +138,7 @@ func (cm *chunkManager) setTotal(n int64) {
 	}
 	cm.cond.Broadcast()
 	cm.mu.Unlock()
+	cm.notifyAfter()
 }
 
 // setLimit installs the just-in-time goal-offset bound.
@@ -118,6 +147,7 @@ func (cm *chunkManager) setLimit(f func() int64) {
 	cm.limit = f
 	cm.cond.Broadcast()
 	cm.mu.Unlock()
+	cm.notifyAfter()
 }
 
 // setGate flips the ON/OFF fetch gate.
@@ -126,14 +156,35 @@ func (cm *chunkManager) setGate(on bool) {
 	cm.gate = on
 	cm.cond.Broadcast()
 	cm.mu.Unlock()
+	cm.notifyAfter()
 }
 
-// stop aborts all waiters; acquire returns ok=false afterwards.
+// stop aborts all waiters; acquire returns ok=false afterwards. Any
+// undelivered view payloads still parked in the out-of-order store pin
+// connection segment memory, so their bytes are returned to the owning
+// connections here.
 func (cm *chunkManager) stop() {
 	cm.mu.Lock()
 	cm.stopped = true
+	var rel []func()
+	var offs []int64
+	for off, pay := range cm.stored {
+		if pay.release != nil {
+			offs = append(offs, off)
+		}
+	}
+	sort.Slice(offs, func(a, b int) bool { return offs[a] < offs[b] })
+	for _, off := range offs {
+		rel = append(rel, cm.stored[off].release)
+		delete(cm.stored, off)
+		delete(cm.storedBy, off)
+	}
 	cm.cond.Broadcast()
 	cm.mu.Unlock()
+	for _, f := range rel {
+		f()
+	}
+	cm.notifyAfter()
 }
 
 // doneLocked reports whether the whole stream has been delivered.
@@ -155,6 +206,36 @@ func (cm *chunkManager) Frontier() int64 {
 	return cm.frontier
 }
 
+// tryAcquireLocked hands out the next span when one is available right
+// now, or reports that the caller must wait. Callers hold cm.mu and
+// have already ruled out stopped/doneLocked.
+func (cm *chunkManager) tryAcquireLocked(want int64) (Span, bool) {
+	// Failed chunks have priority and bypass the gate and the
+	// out-of-order limit: they fill the delivery gap.
+	if len(cm.retry) > 0 {
+		s := cm.retry[0]
+		cm.retry = cm.retry[1:]
+		return s, true
+	}
+	hasFresh := cm.total >= 0 && cm.next < cm.total
+	oooFull := len(cm.stored) >= cm.maxOOO
+	// Just-in-time gate: issue full-size chunks only while the
+	// assignment frontier is below the buffering goal. The final
+	// chunk may overshoot the goal by up to one chunk, exactly as a
+	// chunked player overshoots, which guarantees the goal is
+	// crossed decisively instead of approached asymptotically.
+	belowGoal := cm.limit == nil || cm.next < cm.limit()
+	if cm.gate && hasFresh && !oooFull && belowGoal {
+		s := Span{Off: cm.next, Size: want}
+		if s.End() > cm.total {
+			s.Size = cm.total - s.Off
+		}
+		cm.next = s.End()
+		return s, true
+	}
+	return Span{}, false
+}
+
 // acquire blocks until work is available for path i and returns the next
 // span to fetch, sized by want but clamped to the remaining content.
 // part is path i's clock handle, used for the clock-visible wait.
@@ -169,27 +250,7 @@ func (cm *chunkManager) acquire(i int, want int64, part *netem.Participant) (Spa
 		if cm.stopped || cm.doneLocked() {
 			return Span{}, false
 		}
-		// Failed chunks have priority and bypass the gate and the
-		// out-of-order limit: they fill the delivery gap.
-		if len(cm.retry) > 0 {
-			s := cm.retry[0]
-			cm.retry = cm.retry[1:]
-			return s, true
-		}
-		hasFresh := cm.total >= 0 && cm.next < cm.total
-		oooFull := len(cm.stored) >= cm.maxOOO
-		// Just-in-time gate: issue full-size chunks only while the
-		// assignment frontier is below the buffering goal. The final
-		// chunk may overshoot the goal by up to one chunk, exactly as a
-		// chunked player overshoots, which guarantees the goal is
-		// crossed decisively instead of approached asymptotically.
-		belowGoal := cm.limit == nil || cm.next < cm.limit()
-		if cm.gate && hasFresh && !oooFull && belowGoal {
-			s := Span{Off: cm.next, Size: want}
-			if s.End() > cm.total {
-				s.Size = cm.total - s.Off
-			}
-			cm.next = s.End()
+		if s, ok := cm.tryAcquireLocked(want); ok {
 			return s, true
 		}
 		if !cm.cond.Wait(part) {
@@ -200,19 +261,53 @@ func (cm *chunkManager) acquire(i int, want int64, part *netem.Participant) (Spa
 	}
 }
 
+// acquireTry is the evented engine's non-parking acquire. It hands out a
+// span when one is available now (ok), reports the stream delivered or
+// the manager stopped (over), or — when neither — tells the caller to
+// stay idle until the next notify callback re-polls it. want is pinned
+// by the caller across re-polls, mirroring the blocking acquire whose
+// want is fixed for the whole wait.
+func (cm *chunkManager) acquireTry(want int64) (s Span, ok, over bool) {
+	if want < 1 {
+		want = 1
+	}
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	if cm.stopped || cm.doneLocked() {
+		return Span{}, false, true
+	}
+	s, ok = cm.tryAcquireLocked(want)
+	return s, ok, false
+}
+
 // complete records a finished chunk fetched by path i and delivers any
 // newly in-order prefix to the sink.
 func (cm *chunkManager) complete(i int, s Span, data []byte) {
+	cm.deliver(i, s, chunkPayload{data: data, size: int64(len(data))})
+}
+
+// completeViews is complete for the evented engine's zero-copy path:
+// the chunk's bytes live in borrowed connection views that are written
+// to the sink in order and then returned to the connection via release.
+// size is the total view length (the span's size).
+func (cm *chunkManager) completeViews(i int, s Span, views [][]byte, release func(), size int64) {
+	cm.deliver(i, s, chunkPayload{views: views, release: release, size: size})
+}
+
+func (cm *chunkManager) deliver(i int, s Span, pay chunkPayload) {
 	cm.deliverMu.Lock()
 	defer cm.deliverMu.Unlock()
 	cm.mu.Lock()
 	if cm.stopped {
 		cm.mu.Unlock()
+		if pay.release != nil {
+			pay.release()
+		}
 		return
 	}
-	cm.stored[s.Off] = data
+	cm.stored[s.Off] = pay
 	cm.storedBy[s.Off] = i
-	var delivered [][]byte
+	var delivered []chunkPayload
 	for {
 		d, ok := cm.stored[cm.frontier]
 		if !ok {
@@ -221,7 +316,7 @@ func (cm *chunkManager) complete(i int, s Span, data []byte) {
 		delete(cm.storedBy, cm.frontier)
 		delete(cm.stored, cm.frontier)
 		delivered = append(delivered, d)
-		cm.frontier += int64(len(d))
+		cm.frontier += d.size
 	}
 	frontier := cm.frontier
 	onDeliver := cm.onDeliver
@@ -231,17 +326,29 @@ func (cm *chunkManager) complete(i int, s Span, data []byte) {
 
 	if sink != nil {
 		for _, d := range delivered {
-			sink.Write(d)
+			if d.release == nil {
+				sink.Write(d.data)
+			} else {
+				for _, v := range d.views {
+					sink.Write(v)
+				}
+			}
 		}
 	}
 	if len(delivered) > 0 && onDeliver != nil {
 		onDeliver(frontier)
 	}
-	// The delivered buffers' bytes have reached the sink (which copies)
-	// and every callback has run: recycle them for future fetches.
+	// The delivered payloads' bytes have reached the sink (which copies)
+	// and every callback has run: recycle owned buffers for future
+	// fetches and hand borrowed views back to their connections.
 	for _, d := range delivered {
-		putChunkBuf(d)
+		if d.release != nil {
+			d.release()
+		} else {
+			putChunkBuf(d.data)
+		}
 	}
+	cm.notifyAfter()
 }
 
 // fail requeues a chunk whose transfer failed so any path can take it.
@@ -251,6 +358,7 @@ func (cm *chunkManager) fail(s Span) {
 	sort.Slice(cm.retry, func(a, b int) bool { return cm.retry[a].Off < cm.retry[b].Off })
 	cm.cond.Broadcast()
 	cm.mu.Unlock()
+	cm.notifyAfter()
 }
 
 // outstanding reports how many completed chunks are stored out of order.

@@ -1,0 +1,542 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/netem"
+	"repro/internal/origin"
+)
+
+// This file is the event-loop session engine: the same MSPlayer session
+// RunAs drives with parked goroutines, re-expressed as state machines
+// that run as steps of one shared netem.Loop. A fleet of N sessions
+// needs O(cores) goroutines instead of O(N): each path is a callback
+// machine over httpx.EventTransport (borrowed zero-copy reads included)
+// and the gater is a timer machine. Every state change that would have
+// Broadcast a blocking path awake instead enqueues a re-poll step, so
+// the machines act at exactly the instants the goroutines would have —
+// the two engines are wire-identical and produce identical Metrics.
+
+// EventedSession is the handle RunEvented returns. Its only operation,
+// Interrupt, force-finishes the session after the emulation clock has
+// stopped (the evented analogue of RunAs observing a false Cond.Wait).
+type EventedSession struct {
+	s *evSession
+}
+
+// Interrupt tears the session down with errClockStopped and delivers
+// the sealed metrics to the done callback. It is meant for a stopped
+// clock, where the machines' pending timers will never fire; calling it
+// on a live session ends it at the current instant. Idempotent.
+func (es *EventedSession) Interrupt() {
+	es.s.loop.Do(es.s.interrupt)
+}
+
+// evSession owns the per-session machine set and the completion
+// bookkeeping RunAs keeps on its own goroutine: livePaths mirrors the
+// pathsExited trigger, liveMachines is the drain barrier, and teardown
+// runs inline at the trigger instant instead of on a woken goroutine.
+// All fields are loop-confined.
+type evSession struct {
+	p    *Player
+	loop *netem.Loop
+	done func(*Metrics, error)
+
+	paths []*evPath
+	gater *evGater
+	// waitq holds the paths parked in acquire in the order they parked —
+	// the image of the blocking Cond's FIFO waiter list. Re-polling in
+	// park order matters: when a gate-off leaves less assignable media
+	// than the parked paths want, the longest-waiting path wins the span,
+	// exactly as Broadcast wakes (and the mutex hands over) in park order.
+	waitq        []*evPath
+	livePaths    int
+	liveMachines int // path machines + gater still to unwind
+	torndown     bool
+	finished     bool
+	runErr       error
+}
+
+// RunEvented starts the session as event-loop machines on loop and
+// returns immediately. done is invoked from a loop step at the virtual
+// instant the last worker machine unwinds — the same instant RunAs
+// would have returned — with the sealed Metrics and the RunAs error.
+// External context cancellation is not supported: a fleet session's
+// context only ever fires at teardown, where the evented engine aborts
+// transfers directly. The caller keeps the clock alive (a registered
+// participant parked in a Cond, typically); if the clock stops before
+// the session completes, call Interrupt to collect the partial result.
+func (p *Player) RunEvented(loop *netem.Loop, done func(*Metrics, error)) *EventedSession {
+	s := &evSession{p: p, loop: loop, done: done}
+	loop.Do(s.start)
+	return &EventedSession{s: s}
+}
+
+func (s *evSession) start() {
+	p := s.p
+	if p.cfg.OnRun != nil {
+		p.cfg.OnRun()
+	}
+	p.mu.Lock()
+	p.start = p.clock.Now()
+	p.mu.Unlock()
+	p.metrics.start = p.start
+
+	s.livePaths = len(p.cfg.Paths)
+	s.liveMachines = len(p.cfg.Paths) + 1 // paths + gater
+	// Install the re-poll hooks before the first machine can signal.
+	// Every chunk-manager or lifecycle Broadcast now also enqueues a
+	// step, the loop-world image of waking the parked goroutines.
+	kick := func() { s.loop.Do(s.step) }
+	p.cm.notify = kick
+	p.evKick = kick
+	s.gater = &evGater{sess: s}
+	s.gater.tm = p.clock.NewTimer(func() { s.loop.Do(s.gater.wake) })
+	for i, pc := range p.cfg.Paths {
+		s.paths = append(s.paths, newEvPath(i, pc, s))
+	}
+	for _, ep := range s.paths {
+		ep.start()
+	}
+	s.gater.poll()
+}
+
+// step is the session-wide re-poll: it runs once per kick, checks the
+// stop condition, and lets every parked machine re-evaluate — exactly
+// the set of waiters a blocking Broadcast would have woken.
+func (s *evSession) step() {
+	if s.finished {
+		return
+	}
+	if !s.torndown {
+		s.p.smu.Lock()
+		sessionDone := s.p.sessionDone
+		s.p.smu.Unlock()
+		if sessionDone {
+			s.teardown(nil)
+		}
+	}
+	s.gater.poll()
+	// Drain the wait queue in park order; paths that still find nothing
+	// re-append themselves at the tail, just as a woken blocking waiter
+	// whose predicate still fails re-Waits behind the others.
+	q := s.waitq
+	s.waitq = nil
+	for _, ep := range q {
+		ep.queued = false
+		if ep.waiting && !ep.exited {
+			ep.fetchStep()
+		}
+	}
+}
+
+// teardown is RunAs's stopping stage at the trigger instant: seal the
+// books (a no-op when finish already sealed them), stop assignment,
+// make cancellation visible, and abort every in-flight transfer. The
+// machines then unwind at the same deterministic instants the blocking
+// workers would have — in-flight fetches observe their aborts now,
+// pending backoff and gater timers still fire at their scheduled wakes
+// and exit there.
+func (s *evSession) teardown(trigger error) {
+	if s.torndown {
+		return
+	}
+	s.torndown = true
+	s.p.smu.Lock()
+	sessionDone := s.p.sessionDone
+	s.p.smu.Unlock()
+	if !sessionDone {
+		s.runErr = trigger
+	}
+	s.p.seal(false)
+	s.p.cm.stop()
+	s.p.smu.Lock()
+	s.p.cancelled = true
+	s.p.scond.Broadcast()
+	s.p.smu.Unlock()
+	for _, ep := range s.paths {
+		ep.et.Shutdown(errSessionStopped)
+	}
+}
+
+// onPathExit mirrors the blocking fetch loop's self-raised pathsExited:
+// the last path to exit decides, on the spot, whether the session ended
+// short (teardown with the all-paths-exited error) or simply drained.
+func (s *evSession) onPathExit() {
+	s.livePaths--
+	if s.livePaths > 0 {
+		return
+	}
+	s.p.smu.Lock()
+	s.p.pathsExited = true
+	s.p.scond.Broadcast()
+	s.p.smu.Unlock()
+	if !s.torndown {
+		var err error
+		if !s.p.cm.Done() {
+			err = errors.New("core: all paths exited before the session completed")
+		}
+		s.teardown(err)
+	}
+}
+
+// machineDone is the drain barrier: the last machine to unwind collects
+// the sealed result and completes the session.
+func (s *evSession) machineDone() {
+	s.liveMachines--
+	if s.liveMachines > 0 {
+		return
+	}
+	if !s.torndown {
+		s.teardown(nil)
+	}
+	s.finish()
+}
+
+func (s *evSession) finish() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	s.done(s.p.collect(), s.runErr)
+}
+
+// interrupt force-finishes after the clock stopped: no pending timer
+// will ever fire, so the remaining machines are abandoned where they
+// froze and the sealed books are collected immediately — the evented
+// image of RunAs's stopped-clock drain fallback.
+func (s *evSession) interrupt() {
+	if s.finished {
+		return
+	}
+	s.teardown(errClockStopped)
+	s.finish()
+}
+
+// evPath is the fetch loop of one MSPlayer path as a callback machine:
+// the same bootstrap/acquire/fetch/failover control flow as path.run,
+// with continuation callbacks where the goroutine parked. The rng, the
+// draw order, every backoff constant and every metrics call site match
+// path.go exactly, so both engines retire the same virtual instants.
+type evPath struct {
+	id   int
+	cfg  PathConfig
+	pl   *Player
+	sess *evSession
+	et   *httpx.EventTransport
+
+	info      *origin.VideoInfo
+	servers   []string
+	serverIdx int
+	url       string
+
+	rng        uint64
+	failStreak int
+
+	// waiting marks the machine parked in acquire: want is pinned for
+	// the whole wait (the blocking acquire's want is fixed too) and
+	// session steps re-poll acquireTry until it resolves.
+	waiting bool
+	queued  bool // in the session's FIFO wait queue
+	want    int64
+	exited  bool
+
+	// backoffTm drives the exponential-backoff sleeps; backoffFn is the
+	// pending continuation it resumes.
+	backoffTm *netem.Timer
+	backoffFn func(error)
+}
+
+func newEvPath(id int, cfg PathConfig, s *evSession) *evPath {
+	if cfg.Network == "" {
+		cfg.Network = cfg.Iface.Name()
+	}
+	et := httpx.NewEventTransport(cfg.Iface, s.p.clock, s.loop)
+	et.SetRequestTimeout(cfg.RequestTimeout)
+	ep := &evPath{
+		id: id, cfg: cfg, pl: s.p, sess: s, et: et,
+		rng: uint64(s.p.cfg.Seed)*0x9E3779B97F4A7C15 + uint64(id)*0xBF58476D1CE4E5B9,
+	}
+	ep.backoffTm = s.p.clock.NewTimer(func() { s.loop.Do(ep.backoffFire) })
+	return ep
+}
+
+func (ep *evPath) start() {
+	ep.bootstrap(0, func(err error) {
+		if err != nil {
+			ep.exit()
+			return
+		}
+		ep.fetchStep()
+	})
+}
+
+func (ep *evPath) exit() {
+	if ep.exited {
+		return
+	}
+	ep.exited = true
+	ep.backoffTm.Stop()
+	ep.sess.onPathExit()
+	ep.sess.machineDone()
+}
+
+// backoff sleeps the same exponentially growing, jittered delay as
+// path.backoff and resumes then with nil, or with an error when the
+// session was cancelled (checked at the wake instant, exactly as the
+// blocking path checks ctx after its Sleep returns).
+func (ep *evPath) backoff(attempt int, then func(error)) {
+	d := 250 * time.Millisecond << uint(min(attempt, 3))
+	d += time.Duration(splitmixDraw(&ep.rng, int64(d)/2))
+	ep.backoffFn = then
+	ep.backoffTm.Schedule(ep.pl.clock.Now().Add(d))
+}
+
+func (ep *evPath) backoffFire() {
+	then := ep.backoffFn
+	ep.backoffFn = nil
+	if then == nil || ep.exited {
+		return
+	}
+	if ep.sess.torndown {
+		then(errSessionStopped)
+		return
+	}
+	if ep.pl.clock.Stopped() {
+		then(errClockStopped)
+		return
+	}
+	then(nil)
+}
+
+// bootstrap fetches video metadata from the network's web proxy,
+// retrying with backoff, and resumes then. The blocking fetchInfo's
+// json.Decoder-plus-probing-Close pattern lands at exactly the instants
+// EventTransport.Get delivers — success completes at the terminal chunk
+// frame with the connection pooled, non-200 retires the connection at
+// the first body byte — so a plain Unmarshal of the collected body is
+// timing-exact.
+func (ep *evPath) bootstrap(attempt int, then func(error)) {
+	if ep.sess.torndown {
+		then(errSessionStopped)
+		return
+	}
+	url := fmt.Sprintf("http://%s/watch?v=%s", ep.cfg.ProxyAddr, ep.pl.cfg.VideoID)
+	ep.et.Get(url, func(status int, body []byte, err error) {
+		var info *origin.VideoInfo
+		if err == nil {
+			if status != http.StatusOK {
+				err = fmt.Errorf("core: watch request: status %d", status)
+			} else {
+				info = new(origin.VideoInfo)
+				if derr := json.Unmarshal(body, info); derr != nil {
+					err = fmt.Errorf("core: decoding video info: %w", derr)
+				}
+			}
+		}
+		if err == nil {
+			if len(info.VideoServers) == 0 && len(ep.cfg.VideoServers) == 0 {
+				err = fmt.Errorf("core: no video servers in network %s", ep.cfg.Network)
+			} else if _, e := info.ContentLengthFor(ep.pl.cfg.Itag); e != nil {
+				err = e
+			}
+		}
+		if err != nil {
+			ep.backoff(attempt, func(berr error) {
+				if berr != nil {
+					then(berr)
+					return
+				}
+				ep.bootstrap(attempt+1, then)
+			})
+			return
+		}
+		ep.info = info
+		ep.servers = info.VideoServers
+		if len(ep.cfg.VideoServers) > 0 {
+			ep.servers = ep.cfg.VideoServers
+		}
+		ep.serverIdx = 0
+		ep.url = info.PlaybackURL(ep.servers[0], ep.pl.cfg.Itag)
+		n, _ := info.ContentLengthFor(ep.pl.cfg.Itag)
+		ep.pl.onBootstrap(info, n)
+		then(nil)
+	})
+}
+
+// failover mirrors path.failover: rotate replicas within the streak,
+// then back off and re-bootstrap once the streak has walked the list.
+func (ep *evPath) failover(attempt int, then func(error)) {
+	if len(ep.servers) > 1 && attempt%len(ep.servers) != 0 {
+		ep.serverIdx = (ep.serverIdx + 1) % len(ep.servers)
+		ep.pl.metrics.failover(ep.id)
+		ep.url = ep.info.PlaybackURL(ep.servers[ep.serverIdx], ep.pl.cfg.Itag)
+		then(nil)
+		return
+	}
+	ep.backoff(attempt, func(err error) {
+		if err != nil {
+			then(err)
+			return
+		}
+		ep.pl.metrics.rebootstrap(ep.id)
+		ep.bootstrap(0, then)
+	})
+}
+
+// fetchStep is one iteration of the blocking fetch loop's head: check
+// cancellation, size the next chunk, and try to acquire it. When no
+// work is available the machine stays parked in waiting and the next
+// session step re-polls with the pinned want.
+func (ep *evPath) fetchStep() {
+	if ep.exited {
+		return
+	}
+	if !ep.waiting {
+		if ep.sess.torndown {
+			ep.exit()
+			return
+		}
+		ep.want = ep.pl.cfg.Scheduler.Size(ep.id)
+		ep.waiting = true
+	}
+	span, ok, over := ep.pl.cm.acquireTry(ep.want)
+	if over {
+		ep.waiting = false
+		ep.exit()
+		return
+	}
+	if !ok {
+		if !ep.queued {
+			ep.queued = true
+			ep.sess.waitq = append(ep.sess.waitq, ep)
+		}
+		return
+	}
+	ep.waiting = false
+	ep.fetch(span)
+}
+
+// resume continues the fetch loop after a recovery step (re-bootstrap
+// or failover), exiting on cancellation exactly as path.run returns.
+func (ep *evPath) resume(err error) {
+	if err != nil {
+		ep.exit()
+		return
+	}
+	ep.fetchStep()
+}
+
+func (ep *evPath) fetch(span Span) {
+	pl := ep.pl
+	pl.metrics.request(ep.id)
+	start := pl.clock.Now()
+	ep.et.GetRangeViews(ep.url, span.Off, span.End()-1, func(views [][]byte, release func(), err error) {
+		if err != nil {
+			pl.metrics.failure(ep.id)
+			pl.cm.fail(span)
+			if ep.sess.torndown {
+				ep.exit()
+				return
+			}
+			ep.failStreak++
+			if errors.Is(err, httpx.ErrRequestTimeout) {
+				pl.metrics.timeout(ep.id)
+			}
+			var se *httpx.StatusError
+			if errors.As(err, &se) && (se.Code == http.StatusForbidden || se.Code == http.StatusUnauthorized) {
+				// Token expired or rejected: refresh via the proxy.
+				pl.metrics.rebootstrap(ep.id)
+				ep.bootstrap(0, ep.resume)
+			} else {
+				ep.failover(ep.failStreak, ep.resume)
+			}
+			return
+		}
+		ep.failStreak = 0
+		elapsed := pl.clock.Now().Sub(start)
+		pl.cfg.Scheduler.Observe(ep.id, span.Size, elapsed)
+		pl.metrics.chunk(ep.id, span.Size, pl.phase(), pl.clock.Now(), elapsed)
+		pl.cm.completeViews(ep.id, span, views, release, span.Size)
+		ep.fetchStep()
+	})
+}
+
+// evGater is Player.gater as a timer machine: time-based ON flips run
+// off a wake timer, delivery-driven periods park until a gate-off (or
+// lifecycle) kick re-polls. A teardown while a wake is pending lets the
+// timer fire and exit there without ticking, matching the blocking
+// gater waking from SleepUntil into an ended session.
+type evGater struct {
+	sess     *evSession
+	tm       *netem.Timer
+	sleeping bool
+	exited   bool
+}
+
+func (g *evGater) poll() {
+	if g.exited || g.sleeping {
+		return
+	}
+	p := g.sess.p
+	if p.over() || p.clock.Stopped() {
+		g.exit()
+		return
+	}
+	p.mu.Lock()
+	buf := p.buffer
+	p.mu.Unlock()
+	if buf == nil {
+		return // parked until the first bootstrap kicks bufferReady
+	}
+	now := p.clock.Now()
+	if buf.Finished(now) {
+		p.finish()
+		g.exit()
+		return
+	}
+	if wake, ok := buf.NextWake(now); ok {
+		g.sleeping = true
+		g.tm.Schedule(wake)
+		return
+	}
+	// Delivery-driven period: parked until a gate-off kick.
+}
+
+func (g *evGater) wake() {
+	if g.exited {
+		return
+	}
+	g.sleeping = false
+	p := g.sess.p
+	if p.over() || p.clock.Stopped() {
+		// The session ended while this wake was pending: the books are
+		// sealed, so a Tick now would record post-session buffer events.
+		g.exit()
+		return
+	}
+	p.mu.Lock()
+	buf := p.buffer
+	p.mu.Unlock()
+	buf.Tick(p.clock.Now())
+	if buf.Finished(p.clock.Now()) {
+		p.finish()
+		g.exit()
+		return
+	}
+	g.poll()
+}
+
+func (g *evGater) exit() {
+	if g.exited {
+		return
+	}
+	g.exited = true
+	g.tm.Stop()
+	g.sess.machineDone()
+}

@@ -103,11 +103,19 @@ func (p *path) backoff(ctx context.Context, attempt int) error {
 // jitter returns the next draw in [0, n) from the path's splitmix64
 // stream (0 when n <= 0).
 func (p *path) jitter(n int64) int64 {
+	return splitmixDraw(&p.rng, n)
+}
+
+// splitmixDraw advances the splitmix64 state rng and returns a draw in
+// [0, n) (0 when n <= 0). Both engines' paths draw through this one
+// function, so a given seed yields one jitter sequence regardless of
+// which engine runs the session.
+func splitmixDraw(rng *uint64, n int64) int64 {
 	if n <= 0 {
 		return 0
 	}
-	p.rng += 0x9E3779B97F4A7C15
-	z := p.rng
+	*rng += 0x9E3779B97F4A7C15
+	z := *rng
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	z ^= z >> 31

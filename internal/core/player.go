@@ -104,6 +104,13 @@ type Player struct {
 	kicked      bool // gate turned OFF since the gater last looked
 	sealOnce    sync.Once
 
+	// evKick, when set, is invoked after every lifecycle state change
+	// that Broadcasts scond (bufferReady, gate-off kicks, seal). The
+	// evented engine points it at the session loop so its machines
+	// re-poll at exactly the instants the blocking goroutines would have
+	// woken. Installed before the machines start, never changed.
+	evKick func()
+
 	// Byte accounting sealed at the session-end instant (see seal):
 	// Elapsed/TotalBytes/Paths define the session's result at the moment
 	// its outcome was decided — the stop condition for clean sessions, or
@@ -171,6 +178,9 @@ func (p *Player) onBootstrap(info *origin.VideoInfo, contentLength int64) {
 	p.bufferReady = true
 	p.scond.Broadcast()
 	p.smu.Unlock()
+	if p.evKick != nil {
+		p.evKick()
+	}
 }
 
 // onGate reacts to buffer gate flips: ON/OFF propagates to the chunk
@@ -183,6 +193,9 @@ func (p *Player) onGate(on bool) {
 		p.kicked = true
 		p.scond.Broadcast()
 		p.smu.Unlock()
+		if p.evKick != nil {
+			p.evKick()
+		}
 	}
 }
 
@@ -246,6 +259,9 @@ func (p *Player) seal(markDone bool) {
 		}
 		p.scond.Broadcast()
 		p.smu.Unlock()
+		if p.evKick != nil {
+			p.evKick()
+		}
 	})
 }
 

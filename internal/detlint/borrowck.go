@@ -13,6 +13,7 @@ import (
 var borrowProducers = map[string]bool{
 	"CachedSlice": true, // videostore.Content: views into the content page cache
 	"PageView":    true, // edge.Cache: views of immutable edge-cache page buffers
+	"ReadBuf":     true, // netem.Conn: borrowed views of arrived segments, returned by Release
 }
 
 // borrowParamFuncs names the functions/methods whose slice parameters
@@ -36,9 +37,9 @@ var spawnFuncs = map[string]bool{
 
 // BorrowckAnalyzer enforces the borrowed-slice ownership rules of the
 // zero-copy delivery path (netem/doc.go, "Pooling invariants"):
-// Content.CachedSlice results, WriteStable arguments, and sync.Pool
-// payload buffers alias memory someone else recycles or serves
-// concurrently. Within each function it tracks values of those origins
+// Content.CachedSlice results, Conn.ReadBuf views (whose consumer end
+// is Conn.Release), WriteStable arguments, and sync.Pool payload
+// buffers alias memory someone else recycles or serves concurrently. Within each function it tracks values of those origins
 // and flags retention beyond the call:
 //
 //   - assignment into a struct field, slice/map element, or package

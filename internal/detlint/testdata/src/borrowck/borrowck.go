@@ -124,6 +124,46 @@ func pageViewServePass(h *holder, e *edgeCache) {
 	h.WriteStable(v[:4])
 }
 
+// evConn mimics netem.Conn's borrow-based read path: ReadBuf hands out
+// a view of the head arrived segment, owned by the pipe until the
+// reader hands it back through Release (matching is by method name).
+type evConn struct{ seg []byte }
+
+func (c *evConn) ReadBuf() ([]byte, error) { return c.seg, nil }
+func (c *evConn) Release(n int)            {}
+
+// A ReadBuf view escaping into a field outlives the borrow: once
+// Release returns the bytes to the pipe they are recycled into future
+// segments.
+func readBufFieldStore(h *holder, c *evConn) {
+	v, _ := c.ReadBuf()
+	h.view = v // want "borrowed view stored into field view"
+	c.Release(len(h.view))
+}
+
+// Capturing a ReadBuf view in a timer or spawned closure retains it
+// past the callback that borrowed it.
+func readBufSpawnCapture(clk clock, c *evConn) {
+	v, _ := c.ReadBuf()
+	clk.Go(func() {
+		use(v) // want "borrowed slice v captured by closure spawned via Go"
+	})
+}
+
+func readBufAppendGrow(c *evConn) []byte {
+	v, _ := c.ReadBuf()
+	return append(v, 0) // want "append on borrowed slice v"
+}
+
+// The sanctioned consumer pattern: copy the view out (or hand it on as
+// a plain call argument) and Release the bytes before returning.
+func readBufCopyReleasePass(c *evConn) []byte {
+	v, _ := c.ReadBuf()
+	out := append([]byte(nil), v...)
+	c.Release(len(v))
+	return out
+}
+
 // Copying the borrowed bytes severs the borrow.
 func copyOutPass(h *holder, c *content) {
 	v := c.CachedSlice(0, 8)

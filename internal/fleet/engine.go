@@ -181,6 +181,14 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	} else {
 		profile = msplayer.TestbedProfile(sc.Seed)
 	}
+	evented := sc.Engine == EngineEventLoop
+	if evented {
+		// The evented engine flips the whole world: sessions become
+		// state machines and the origin's eligible servers serve evented
+		// too. Both engines are wire-identical, so the report bytes do
+		// not change with this knob.
+		profile.EventLoop = true
+	}
 	tb, err := msplayer.NewTestbed(profile)
 	if err != nil {
 		return nil, err
@@ -235,6 +243,11 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	}
 
 	results := make([][]SessionResult, len(sc.Cohorts))
+	var ev *eventedRun
+	if evented {
+		ev = &eventedRun{loop: netem.NewLoop()}
+		ev.cond = netem.NewCond(clock, &ev.mu)
+	}
 	var wg sync.WaitGroup
 	for ci := range sc.Cohorts {
 		co := &sc.Cohorts[ci]
@@ -260,6 +273,13 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 			slot.Cohort = co.Name
 			slot.Index = i
 			slot.Arrival = arrivals[i]
+			if evented {
+				// Arrival timers arm in cohort/session order after the
+				// fault timers, so same-instant ties resolve exactly as
+				// the goroutine engine's spawn order does.
+				ev.arm(tb, &profile, co, servers, i, arrivals[i], sessSeed, start, slot)
+				continue
+			}
 			wg.Add(1)
 			clock.Go(func(sp *netem.Participant) {
 				defer wg.Done()
@@ -267,11 +287,15 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 			})
 		}
 	}
-	// Park outside the clock's accounting while the sessions drain; they
-	// must be free to advance virtual time.
-	driver.Suspend()
-	wg.Wait()
-	driver.Resume()
+	if evented {
+		ev.wait(driver)
+	} else {
+		// Park outside the clock's accounting while the sessions drain;
+		// they must be free to advance virtual time.
+		driver.Suspend()
+		wg.Wait()
+		driver.Resume()
+	}
 
 	// Ride out the fault horizon: recovery timers scheduled past the last
 	// session's completion (a restart nobody was waiting for) must fire
@@ -393,8 +417,145 @@ func runSession(ctx context.Context, sp *netem.Participant, tb *msplayer.Testbed
 	})
 }
 
-// scaleWindow returns a shape that multiplies the rate by factor inside
-// [onset, onset+d).
+// eventedRun drives a scenario's sessions as event-loop state machines:
+// one shared netem.Loop for every session's machines, arrival timers
+// instead of parked spawn goroutines, and a completion count the driver
+// parks on. The whole run needs O(cores) goroutines regardless of the
+// session count.
+type eventedRun struct {
+	loop *netem.Loop
+
+	mu        sync.Mutex
+	cond      *netem.Cond
+	remaining int
+	handles   []*msplayer.EventedSession
+	slots     []*SessionResult
+}
+
+// errClockStopped fills the slots of evented sessions the emulation
+// clock stopped out from under (mirroring the goroutine engine, whose
+// sessions return core's clock-stopped error from their own teardown).
+var errClockStopped = fmt.Errorf("fleet: emulation clock stopped mid-scenario")
+
+// arm schedules one session's arrival: at the arrival instant the
+// timer callback — a loop step — performs exactly what runSession does
+// after its arrival sleep (participation draws, client attachment, down
+// events, scheduler build) and starts the session machines.
+func (ev *eventedRun) arm(tb *msplayer.Testbed, profile *msplayer.Profile, co *Cohort,
+	servers map[string][]string, idx int, arrival time.Duration, sessSeed int64, start time.Time, slot *SessionResult) {
+	ev.remaining++
+	ev.slots = append(ev.slots, slot)
+	clock := tb.Clock()
+	finish := func(m *msplayer.Metrics, err error) {
+		slot.Metrics, slot.Err = m, err
+		ev.mu.Lock()
+		ev.remaining--
+		ev.cond.Broadcast()
+		ev.mu.Unlock()
+	}
+	spawn := func() {
+		// The session RNG decides event participation; its draws happen
+		// in a fixed order, so participation is a pure function of the
+		// seed — the same order and draws as runSession's.
+		rng := rand.New(rand.NewSource(sessSeed))
+		wifiProf := profile.WiFi
+		if co.WiFi != nil {
+			wifiProf = *co.WiFi
+		}
+		lteProf := profile.LTE
+		if co.LTE != nil {
+			lteProf = *co.LTE
+		}
+		var downs []Event
+		for _, ev := range co.Events {
+			affected := ev.Fraction == 0 || ev.Fraction >= 1 || rng.Float64() < ev.Fraction
+			if !affected {
+				continue
+			}
+			onset := start.Add(ev.At + time.Duration(idx)*ev.Stagger)
+			switch ev.Kind {
+			case EventWiFiDegrade:
+				wifiProf.Shape = composeShape(wifiProf.Shape, scaleWindow(onset, ev.Duration, ev.Factor))
+			case EventLTEDegrade:
+				lteProf.Shape = composeShape(lteProf.Shape, scaleWindow(onset, ev.Duration, ev.Factor))
+			case EventWiFiDown, EventLTEDown:
+				ev := ev
+				downs = append(downs, ev)
+			}
+		}
+		client := tb.NewClient(wifiProf, lteProf, sessSeed)
+		for _, dev := range downs {
+			iface := client.WiFi()
+			if dev.Kind == EventLTEDown {
+				iface = client.LTE()
+			}
+			onset := start.Add(dev.At + time.Duration(idx)*dev.Stagger)
+			end := onset.Add(dev.Duration)
+			if !clock.Now().Before(end) {
+				continue // window already over when the session arrived
+			}
+			clock.NewTimer(func() { iface.SetAlive(false) }).Schedule(onset)
+			clock.NewTimer(func() { iface.SetAlive(true) }).Schedule(end)
+		}
+		sched, err := co.Scheduler.build()
+		if err != nil {
+			finish(nil, err)
+			return
+		}
+		es, err := client.StreamEvented(ev.loop, msplayer.SessionConfig{
+			Scheduler:          sched,
+			Paths:              co.Paths,
+			Buffer:             co.Buffer,
+			Video:              co.Video,
+			Itag:               co.Itag,
+			VideoServers:       servers,
+			StopAfterPreBuffer: co.StopAfterPreBuffer,
+			StopAfterRefills:   co.StopAfterRefills,
+			RequestTimeout:     co.RequestTimeout,
+			Seed:               sessSeed,
+		}, finish)
+		if err != nil {
+			finish(nil, err)
+			return
+		}
+		ev.mu.Lock()
+		ev.handles = append(ev.handles, es)
+		ev.mu.Unlock()
+	}
+	clock.NewTimer(func() { ev.loop.Do(spawn) }).Schedule(start.Add(arrival))
+}
+
+// wait parks the driver until every armed session has completed. On a
+// stopped clock it interrupts the surviving sessions (collecting their
+// partial, sealed metrics) and marks never-arrived slots with
+// errClockStopped, mirroring the goroutine engine's stopped-clock
+// unwind.
+func (ev *eventedRun) wait(driver *netem.Participant) {
+	stopped := false
+	ev.mu.Lock()
+	for ev.remaining > 0 {
+		if !ev.cond.Wait(driver) {
+			stopped = true
+			break
+		}
+	}
+	handles := append([]*msplayer.EventedSession(nil), ev.handles...)
+	ev.mu.Unlock()
+	if !stopped {
+		return
+	}
+	for _, es := range handles {
+		es.Interrupt() // idempotent; completed sessions ignore it
+	}
+	// Sessions whose arrival timer never fired have no handle; their
+	// slots are still empty (a finished session always has Metrics or a
+	// non-nil Err).
+	for _, slot := range ev.slots {
+		if slot.Metrics == nil && slot.Err == nil {
+			slot.Err = errClockStopped
+		}
+	}
+}
 func scaleWindow(onset time.Time, d time.Duration, factor float64) func(trace.Rate) trace.Rate {
 	end := onset.Add(d)
 	return func(base trace.Rate) trace.Rate {

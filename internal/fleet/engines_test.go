@@ -1,0 +1,165 @@
+package fleet
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// runEngine runs a builtin scenario on the given engine and returns its
+// rendered report.
+func runEngine(t *testing.T, name string, sessions int, seed int64, engine string) string {
+	t.Helper()
+	sc, err := Builtin(name, sessions, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Engine = engine
+	rep, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.String()
+}
+
+// diffReports fails the test with the first differing lines of two
+// reports that were expected to be byte-identical.
+func diffReports(t *testing.T, label, want, got string) {
+	t.Helper()
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			t.Errorf("%s: line %d differs\n  want: %s\n  got:  %s", label, i+1, wl[i], gl[i])
+			return
+		}
+	}
+	t.Errorf("%s: reports differ in length (%d vs %d lines)", label, len(wl), len(gl))
+}
+
+// TestEngineParity is the cross-engine fence: every builtin scenario
+// must produce a byte-identical report on the goroutine engine and the
+// event-loop engine. It covers every behavioural regime — pre-buffer-
+// only crowds, full plays with steady-state gate cycles, edge tiers,
+// fault plans, mid-session link events and mixed-scheduler cohorts.
+func TestEngineParity(t *testing.T) {
+	// The fence holds under the production scheduler conditions every
+	// committed report is pinned under. Race instrumentation perturbs
+	// goroutine scheduling enough to flip pre-existing same-instant
+	// freedom — the order Broadcast-woken blocking waiters re-acquire
+	// the chunk mutex, the order same-instant blocking edge-server
+	// goroutines reach the store — and those flips move bytes in BOTH
+	// engines' reports (the blocking engine's wifiwave/ramp output
+	// changes under -race with no evented engine in sight). The evented
+	// gates that must survive -race (double-run determinism, goldens,
+	// goroutine ceiling) have their own tests below.
+	if raceEnabled {
+		t.Skip("cross-engine parity is pinned under the production scheduler; -race perturbs same-instant scheduling freedom in both engines")
+	}
+	for _, tc := range []struct {
+		name     string
+		sessions int
+	}{
+		{"flashcrowd", 24},
+		{"densecrowd", 100},
+		{"megacrowd", 500},
+		{"coldedge", 40},
+		{"edgemesh", 40},
+		{"originstorm", 24},
+		// edgeflap at 16 sessions rather than the CI-smoke 24: at a few
+		// tied populations (8, 24) three sessions reach the single-flight
+		// edge store at the same virtual instant and the flight opener —
+		// whose network names the upstream origin server — is elected by
+		// mutex arrival order, a same-instant freedom the store tolerates
+		// by design (hit/miss/fill counts are interleaving-independent,
+		// but per-origin request books are not). Both engines resolve
+		// such ties by scheduler arrival and even a single engine flaps
+		// run-to-run there under GOMAXPROCS>1; the committed 200-session
+		// golden (TestEventedGoldens) pins the tie-free shape instead.
+		{"edgeflap", 16},
+		{"ramp", 30},
+		{"wifiwave", 30},
+		{"abtest", 30},
+	} {
+		a := runEngine(t, tc.name, tc.sessions, 7, EngineGoroutine)
+		b := runEngine(t, tc.name, tc.sessions, 7, EngineEventLoop)
+		if a != b {
+			diffReports(t, tc.name, a, b)
+		}
+	}
+}
+
+// TestEventedGoldens re-runs the committed 200-session seed-1 golden
+// scenarios on the event-loop engine and compares byte-for-byte against
+// the same baselines the goroutine engine is pinned to — the reports
+// must be indistinguishable from the files on disk.
+func TestEventedGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-session golden runs in -short mode")
+	}
+	for _, name := range []string{"flashcrowd", "originstorm", "edgeflap"} {
+		want, err := os.ReadFile(filepath.Join("testdata", name+"_200_seed1.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := runEngine(t, name, 200, 1, EngineEventLoop); got != string(want) {
+			diffReports(t, name+" (evented vs golden)", string(want), got)
+		}
+	}
+}
+
+// TestEventedDeterministic is the scale smoke for the event-loop
+// engine: a 2000-session megacrowd run twice with the same seed must
+// render byte-identical reports. CI runs this under -race, where the
+// double run also shakes out loop-confinement violations.
+func TestEventedDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2000-session double run in -short mode")
+	}
+	a := runEngine(t, "megacrowd", 2000, 59, EngineEventLoop)
+	b := runEngine(t, "megacrowd", 2000, 59, EngineEventLoop)
+	if a != b {
+		t.Fatalf("same-seed evented megacrowd reports differ:\n--- run 1\n%s--- run 2\n%s", a, b)
+	}
+}
+
+// TestEventedGoroutineCeiling asserts the point of the event-loop
+// engine: a 2000-session fleet must run on a goroutine count bounded by
+// a small constant — O(cores + servers), independent of the session
+// count. A wall-clock sampler records the peak goroutine count over the
+// whole run (spawn ramp, steady state and teardown alike); on the
+// goroutine engine the same scenario peaks in the thousands.
+func TestEventedGoroutineCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2000-session run in -short mode")
+	}
+	var peak atomic.Int64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if n := int64(runtime.NumGoroutine()); n > peak.Load() {
+				peak.Store(n)
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond): //detlint:allow wallclock -- goroutine-count sampler polls in real time, outside the emulation
+			}
+		}
+	}()
+	runEngine(t, "megacrowd", 2000, 7, EngineEventLoop)
+	close(stop)
+	<-done
+	const ceiling = 64
+	if p := peak.Load(); p > ceiling {
+		t.Fatalf("2000-session evented fleet peaked at %d goroutines, want <= %d", p, ceiling)
+	} else {
+		t.Logf("2000-session evented fleet peaked at %d goroutines", p)
+	}
+}

@@ -186,6 +186,85 @@ func Server(conn net.Conn, clock Sleeper, p Params) error {
 	return writeMsg(conn, msgFinished)
 }
 
+// HeaderLen is the wire size of a handshake message header: one type
+// byte plus a big-endian uint32 body length.
+const HeaderLen = 5
+
+// wireImages holds the rendered wire form (header plus all-zero body)
+// of every message type. The images are immutable and shared: message
+// bodies carry no information, so one rendering serves every
+// connection, and event-driven endpoints hand the shared slice to
+// TryWrite (which copies into pacing segments exactly as the blocking
+// writeMsg's single conn.Write does).
+var wireImages = func() map[byte][]byte {
+	m := make(map[byte][]byte, len(msgSize))
+	for typ, size := range msgSize {
+		b := make([]byte, HeaderLen+size)
+		b[0] = typ
+		binary.BigEndian.PutUint32(b[1:HeaderLen], uint32(size))
+		m[typ] = b
+	}
+	return m
+}()
+
+// Wire returns the immutable wire image of message typ (header plus
+// zero-filled body). Callers must not modify the returned slice.
+func Wire(typ byte) []byte { return wireImages[typ] }
+
+// ParseHeader validates a received message header against the expected
+// type and returns the body length that follows, applying the same
+// checks as the blocking readMsg. hdr must hold HeaderLen bytes.
+func ParseHeader(hdr []byte, want byte) (int, error) {
+	if hdr[0] != want {
+		return 0, fmt.Errorf("handshake: got message %d, want %d", hdr[0], want)
+	}
+	size := binary.BigEndian.Uint32(hdr[1:HeaderLen])
+	if size > 1<<20 {
+		return 0, fmt.Errorf("handshake: message %d implausibly large (%d bytes)", hdr[0], size)
+	}
+	return int(size), nil
+}
+
+// ServerStep is one request-response leg of the server side of the
+// exchange, in the form an event-driven server consumes: expect a
+// message of type Expect, charge Delay of processing time, then send
+// the Send wire image. The legs replayed in order are exactly the
+// Server function's sequence, so a state machine stepping through
+// ServerScript produces the same bytes at the same emulated instants
+// as a goroutine parked in Server.
+type ServerStep struct {
+	Expect byte
+	Delay  time.Duration
+	Send   []byte
+}
+
+// ServerScript returns the server side of the exchange as a replayable
+// script with p's processing delays in place.
+func ServerScript(p Params) [3]ServerStep {
+	return [3]ServerStep{
+		{Expect: msgClientHello, Send: Wire(msgServerHello)},
+		{Expect: msgCertificateReq, Delay: p.Delta1, Send: Wire(msgCertificate)},
+		{Expect: msgClientKeyExchange, Delay: p.Delta2, Send: Wire(msgFinished)},
+	}
+}
+
+// ClientStep is one send-then-expect leg of the client side of the
+// exchange for event-driven clients, mirroring ServerStep.
+type ClientStep struct {
+	Send   []byte
+	Expect byte
+}
+
+// ClientScript returns the client side of the exchange as a replayable
+// script: the Client function's sequence, leg by leg.
+func ClientScript() [3]ClientStep {
+	return [3]ClientStep{
+		{Send: Wire(msgClientHello), Expect: msgServerHello},
+		{Send: Wire(msgCertificateReq), Expect: msgCertificate},
+		{Send: Wire(msgClientKeyExchange), Expect: msgFinished},
+	}
+}
+
 // Serving the handshake behind a listener lives in package httpx
 // (httpx.Serve), which runs the exchange on clock-registered
 // goroutines so the deterministic virtual clock can account for it.

@@ -1,0 +1,555 @@
+package httpx
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/handshake"
+	"repro/internal/netem"
+)
+
+// Event-loop server engine.
+//
+// The blocking engine parks one goroutine per connection; this engine
+// runs each connection as a netem.Timer-driven state machine on the
+// clock's jump goroutine, so a fleet-scale origin holds O(servers)
+// goroutines instead of O(connections). The machine replays exactly
+// the blocking loop's connection-level behaviour — the handshake
+// script's message boundaries and Δ₁/Δ₂ delay instants, the request
+// parse instant, the responseWriter's bufio flush boundaries, and the
+// request hooks' firing instants — so a scenario produces a
+// byte-identical timeline on either engine.
+//
+// Handlers run inline on the machine (at the request's parse instant)
+// against a staging writer that records the exact connection-level
+// write calls bufio would have issued; a TryWrite pump then replays
+// the records, preserving call boundaries (different boundaries would
+// mean different pacing segments and a different emulated timeline).
+// Handlers therefore MUST NOT park: no clock sleeps, no blocking I/O.
+// Origin handlers qualify exactly when their think-time knobs are off
+// (no WatchDelay, no Throttle); parking handlers stay on the blocking
+// engine.
+
+// WithEventLoop serves netem connections as event-loop state machines
+// instead of parked per-connection goroutines. Handlers must not park
+// (see the package comment above); non-netem connections fall back to
+// the blocking engine.
+func WithEventLoop() ServerOption {
+	return func(s *Server) { s.evented = true }
+}
+
+// accPool recycles the per-connection input accumulation buffers of
+// the event engine (requests and handshake messages are small; chunk
+// bodies never flow toward the server).
+var accPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4<<10); return &b },
+}
+
+const maxPooledAcc = 64 << 10
+
+// stagePool recycles the per-connection response-staging arenas (a
+// response head plus its non-stable body bytes; page payloads alias
+// stable views and cost the arena nothing). Evented conns are
+// short-lived at fleet scale, so allocating the ~20 KB head arena per
+// accept dominated the engine's allocation profile.
+var stagePool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4<<10); return &b },
+}
+
+// srvBrPool / srvBwPool recycle the per-connection bufio pair the
+// evented conn machine feeds http.ReadRequest and the responseWriter
+// from, mirroring the blocking path's reader pooling.
+var srvBrPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 4<<10) },
+}
+
+var srvBwPool = sync.Pool{
+	New: func() any { return bufio.NewWriterSize(io.Discard, 4<<10) },
+}
+
+// evState enumerates the per-connection machine states.
+type evState int
+
+const (
+	evHandshake evState = iota // accumulating one expected handshake message
+	evDelay                    // Δ processing delay armed before a handshake send
+	evSend                     // pumping a handshake flight
+	evRequest                  // accumulating the next request
+	evPump                     // replaying a staged response
+	evSwallow                  // blackholed: drain and never respond
+	evDone                     // terminal
+)
+
+var crlfcrlf = []byte("\r\n\r\n")
+
+// eventConn is one connection's state machine. All mutation happens in
+// loop steps (netem.Loop serializes them and defers reentrant wakes),
+// which run on the clock's jump goroutine or synchronously on a
+// mutating caller — never parked.
+type eventConn struct {
+	s    *Server
+	c    *netem.Conn
+	loop *netem.Loop
+
+	state evState
+
+	// Input accumulation: arrived bytes are copied out of their borrowed
+	// views immediately (server-bound traffic is headers and handshake
+	// messages, so the copy is what the blocking engine's bufio did too).
+	acc  []byte
+	scan int // request-terminator search resumes here
+
+	// Handshake progress.
+	script    [3]handshake.ServerStep
+	flight    int
+	hsNeed    int  // acc bytes needed for the current expect (0 = header next)
+	hsHdrOK   bool // header parsed; hsNeed includes the body
+	delay     *netem.Timer
+	delayDone bool
+
+	// Send/pump cursors.
+	sendBuf []byte
+	sendOff int
+	pumpIdx int
+	pumpOff int
+
+	// Current request.
+	req      *http.Request
+	reqTotal int // acc bytes spanning the request (headers + body)
+	pendReq  *http.Request
+	pendKA   bool
+
+	stage      *stageWriter
+	rw         *responseWriter
+	hdrReader  bytes.Reader
+	bodyReader bytes.Reader
+	br         *bufio.Reader
+
+	remoteAddr string
+}
+
+// serveConnEvent starts the state machine for one accepted connection.
+// Runs on the accept-loop goroutine and never parks; the machine lives
+// entirely in clock callbacks afterwards.
+func (s *Server) serveConnEvent(c *netem.Conn) {
+	ec := &eventConn{
+		s:          s,
+		c:          c,
+		loop:       netem.NewLoop(),
+		script:     handshake.ServerScript(s.hs),
+		remoteAddr: c.RemoteAddr().String(),
+	}
+	ec.acc = (*accPool.Get().(*[]byte))[:0]
+	ec.stage = &stageWriter{arena: (*stagePool.Get().(*[]byte))[:0]}
+	bw := srvBwPool.Get().(*bufio.Writer)
+	bw.Reset(ec.stage)
+	ec.rw = &responseWriter{conn: ec.stage, header: make(http.Header, 8), bw: bw}
+	ec.stage.rw = ec.rw
+	ec.br = srvBrPool.Get().(*bufio.Reader)
+	ec.br.Reset(&ec.hdrReader)
+	ec.delay = s.clock.NewTimer(func() {
+		ec.loop.Do(func() {
+			ec.delayDone = true
+			ec.advance()
+		})
+	})
+	if s.blackhole.Load() {
+		ec.state = evSwallow
+	} else {
+		ec.state = evHandshake
+		ec.hsNeed = handshake.HeaderLen
+	}
+	ec.loop.Do(func() {
+		wake := func() { ec.loop.Do(ec.advance) }
+		c.OnWritable(wake)
+		c.OnReadable(wake)
+		ec.advance()
+	})
+}
+
+// wakeless terminal transition: disarm everything, close the conn and
+// release the connection's slot in the server's active accounting.
+func (ec *eventConn) finish() {
+	if ec.state == evDone {
+		return
+	}
+	ec.state = evDone
+	ec.c.OnReadable(nil)
+	ec.c.OnWritable(nil)
+	ec.delay.Stop()
+	ec.c.Close()
+	if cap(ec.acc) <= maxPooledAcc {
+		acc := ec.acc[:0]
+		accPool.Put(&acc)
+	}
+	ec.acc = nil
+	// The machine is done: no step can touch the staging or bufio
+	// state after evDone, so their buffers go back to their pools.
+	if cap(ec.stage.arena) <= maxPooledAcc {
+		arena := ec.stage.arena[:0]
+		stagePool.Put(&arena)
+	}
+	ec.stage.arena = nil
+	ec.stage.recs = nil
+	ec.br.Reset(nil)
+	srvBrPool.Put(ec.br)
+	ec.br = nil
+	ec.rw.bw.Reset(io.Discard)
+	srvBwPool.Put(ec.rw.bw)
+	ec.rw.bw = nil
+	s := ec.s
+	s.mu.Lock()
+	s.active--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// fill copies arrived bytes into acc until it holds at least need.
+// Returns ok when satisfied; a nil !ok return means the machine waits
+// for the armed readable callback. err is terminal (EOF, abort).
+func (ec *eventConn) fill(need int) (bool, error) {
+	for len(ec.acc) < need {
+		view, err := ec.c.ReadBuf()
+		if err != nil {
+			return false, err
+		}
+		if view == nil {
+			return false, nil
+		}
+		ec.acc = append(ec.acc, view...)
+		ec.c.Release(len(view))
+	}
+	return true, nil
+}
+
+// consume discards the oldest n accumulated bytes.
+func (ec *eventConn) consume(n int) {
+	k := copy(ec.acc, ec.acc[n:])
+	ec.acc = ec.acc[:k]
+}
+
+// advance cranks the machine as far as current observable state
+// allows, re-arming (returning) when it must wait for an arrival, for
+// send-buffer space, or for a delay timer. Every wake funnels here.
+func (ec *eventConn) advance() {
+	for {
+		switch ec.state {
+		case evDone:
+			return
+
+		case evSwallow:
+			// The blocking engine's swallow: read and discard forever,
+			// terminating only when the peer fails the connection.
+			for {
+				view, err := ec.c.ReadBuf()
+				if err != nil {
+					ec.finish()
+					return
+				}
+				if view == nil {
+					return
+				}
+				ec.c.Release(len(view))
+			}
+
+		case evHandshake:
+			ok, err := ec.fill(ec.hsNeed)
+			if err != nil {
+				ec.finish()
+				return
+			}
+			if !ok {
+				return
+			}
+			step := &ec.script[ec.flight]
+			if !ec.hsHdrOK {
+				size, err := handshake.ParseHeader(ec.acc[:handshake.HeaderLen], step.Expect)
+				if err != nil {
+					ec.finish()
+					return
+				}
+				ec.hsHdrOK = true
+				ec.hsNeed = handshake.HeaderLen + size
+				continue
+			}
+			ec.consume(ec.hsNeed)
+			ec.hsNeed, ec.hsHdrOK = 0, false
+			// Processing delay before the response flight: the timer fires
+			// at the same instant the blocking engine's clock.Sleep ends
+			// (synchronously when the delay is zero).
+			ec.state = evDelay
+			ec.delayDone = false
+			ec.delay.Schedule(ec.s.clock.Now().Add(step.Delay))
+
+		case evDelay:
+			if !ec.delayDone {
+				return
+			}
+			ec.sendBuf = ec.script[ec.flight].Send
+			ec.sendOff = 0
+			ec.state = evSend
+
+		case evSend:
+			for ec.sendOff < len(ec.sendBuf) {
+				n, err := ec.c.TryWrite(ec.sendBuf[ec.sendOff:])
+				ec.sendOff += n
+				if err != nil {
+					ec.finish()
+					return
+				}
+				if ec.sendOff < len(ec.sendBuf) {
+					return // send buffer full; resume on writable
+				}
+			}
+			ec.sendBuf = nil
+			ec.flight++
+			if ec.flight < len(ec.script) {
+				ec.state = evHandshake
+				ec.hsNeed = handshake.HeaderLen
+				continue
+			}
+			ec.state = evRequest
+
+		case evRequest:
+			if !ec.readRequest() {
+				return
+			}
+
+		case evPump:
+			done, err := ec.pumpResponse()
+			if !done {
+				return
+			}
+			req := ec.pendReq
+			ec.pendReq = nil
+			if err != nil {
+				// The replay failed exactly where the blocking engine's
+				// conn write would have: the record's written snapshot is
+				// the body-byte count the blocking responseWriter had
+				// framed when that call was issued, which is what its
+				// aborted reqDone would have reported.
+				if req != nil && ec.s.reqDone != nil {
+					ec.s.reqDone(req, ec.stage.recs[ec.pumpIdx].written, true)
+				}
+				ec.finish()
+				return
+			}
+			if req != nil && ec.s.reqDone != nil {
+				ec.s.reqDone(req, ec.rw.written, false)
+			}
+			if !ec.pendKA {
+				ec.finish()
+				return
+			}
+			ec.state = evRequest
+		}
+	}
+}
+
+// readRequest accumulates, parses and dispatches one request. It
+// returns false when the machine must wait for more input (or has
+// reached a terminal state).
+func (ec *eventConn) readRequest() bool {
+	if ec.req == nil {
+		// Accumulate until the header terminator is visible.
+		he := -1
+		for {
+			if i := bytes.Index(ec.acc[ec.scan:], crlfcrlf); i >= 0 {
+				he = ec.scan + i
+				break
+			}
+			if len(ec.acc) >= len(crlfcrlf)-1 {
+				ec.scan = len(ec.acc) - (len(crlfcrlf) - 1)
+			}
+			ok, err := ec.fill(len(ec.acc) + 1)
+			if err != nil {
+				ec.finish()
+				return false
+			}
+			if !ok {
+				return false
+			}
+		}
+		ec.hdrReader.Reset(ec.acc[:he+len(crlfcrlf)])
+		ec.br.Reset(&ec.hdrReader)
+		req, err := http.ReadRequest(ec.br)
+		if err != nil {
+			ec.finish()
+			return false
+		}
+		if len(req.TransferEncoding) > 0 {
+			// Chunked request bodies never occur in this tree; the event
+			// engine does not reassemble them.
+			ec.finish()
+			return false
+		}
+		ec.req = req
+		ec.reqTotal = he + len(crlfcrlf)
+		if req.ContentLength > 0 {
+			ec.reqTotal += int(req.ContentLength)
+		}
+	}
+	// A declared body is buffered before dispatch (the handler cannot
+	// park to wait for it); bodyless requests — all traffic in this
+	// tree — dispatch at the same instant the blocking ReadRequest
+	// returns.
+	ok, err := ec.fill(ec.reqTotal)
+	if err != nil {
+		ec.finish()
+		return false
+	}
+	if !ok {
+		return false
+	}
+	req := ec.req
+	ec.req = nil
+	if ec.s.blackhole.Load() {
+		ec.acc = ec.acc[:0]
+		ec.scan = 0
+		ec.state = evSwallow
+		return true
+	}
+	req.RemoteAddr = ec.remoteAddr
+	if req.ContentLength > 0 {
+		ec.bodyReader.Reset(ec.acc[ec.reqTotal-int(req.ContentLength) : ec.reqTotal])
+		req.Body = io.NopCloser(&ec.bodyReader)
+	}
+	ec.dispatch(req)
+	ec.consume(ec.reqTotal)
+	ec.scan = 0
+	return true
+}
+
+// dispatch stages one response: the handler runs inline (at the
+// request parse instant, matching the blocking engine) against the
+// staging writer, and the machine transitions to the pump.
+func (ec *eventConn) dispatch(req *http.Request) {
+	s := ec.s
+	w := ec.rw
+	w.reset(req.Method == http.MethodHead)
+	ec.stage.reset()
+	if s.reqStart != nil {
+		s.reqStart(req)
+	}
+	panicked := false
+	func() {
+		defer func() {
+			if e := recover(); e != nil {
+				panicked = true
+				fmt.Fprintf(os.Stderr, "httpx: panic serving %v: %v\n%s",
+					ec.c.RemoteAddr(), e, debug.Stack())
+			}
+		}()
+		s.h.ServeHTTP(w, req)
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+	}()
+	if panicked {
+		// As in the blocking engine, the conn dies but the calls the
+		// handler completed before panicking still reach the wire.
+		if s.reqDone != nil {
+			s.reqDone(req, w.written, true)
+		}
+		ec.pendReq = nil
+		ec.pendKA = false
+	} else {
+		ec.pendReq = req
+		ec.pendKA = w.finish() && !req.Close
+	}
+	ec.state = evPump
+	ec.pumpIdx, ec.pumpOff = 0, 0
+}
+
+// pumpResponse replays the staged connection-level calls through
+// TryWrite, preserving each call's boundary (segment sizes depend on
+// the remaining length of the call in progress). done=false means the
+// send buffer filled and the armed writable callback resumes the pump;
+// a non-nil err reports the replay failing at record pumpIdx.
+func (ec *eventConn) pumpResponse() (done bool, err error) {
+	recs := ec.stage.recs
+	for ec.pumpIdx < len(recs) {
+		rec := &recs[ec.pumpIdx]
+		for ec.pumpOff < len(rec.data) {
+			var n int
+			var werr error
+			if rec.stable {
+				n, werr = ec.c.TryWriteStable(rec.data[ec.pumpOff:])
+			} else {
+				n, werr = ec.c.TryWrite(rec.data[ec.pumpOff:])
+			}
+			ec.pumpOff += n
+			if werr != nil {
+				return true, werr
+			}
+			if ec.pumpOff < len(rec.data) {
+				return false, nil
+			}
+		}
+		ec.pumpIdx++
+		ec.pumpOff = 0
+	}
+	return true, nil
+}
+
+// stageRec is one recorded connection-level write call. written is the
+// responseWriter's framed-body count at the instant the call was
+// issued: when the replay of this record fails, that is exactly the
+// count the blocking engine's aborted reqDone would have reported
+// (body bytes are counted before the connection write they trigger,
+// and a stop-on-error handler issues no calls after the failing one).
+type stageRec struct {
+	data    []byte
+	stable  bool
+	written int64
+}
+
+// stageWriter is the net.Conn the responseWriter writes into under the
+// event engine: it records every connection-level call — boundaries
+// preserved — for later replay. Non-stable bytes are copied into an
+// arena (bufio reuses its flush buffer immediately); stable views are
+// aliased, keeping the zero-copy path zero-copy.
+type stageWriter struct {
+	rw    *responseWriter
+	arena []byte
+	recs  []stageRec
+}
+
+func (st *stageWriter) reset() {
+	st.arena = st.arena[:0]
+	st.recs = st.recs[:0]
+}
+
+func (st *stageWriter) Write(p []byte) (int, error) {
+	off := len(st.arena)
+	st.arena = append(st.arena, p...)
+	st.recs = append(st.recs, stageRec{data: st.arena[off:len(st.arena):len(st.arena)],
+		written: st.rw.written})
+	return len(p), nil
+}
+
+// WriteStable implements stableConnWriter, so the responseWriter's
+// zero-copy path stages aliases of the origin's immortal page-cache
+// views instead of copies.
+func (st *stageWriter) WriteStable(p []byte) (int, error) {
+	//detlint:allow borrowck -- the stage is a sanctioned delivery-chain tier like the netem pipe: the record aliases the stable view only until the pump hands it to TryWriteStable on the same connection
+	st.recs = append(st.recs, stageRec{data: p, stable: true, written: st.rw.written})
+	return len(p), nil
+}
+
+func (st *stageWriter) Read([]byte) (int, error)         { return 0, io.EOF }
+func (st *stageWriter) Close() error                     { return nil }
+func (st *stageWriter) LocalAddr() net.Addr              { return nil }
+func (st *stageWriter) RemoteAddr() net.Addr             { return nil }
+func (st *stageWriter) SetDeadline(time.Time) error      { return nil }
+func (st *stageWriter) SetReadDeadline(time.Time) error  { return nil }
+func (st *stageWriter) SetWriteDeadline(time.Time) error { return nil }

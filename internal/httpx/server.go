@@ -33,6 +33,10 @@ type Server struct {
 	reqStart func(*http.Request)
 	reqDone  func(req *http.Request, bodyBytes int64, aborted bool)
 
+	// evented serves netem connections as event-loop state machines
+	// instead of parked per-connection goroutines (WithEventLoop).
+	evented bool
+
 	// blackhole makes the server accept connections and read requests
 	// but never respond (a wedged-process fault). Checked both before
 	// the handshake (new connections go silent) and before each request
@@ -147,6 +151,12 @@ func (s *Server) acceptLoop(p *netem.Participant) {
 		s.mu.Lock()
 		s.active++
 		s.mu.Unlock()
+		if s.evented {
+			if nc, ok := conn.(*netem.Conn); ok {
+				s.serveConnEvent(nc)
+				continue
+			}
+		}
 		s.clock.Go(func(cp *netem.Participant) { s.serveConn(cp, conn) })
 	}
 }

@@ -181,6 +181,57 @@
 //     or the spawned work would be invisible to the accounting and the
 //     clock could jump past it.
 //
+// # Timer-driven state machines
+//
+// The blocking Conn API costs one parked goroutine per pending read or
+// write. The event-driven API (Conn.OnReadable, Conn.ReadBuf,
+// Conn.Release, Conn.TryWrite/TryWriteStable, Conn.OnWritable,
+// DialEvent, and Loop to serialise machine steps) removes the
+// goroutine: a whole session's I/O runs as a state machine stepped by
+// timer-wheel callbacks, so a fleet's goroutine count is O(cores +
+// servers) instead of O(sessions × paths). Both APIs share every byte
+// of pacing, arrival, flow-control and abort machinery, so a
+// callback-driven connection produces exactly the virtual-time
+// timeline a goroutine-driven one does. The rules extend the fault-
+// callback rules above:
+//
+//  1. Readiness callbacks fire on the clock's jump goroutine (or
+//     synchronously on a mutating caller) under a clock hold and must
+//     not park — no Sleep, no Cond.Wait, no blocking Read/Write.
+//     Drain, re-arm, schedule, hand the rest to a Loop step: fine.
+//  2. Callbacks are level triggers, not edge counts: a firing may be
+//     spurious and one firing may cover many arrivals. Consumers drain
+//     until ReadBuf returns (nil, nil) (or TryWrite stops accepting)
+//     and rely on the next firing for the rest.
+//  3. ReadBuf hands out a borrowed view of the oldest arrived,
+//     unconsumed bytes — zero-copy: the view aliases the direction's
+//     pooled segment buffer. The borrow lifetime is explicit: a view
+//     stays valid until the caller has Released that many bytes, and
+//     releases are strictly FIFO per direction. Flow control is
+//     charged at borrow time — ReadBuf decrements the sender's
+//     send-buffer accounting exactly when the blocking read's copy
+//     would, so a consumer that sits on unreleased views delays only
+//     its own memory reclamation, never the wire timeline. Escaping a
+//     view past its Release (storing it, appending to it, capturing it
+//     in a spawned closure) is a buffer-ownership bug;
+//     detlint/borrowck flags retention mechanically.
+//  4. Machines that span several connections serialise their steps
+//     through a Loop: steps run one at a time in FIFO order, and a
+//     step enqueued from within a step (a connection callback calling
+//     straight back into the machine) is deferred until the running
+//     step returns, so machines need no reentrant locking. Loop.Do
+//     never parks.
+//  5. Waiting is always a Timer, never a poll: a machine that needs a
+//     deadline (request timeout, scheduler backoff) arms a Timer whose
+//     callback enqueues the next step. Between callbacks a machine
+//     occupies no goroutine and the clock sees only its timers, so the
+//     jump loop's waiter accounting — and with it every report byte —
+//     is identical to the blocking engine's.
+//
+// core.RunEvented is the reference consumer: the full MSPlayer session
+// (bootstrap, multi-path fetch loops, failover backoff, playout gate)
+// as one such machine.
+//
 // Internally the participant/idle counters are atomics and the jump
 // mutex guards only the jump loop itself; wake tokens are delivered
 // outside every lock. Parks reuse the participant's wake channel and

@@ -156,6 +156,26 @@ type direction struct {
 
 	closed bool // writer closed: drain queue then EOF
 
+	// Event-API state (see event.go). readableCb/writableCb are the
+	// armed completion callbacks of a non-parking reader/writer;
+	// readTimer is the wheel entry that fires readableCb at the head
+	// segment's arrival instant. retained holds segments consumed
+	// through readBuf whose borrowed views are still outstanding
+	// (released FIFO by release); relOff is the released prefix of the
+	// retained head.
+	readableCb func()
+	writableCb func()
+	readTimer  *Timer
+	retained   ring[segment]
+	relOff     int
+	// evWake is the arrival instant an evented reader last committed to
+	// wake at (the queue head's arrival when it drained to nil, exactly
+	// the instant a blocking reader would SleepUntil). An abort that
+	// drops that segment stays unobservable through readBuf until
+	// evWake, mirroring the sleeping blocking reader that only sees the
+	// error once its scheduled wake instant arrives.
+	evWake time.Time
+
 	// Abort protocol state. An abort is a scheduled event at an emulated
 	// instant, not a wall-clock side effect: abortErr/abortTime are set
 	// once (earliest schedule wins) and every endpoint behaviour is then
@@ -261,80 +281,94 @@ func (d *direction) write(p []byte, part *Participant, stable bool) (int, error)
 			}
 		}
 
-		now := d.clock.Now()
-		if d.lastDeparture.Before(now) {
-			d.lastDeparture = now
-		}
-		rate := d.params.rateAt(d.lastDeparture)
-		if ss := d.ssRate(d.lastDeparture); ss < rate {
-			rate = ss
-		}
-		d.lastActivity = d.lastDeparture
-
-		// Segment size: at most Quantum of line time, at least one MSS.
-		segBytes := int(rate * d.params.Quantum.Seconds())
-		if segBytes < DefaultMSS {
-			segBytes = DefaultMSS
-		}
-		if segBytes > len(p) {
-			segBytes = len(p)
-		}
-
-		tx := time.Duration(float64(segBytes) / rate * float64(time.Second))
-		dep := d.lastDeparture.Add(tx)
-		arr := dep.Add(d.params.Delay)
-		if d.params.Jitter > 0 {
-			arr = arr.Add(time.Duration(d.draws().Int63n(int64(d.params.Jitter))))
-		}
-		if d.params.LossProb > 0 {
-			nseg := (segBytes + DefaultMSS - 1) / DefaultMSS
-			for i := 0; i < nseg; i++ {
-				if d.draws().Float64() < d.params.LossProb {
-					arr = arr.Add(d.params.RTOPenalty)
-				}
-			}
-		}
-		if arr.Before(d.lastArrival) {
-			arr = d.lastArrival // FIFO
-		}
-		d.lastDeparture = dep
-		d.lastArrival = arr
-		d.sentCum += int64(segBytes)
-		if d.params.SlowStart {
-			// The segment is acknowledged one reverse-path delay after
-			// it arrives.
-			d.ackQueue.push(ackPoint{t: arr.Add(d.params.Delay), cum: d.sentCum})
-		}
-		if d.abortErr != nil && arr.After(d.abortTime) {
-			// Dropped-at-abort rule: the segment would arrive strictly
-			// after the scheduled abort instant, so it is accepted from
-			// the sender (which cannot tell yet) but vanishes in flight
-			// and never occupies the receive queue.
-		} else if last := d.lastSegment(); last != nil && last.arrival.Equal(arr) &&
-			len(last.data)+segBytes <= cap(last.data) {
-			// Coalesce into the tail segment when the arrival instant is
-			// identical (a clamped backlog) and the pooled buffer has
-			// room: the reader drains by arrival instant, so merging
-			// changes neither timing nor content, only queue churn.
-			// (Aliased stable segments advertise no spare capacity, so
-			// they are never appended into.)
-			last.data = append(last.data, p[:segBytes]...)
-			d.buffered += segBytes
-		} else if stable {
-			d.queue.push(segment{data: p[:segBytes:segBytes], arrival: arr})
-			d.buffered += segBytes
-		} else {
-			data, box := getSegBuf(segBytes)
-			copy(data, p[:segBytes])
-			d.queue.push(segment{data: data, box: box, arrival: arr})
-			d.buffered += segBytes
-		}
+		wasEmpty := d.queue.len() == 0
+		segBytes := d.pushSegmentLocked(p, stable)
 		p = p[segBytes:]
 		written += segBytes
 		d.cond.Broadcast()
+		arm, fire := d.readableArmLocked(wasEmpty)
 		d.mu.Unlock()
+		d.dispatchReadable(arm, fire)
 	}
 	return written, nil
+}
+
+// pushSegmentLocked paces one segment of p onto the link and returns its
+// size. It is the single pacing/enqueue path shared by the blocking
+// write and the non-parking tryWrite, so both produce identical segment
+// boundaries, arrival instants and slow-start evolution. Callers must
+// hold d.mu, must have checked abort/closed/send-buffer admission, and
+// must broadcast afterwards.
+func (d *direction) pushSegmentLocked(p []byte, stable bool) int {
+	now := d.clock.Now()
+	if d.lastDeparture.Before(now) {
+		d.lastDeparture = now
+	}
+	rate := d.params.rateAt(d.lastDeparture)
+	if ss := d.ssRate(d.lastDeparture); ss < rate {
+		rate = ss
+	}
+	d.lastActivity = d.lastDeparture
+
+	// Segment size: at most Quantum of line time, at least one MSS.
+	segBytes := int(rate * d.params.Quantum.Seconds())
+	if segBytes < DefaultMSS {
+		segBytes = DefaultMSS
+	}
+	if segBytes > len(p) {
+		segBytes = len(p)
+	}
+
+	tx := time.Duration(float64(segBytes) / rate * float64(time.Second))
+	dep := d.lastDeparture.Add(tx)
+	arr := dep.Add(d.params.Delay)
+	if d.params.Jitter > 0 {
+		arr = arr.Add(time.Duration(d.draws().Int63n(int64(d.params.Jitter))))
+	}
+	if d.params.LossProb > 0 {
+		nseg := (segBytes + DefaultMSS - 1) / DefaultMSS
+		for i := 0; i < nseg; i++ {
+			if d.draws().Float64() < d.params.LossProb {
+				arr = arr.Add(d.params.RTOPenalty)
+			}
+		}
+	}
+	if arr.Before(d.lastArrival) {
+		arr = d.lastArrival // FIFO
+	}
+	d.lastDeparture = dep
+	d.lastArrival = arr
+	d.sentCum += int64(segBytes)
+	if d.params.SlowStart {
+		// The segment is acknowledged one reverse-path delay after
+		// it arrives.
+		d.ackQueue.push(ackPoint{t: arr.Add(d.params.Delay), cum: d.sentCum})
+	}
+	if d.abortErr != nil && arr.After(d.abortTime) {
+		// Dropped-at-abort rule: the segment would arrive strictly
+		// after the scheduled abort instant, so it is accepted from
+		// the sender (which cannot tell yet) but vanishes in flight
+		// and never occupies the receive queue.
+	} else if last := d.lastSegment(); last != nil && last.arrival.Equal(arr) &&
+		len(last.data)+segBytes <= cap(last.data) {
+		// Coalesce into the tail segment when the arrival instant is
+		// identical (a clamped backlog) and the pooled buffer has
+		// room: the reader drains by arrival instant, so merging
+		// changes neither timing nor content, only queue churn.
+		// (Aliased stable segments advertise no spare capacity, so
+		// they are never appended into.)
+		last.data = append(last.data, p[:segBytes]...)
+		d.buffered += segBytes
+	} else if stable {
+		d.queue.push(segment{data: p[:segBytes:segBytes], arrival: arr})
+		d.buffered += segBytes
+	} else {
+		data, box := getSegBuf(segBytes)
+		copy(data, p[:segBytes])
+		d.queue.push(segment{data: data, box: box, arrival: arr})
+		d.buffered += segBytes
+	}
+	return segBytes
 }
 
 // lastSegment returns the newest queued segment, or nil when the queue
@@ -412,17 +446,38 @@ func (d *direction) read(p []byte, part *Participant) (int, error) {
 		}
 		d.buffered -= n
 		d.cond.Broadcast()
+		wcb := d.writableCb
 		d.mu.Unlock()
+		if wcb != nil && n > 0 {
+			wcb()
+		}
 		return n, nil
 	}
 }
 
 // close marks the writer side closed: the reader drains then sees EOF.
+// Idempotent: only the first close signals waiters and callbacks, so a
+// callback that closes its own conn cannot recurse through itself.
 func (d *direction) close() {
 	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
 	d.closed = true
 	d.cond.Broadcast()
+	var rcb func()
+	if d.queue.len() == 0 {
+		rcb = d.readableCb // EOF is observable immediately
+	}
+	wcb := d.writableCb
 	d.mu.Unlock()
+	if rcb != nil {
+		rcb()
+	}
+	if wcb != nil {
+		wcb()
+	}
 }
 
 // abortedBy returns the abort error when the scheduled abort has taken
@@ -478,12 +533,32 @@ func (d *direction) abortAt(t time.Time, err error) {
 		d.abortTimer = d.clock.NewTimer(func() {
 			d.mu.Lock()
 			d.cond.Broadcast()
+			rcb, wcb := d.readableCb, d.writableCb
 			d.mu.Unlock()
+			// The abort instant has arrived: event-API endpoints learn of
+			// the failure through their armed callbacks, exactly like the
+			// parked waiters the broadcast re-wakes.
+			if rcb != nil {
+				rcb()
+			}
+			if wcb != nil {
+				wcb()
+			}
 		})
 	}
 	watcher := d.abortTimer
 	d.cond.Broadcast()
+	var rcb, wcb func()
+	if !future {
+		rcb, wcb = d.readableCb, d.writableCb
+	}
 	d.mu.Unlock()
+	if rcb != nil {
+		rcb()
+	}
+	if wcb != nil {
+		wcb()
+	}
 	if !future {
 		return
 	}

@@ -52,6 +52,14 @@ type ClusterConfig struct {
 	// Loads/Drain/Close merge the shard books back into deployment
 	// order, so reports are byte-identical for any shard count.
 	Shards int
+	// EventLoop serves connections as event-loop state machines instead
+	// of parked per-connection goroutines (httpx.WithEventLoop) on every
+	// server whose handlers never park: web proxies when WatchDelay is
+	// zero and video servers when Throttle is nil. Parking handlers keep
+	// the blocking engine — the event engine runs handlers inline in
+	// clock callbacks, which must not park. The engines are
+	// wire-identical, so reports do not change with this knob.
+	EventLoop bool
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -96,6 +104,7 @@ type Cluster struct {
 	byNet    map[string][]string     // network -> deployed video server addrs; immutable after Deploy
 	handlers map[string]http.Handler // addr -> handler, for Restart; immutable after Deploy
 	networks map[string]string       // addr -> network, for Restart; immutable after Deploy
+	evented  map[string]bool         // addr -> serve on the event-loop engine; immutable after Deploy
 }
 
 // clusterShard owns a subset of the cluster's instances: their liveness
@@ -187,6 +196,7 @@ func Deploy(n *netem.Network, cfg ClusterConfig) (*Cluster, error) {
 		byNet:    make(map[string][]string),
 		handlers: make(map[string]http.Handler),
 		networks: make(map[string]string),
+		evented:  make(map[string]bool),
 	}
 	for i := range c.shards {
 		c.shards[i] = &clusterShard{servers: make(map[string]*serverInstance)}
@@ -203,13 +213,13 @@ func Deploy(n *netem.Network, cfg ClusterConfig) (*Cluster, error) {
 		network := network // capture
 		proxy := NewWebProxy(network, cfg.Catalog, func() []string { return c.liveReplicas(network) },
 			cfg.Secret, cfg.TokenTTL, n.Clock(), cfg.WatchDelay)
-		if err := c.start(proxyAddr, network, proxy.Handler()); err != nil {
+		if err := c.start(proxyAddr, network, proxy.Handler(), cfg.EventLoop && cfg.WatchDelay == 0); err != nil {
 			c.Close()
 			return nil, err
 		}
 		for _, addr := range replicas {
 			vs := NewVideoServer(addr, network, cfg.Catalog, cfg.Secret, n.Clock(), cfg.Throttle)
-			if err := c.start(addr, network, vs.Handler()); err != nil {
+			if err := c.start(addr, network, vs.Handler(), cfg.EventLoop && cfg.Throttle == nil); err != nil {
 				c.Close()
 				return nil, err
 			}
@@ -248,7 +258,7 @@ func (c *Cluster) snapshot() []*serverInstance {
 	return insts
 }
 
-func (c *Cluster) start(addr, network string, h http.Handler) error {
+func (c *Cluster) start(addr, network string, h http.Handler, evented bool) error {
 	inner, err := c.net.Listen(addr, c.cfg.ServerDelay)
 	if err != nil {
 		return fmt.Errorf("origin: listen %s: %w", addr, err)
@@ -258,6 +268,7 @@ func (c *Cluster) start(addr, network string, h http.Handler) error {
 	c.deployed++
 	c.handlers[addr] = h
 	c.networks[addr] = network
+	c.evented[addr] = evented
 	c.deployMu.Unlock()
 	// httpx.Serve runs the whole server side — handshake processing,
 	// request reads, response writes — on clock-registered goroutines,
@@ -265,9 +276,13 @@ func (c *Cluster) start(addr, network string, h http.Handler) error {
 	// lifecycle hooks feed the instance's load accounting (including
 	// the Aborted disposition and body byte attribution), so per-server
 	// utilisation is observable (Cluster.Loads) and exact under
-	// population-scale concurrent fleets.
-	inst.srv = httpx.Serve(c.net.Clock(), inner, h, c.cfg.Handshake,
-		httpx.WithRequestHooks(inst.load.start, inst.load.done))
+	// population-scale concurrent fleets. With evented, the same server
+	// side runs as per-connection state machines on the event loop.
+	opts := []httpx.ServerOption{httpx.WithRequestHooks(inst.load.start, inst.load.done)}
+	if evented {
+		opts = append(opts, httpx.WithEventLoop())
+	}
+	inst.srv = httpx.Serve(c.net.Clock(), inner, h, c.cfg.Handshake, opts...)
 	sh := c.shardFor(addr)
 	sh.mu.Lock()
 	sh.servers[addr] = inst
@@ -391,6 +406,7 @@ func (c *Cluster) Restart(addr string) error {
 	c.deployMu.Lock()
 	h, ok := c.handlers[addr]
 	network := c.networks[addr]
+	evented := c.evented[addr]
 	c.deployMu.Unlock()
 	if !ok {
 		return fmt.Errorf("origin: server %q was never deployed", addr)
@@ -402,7 +418,7 @@ func (c *Cluster) Restart(addr string) error {
 	if live {
 		return fmt.Errorf("origin: server %q is already running", addr)
 	}
-	return c.start(addr, network, h)
+	return c.start(addr, network, h, evented)
 }
 
 // Blackhole switches the wedged-process fault of the live server at

@@ -67,6 +67,9 @@ type (
 	Stall = core.Stall
 	// Phase labels pre-buffering versus re-buffering traffic.
 	Phase = core.Phase
+	// EventedSession is the handle of a session started with
+	// Client.StreamEvented (the event-loop engine).
+	EventedSession = core.EventedSession
 )
 
 // Buffering phases for Metrics.Share.

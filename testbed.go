@@ -68,6 +68,12 @@ type Profile struct {
 	// Real-time runs sleep for wall-clock time (divided by the scale)
 	// and are therefore subject to OS timer granularity.
 	RealTimeScale float64
+	// EventLoop serves the origin cluster's eligible servers as
+	// event-loop state machines instead of parked per-connection
+	// goroutines (see origin.ClusterConfig.EventLoop). Wire-identical to
+	// the goroutine engine; fleet runs flip it together with the evented
+	// session engine to keep the whole world O(cores) in goroutines.
+	EventLoop bool
 }
 
 // TestbedProfile returns the emulated-testbed configuration of §5,
@@ -157,6 +163,7 @@ func NewTestbed(p Profile) (*Testbed, error) {
 		Handshake:          p.Handshake,
 		ServerDelay:        p.ServerDelay,
 		Throttle:           p.Throttle,
+		EventLoop:          p.EventLoop,
 	})
 	if err != nil {
 		clock.Stop()
@@ -430,4 +437,19 @@ func (c *Client) StreamAs(ctx context.Context, part *netem.Participant, cfg Sess
 		return nil, err
 	}
 	return p.RunAs(ctx, part)
+}
+
+// StreamEvented starts a session on this client as event-loop state
+// machines on loop and returns immediately; done receives the metrics
+// at the virtual instant StreamAs would have returned. The caller (or
+// some other registered participant) must keep the clock alive while
+// the session runs; on a stopped clock, Interrupt the returned handle
+// to collect the partial result. Both engines are wire-identical and
+// produce identical Metrics per seed.
+func (c *Client) StreamEvented(loop *netem.Loop, cfg SessionConfig, done func(*Metrics, error)) (*EventedSession, error) {
+	p, err := c.NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunEvented(loop, done), nil
 }
