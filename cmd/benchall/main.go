@@ -41,6 +41,7 @@ func main() {
 		coldN    = flag.Int("json-coldedge-sessions", 200, "-json: coldedge session count (0 skips it)")
 		stormN   = flag.Int("json-originstorm-sessions", 200, "-json: originstorm session count (0 skips it)")
 		flapN    = flag.Int("json-edgeflap-sessions", 200, "-json: edgeflap session count (0 skips it)")
+		chaosN   = flag.Int("json-chaosfleet-seeds", 5, "-json: chaosfleet sweep seed count at 150 sessions (0 skips it)")
 		guard    = flag.String("guard", "", "re-run the fleet experiments of the given BENCH_fleet.json and fail on wall-time regression")
 		guardMax = flag.Float64("guard-factor", 1.25, "-guard: maximum allowed wall-time factor vs the baseline")
 		gogc     = flag.Int("gogc", 400, "GC target percentage, matching cmd/fleet (0 keeps the runtime default)")
@@ -77,7 +78,7 @@ func main() {
 		// trajectory future PRs measure against. Experiments run
 		// sequentially so the allocation accounting is attributable.
 		fmt.Fprintln(w, "fleet benchmarks:")
-		fleetArt, err := bench.FleetArtifact(w, opt, *flashN, *denseN, *megaN, *coldN, *stormN, *flapN)
+		fleetArt, err := bench.FleetArtifact(w, opt, *flashN, *denseN, *megaN, *coldN, *stormN, *flapN, *chaosN)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -147,3 +147,65 @@ func TestBlackholeDeadlineFailsOver(t *testing.T) {
 		t.Error("expected a failover or rebootstrap away from the blackholed replica")
 	}
 }
+
+// TestBreakerStopsPayingDeadlineOnDeadReplica: without the resilience
+// layer, every rotation past a blackholed replica burns a full
+// RequestTimeout budget again (the PR 8 failure mode: 401 timeouts in
+// the originstorm golden). With breakers on, a dead replica costs
+// deadline budget only for the strikes that open its breaker;
+// afterwards selection skips it in zero virtual time (the exact
+// skip/half-open instants are pinned in
+// core.TestBreakerFailsFastAtSelection) and half-open probes are tiny
+// hedge-bounded ranges, so the same three-second total outage must
+// produce strictly fewer request-deadline expiries.
+func TestBreakerStopsPayingDeadlineOnDeadReplica(t *testing.T) {
+	run := func(res Resilience) *Metrics {
+		tb := newTB(t, steadyProfile(7))
+		p, err := tb.NewSession(SessionConfig{
+			Scheduler:      NewHarmonicScheduler(256<<10, 0.05),
+			Paths:          WiFiOnly,
+			Video:          "shortclip01",
+			RequestTimeout: 800 * time.Millisecond,
+			Resilience:     res,
+			Seed:           7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Blackhole BOTH wifi replicas at 1.2 s — blind rotation now
+		// burns a deadline on every attempt while the outage lasts —
+		// then recover video1 three seconds later.
+		defer tb.Inject(func(ip *netem.Participant) {
+			ip.Sleep(1200 * time.Millisecond)
+			for _, addr := range []string{"video1.youtube.wifi.test:443", "video2.youtube.wifi.test:443"} {
+				if err := tb.Cluster().Blackhole(addr, true); err != nil {
+					t.Errorf("blackhole: %v", err)
+				}
+			}
+			ip.Sleep(3 * time.Second)
+			if err := tb.Cluster().Blackhole("video1.youtube.wifi.test:443", false); err != nil {
+				t.Errorf("recover: %v", err)
+			}
+		})()
+		m, err := p.Run(context.Background())
+		if err != nil {
+			t.Fatalf("stream wedged on the blackholed replicas: %v", err)
+		}
+		v, _ := videostore.DefaultCatalog().Get("shortclip01")
+		if m.TotalBytes != v.Size(videostore.HD720) {
+			t.Fatalf("TotalBytes = %d, want %d", m.TotalBytes, v.Size(videostore.HD720))
+		}
+		return m
+	}
+	blind := run(Resilience{})
+	resilient := run(Resilience{BreakerThreshold: 2, HedgeEnabled: true,
+		HedgeMinSamples: 2, HedgeMultiplier: 1.25})
+	b, r := blind.Paths[0], resilient.Paths[0]
+	if r.BreakerOpens == 0 {
+		t.Error("breaker never opened against the blackholed replicas")
+	}
+	if r.Timeouts >= b.Timeouts {
+		t.Errorf("resilient run burned %d deadlines, blind rotation %d — breaker did not fail fast",
+			r.Timeouts, b.Timeouts)
+	}
+}

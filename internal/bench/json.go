@@ -152,6 +152,12 @@ func fleetMetrics(rep *fleet.Report) map[string]float64 {
 		m["failovers"] = float64(a.Failovers)
 		m["timeouts"] = float64(a.Timeouts)
 		m["rebootstraps"] = float64(a.Rebootstraps)
+		m["breaker_opens"] = float64(a.BreakerOpens)
+		m["half_open_probes"] = float64(a.HalfOpenProbes)
+		m["hedges"] = float64(a.Hedges)
+		m["hedges_won"] = float64(a.HedgesWon)
+		m["hedge_wasted_bytes"] = float64(a.HedgeWastedBytes)
+		m["fault_downtime_seconds"] = rep.FaultDowntimeSeconds()
 		m["fault_stall_seconds"] = rep.FaultStallSeconds()
 	}
 	return m
@@ -159,11 +165,12 @@ func fleetMetrics(rep *fleet.Report) map[string]float64 {
 
 // FleetArtifact runs the fleet-scale benchmarks — the flashcrowd
 // start-up study, the densecrowd population stress, the megacrowd
-// 20k-session scale proof, the coldedge cache-stampede study, and the
-// originstorm/edgeflap fault-plan studies — at the given session counts
-// (a count of 0 skips that experiment) and returns the artifact for
-// BENCH_fleet.json.
-func FleetArtifact(w io.Writer, opt Options, flashSessions, denseSessions, megaSessions, coldEdgeSessions, stormSessions, flapSessions int) (*Artifact, error) {
+// 20k-session scale proof, the coldedge cache-stampede study, the
+// originstorm/edgeflap fault-plan studies, and the chaosfleet
+// randomized-storm sweep — at the given session counts (a count of 0
+// skips that experiment; chaosSeeds counts chaos seeds, not sessions)
+// and returns the artifact for BENCH_fleet.json.
+func FleetArtifact(w io.Writer, opt Options, flashSessions, denseSessions, megaSessions, coldEdgeSessions, stormSessions, flapSessions, chaosSeeds int) (*Artifact, error) {
 	opt = opt.withDefaults()
 	art := newArtifact("fleet", opt.Seed)
 	for _, c := range []struct {
@@ -212,7 +219,72 @@ func FleetArtifact(w io.Writer, opt Options, flashSessions, denseSessions, megaS
 			exp.PeakGoroutines, float64(exp.PeakHeapBytes)/(1<<20))
 		art.Experiments = append(art.Experiments, exp)
 	}
+	if chaosSeeds > 0 {
+		exp, err := chaosExperiment(opt, chaosSeeds)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "  %-18s wall=%6.2fs allocs=%d  p99=%.3fs seeds=%d  hedges=%d breaker_opens=%d\n",
+			exp.Name, exp.WallSecs, exp.Allocs, exp.Metrics["prebuffer_p99_s"], chaosSeeds,
+			int(exp.Metrics["hedges"]), int(exp.Metrics["breaker_opens"]))
+		art.Experiments = append(art.Experiments, exp)
+	}
 	return art, nil
+}
+
+// chaosExperiment runs the chaosfleet randomized-storm sweep: the base
+// seed's run is the measured experiment (its name, chaosfleet_150,
+// parses for the wall-regression guard, which re-runs exactly that base
+// configuration), and the remaining seeds of the sweep run unmeasured —
+// every run passes fleet.CheckInvariants, and the sweep's resilience
+// totals (hedges, breaker opens, worst p99 pre-buffer under chaos) ride
+// along in the metrics block.
+func chaosExperiment(opt Options, chaosSeeds int) (Experiment, error) {
+	const sessions = 150
+	run := func(seed int64) (*fleet.Report, error) {
+		sc, err := fleet.Builtin("chaosfleet", sessions, seed)
+		if err != nil {
+			return nil, err
+		}
+		sc.Engine = fleet.EngineEventLoop
+		rep, err := fleet.Run(context.Background(), sc)
+		if err != nil {
+			return nil, err
+		}
+		if err := fleet.CheckInvariants(rep); err != nil {
+			return nil, fmt.Errorf("bench: chaosfleet seed %d: %w", seed, err)
+		}
+		return rep, nil
+	}
+	debug.FreeOSMemory()
+	var rep *fleet.Report
+	exp, err := measure(fmt.Sprintf("chaosfleet_%d", sessions), nil, func() error {
+		var rerr error
+		rep, rerr = run(opt.Seed)
+		return rerr
+	})
+	if err != nil {
+		return exp, fmt.Errorf("bench: chaosfleet: %w", err)
+	}
+	exp.Metrics = fleetMetrics(rep)
+	hedges, opens, worstP99 := rep.Fleet.Hedges, rep.Fleet.BreakerOpens, rep.Fleet.PreBuffer.Quantile(0.99)
+	for i := 1; i < chaosSeeds; i++ {
+		debug.FreeOSMemory()
+		r, err := run(opt.Seed + int64(i))
+		if err != nil {
+			return exp, err
+		}
+		hedges += r.Fleet.Hedges
+		opens += r.Fleet.BreakerOpens
+		if p := r.Fleet.PreBuffer.Quantile(0.99); p > worstP99 {
+			worstP99 = p
+		}
+	}
+	exp.Metrics["chaos_seeds"] = float64(chaosSeeds)
+	exp.Metrics["hedges"] = float64(hedges)
+	exp.Metrics["breaker_opens"] = float64(opens)
+	exp.Metrics["prebuffer_p99_worst_s"] = worstP99
+	return exp, nil
 }
 
 // FigsArtifact runs the paper-figure experiments at the given

@@ -238,6 +238,12 @@ type evPath struct {
 	rng        uint64
 	failStreak int
 
+	// res / hedging mirror path.res and path.hedging exactly: the
+	// resilience layer's per-target health state (nil when disabled)
+	// and the pending hedge's range size.
+	res     *sourceSet
+	hedging int64
+
 	// waiting marks the machine parked in acquire: want is pinned for
 	// the whole wait (the blocking acquire's want is fixed too) and
 	// session steps re-poll acquireTry until it resolves.
@@ -261,6 +267,7 @@ func newEvPath(id int, cfg PathConfig, s *evSession) *evPath {
 	ep := &evPath{
 		id: id, cfg: cfg, pl: s.p, sess: s, et: et,
 		rng: uint64(s.p.cfg.Seed)*0x9E3779B97F4A7C15 + uint64(id)*0xBF58476D1CE4E5B9,
+		res: newSourceSet(cfg.Resilience, s.p.cfg.Seed, id),
 	}
 	ep.backoffTm = s.p.clock.NewTimer(func() { s.loop.Do(ep.backoffFire) })
 	return ep
@@ -327,6 +334,10 @@ func (ep *evPath) bootstrap(attempt int, then func(error)) {
 		return
 	}
 	url := fmt.Sprintf("http://%s/watch?v=%s", ep.cfg.ProxyAddr, ep.pl.cfg.VideoID)
+	if ep.res != nil {
+		// Watch requests are never hedged (mirrors fetchInfo).
+		ep.et.SetHedge(0)
+	}
 	ep.et.Get(url, func(status int, body []byte, err error) {
 		var info *origin.VideoInfo
 		if err == nil {
@@ -389,6 +400,114 @@ func (ep *evPath) failover(attempt int, then func(error)) {
 	})
 }
 
+// reselect mirrors path.reselect: health-scored selection that fails
+// fast past breaker-open targets, with the periodic backoff +
+// re-bootstrap fallback.
+func (ep *evPath) reselect(attempt int, then func(error)) {
+	if attempt > 0 && len(ep.servers) > 0 && attempt%(2*len(ep.servers)) == 0 {
+		ep.backoff(attempt, func(err error) {
+			if err != nil {
+				then(err)
+				return
+			}
+			ep.pl.metrics.rebootstrap(ep.id)
+			ep.bootstrap(0, func(err error) {
+				if err != nil {
+					then(err)
+					return
+				}
+				ep.applyPick(attempt, then)
+			})
+		})
+		return
+	}
+	ep.applyPick(attempt, then)
+}
+
+// applyPick is reselect's selection step. When every breaker is open
+// it parks on the backoff timer until the earliest half-open instant —
+// the continuation image of path.reselect's SleepUntil (backoffFire
+// performs the same torndown / stopped-clock checks at the wake).
+// Half-open winners run the 1 KiB probe first and re-enter selection
+// when it fails, exactly like the blocking pick loop.
+func (ep *evPath) applyPick(attempt int, then func(error)) {
+	clock := ep.pl.clock
+	idx, probe, wait, ok := ep.res.pick(ep.servers, clock.Now())
+	if !ok {
+		ep.backoffFn = func(err error) {
+			if err != nil {
+				then(err)
+				return
+			}
+			idx, probe, _, ok := ep.res.pick(ep.servers, clock.Now())
+			if !ok {
+				ep.backoff(attempt, then)
+				return
+			}
+			ep.finishPick(idx, probe, attempt, then)
+		}
+		ep.backoffTm.Schedule(wait)
+		return
+	}
+	ep.finishPick(idx, probe, attempt, then)
+}
+
+// finishPick commits idx as the path's source, running the half-open
+// probe first when the pick re-admitted an open breaker.
+func (ep *evPath) finishPick(idx int, probe bool, attempt int, then func(error)) {
+	if probe {
+		ep.probe(idx, attempt, then)
+		return
+	}
+	if idx != ep.serverIdx {
+		ep.serverIdx = idx
+		ep.pl.metrics.failover(ep.id)
+		ep.url = ep.info.PlaybackURL(ep.servers[idx], ep.pl.cfg.Itag)
+	}
+	then(nil)
+}
+
+// probe mirrors path.probe exactly: the 1 KiB half-open probe against
+// servers[idx], feeding the breaker and robustness metrics but never
+// the service window. A failed probe re-enters applyPick; a redeemed
+// target is committed as the path's source.
+func (ep *evPath) probe(idx, attempt int, then func(error)) {
+	pl := ep.pl
+	pl.metrics.halfOpenProbe(ep.id)
+	pl.metrics.request(ep.id)
+	ep.et.SetHedge(ep.res.probeBudget(ep.cfg.RequestTimeout))
+	u := ep.info.PlaybackURL(ep.servers[idx], pl.cfg.Itag)
+	ep.et.GetRangeViews(u, 0, probeBytes-1, func(views [][]byte, release func(), err error) {
+		if err != nil {
+			if ep.sess.torndown {
+				ep.exit()
+				return
+			}
+			if errors.Is(err, httpx.ErrHedged) {
+				pl.metrics.hedge(ep.id)
+			} else {
+				pl.metrics.failure(ep.id)
+				if errors.Is(err, httpx.ErrRequestTimeout) {
+					pl.metrics.timeout(ep.id)
+				}
+			}
+			if ep.res.observeFailure(ep.servers[idx], pl.clock.Now()) {
+				pl.metrics.breakerOpen(ep.id)
+			}
+			ep.applyPick(attempt, then)
+			return
+		}
+		release()
+		ep.res.admit(ep.servers[idx])
+		if idx != ep.serverIdx {
+			ep.serverIdx = idx
+			pl.metrics.failover(ep.id)
+			ep.url = ep.info.PlaybackURL(ep.servers[idx], pl.cfg.Itag)
+		}
+		then(nil)
+	})
+}
+
 // fetchStep is one iteration of the blocking fetch loop's head: check
 // cancellation, size the next chunk, and try to acquire it. When no
 // work is available the machine stays parked in waiting and the next
@@ -435,9 +554,32 @@ func (ep *evPath) resume(err error) {
 func (ep *evPath) fetch(span Span) {
 	pl := ep.pl
 	pl.metrics.request(ep.id)
+	if ep.res != nil {
+		ep.et.SetHedge(ep.res.hedgeBudget(span.Size, ep.cfg.RequestTimeout, len(ep.servers)))
+	}
 	start := pl.clock.Now()
 	ep.et.GetRangeViews(ep.url, span.Off, span.End()-1, func(views [][]byte, release func(), err error) {
 		if err != nil {
+			if ep.res != nil && errors.Is(err, httpx.ErrHedged) {
+				// Mirrors the blocking ladder's hedge branch exactly:
+				// not a failure, but a breaker strike and a redirect to
+				// the best-scored live source.
+				pl.cm.fail(span)
+				if ep.sess.torndown {
+					ep.exit()
+					return
+				}
+				pl.metrics.hedge(ep.id)
+				if ep.hedging > 0 {
+					pl.metrics.hedgeWasted(ep.id, ep.hedging)
+				}
+				ep.hedging = span.Size
+				if ep.res.observeHedge(ep.servers[ep.serverIdx], pl.clock.Now()) {
+					pl.metrics.breakerOpen(ep.id)
+				}
+				ep.reselect(0, ep.resume)
+				return
+			}
 			pl.metrics.failure(ep.id)
 			pl.cm.fail(span)
 			if ep.sess.torndown {
@@ -448,18 +590,36 @@ func (ep *evPath) fetch(span Span) {
 			if errors.Is(err, httpx.ErrRequestTimeout) {
 				pl.metrics.timeout(ep.id)
 			}
+			if ep.hedging > 0 {
+				pl.metrics.hedgeWasted(ep.id, ep.hedging)
+				ep.hedging = 0
+			}
+			if ep.res != nil {
+				if ep.res.observeFailure(ep.servers[ep.serverIdx], pl.clock.Now()) {
+					pl.metrics.breakerOpen(ep.id)
+				}
+			}
 			var se *httpx.StatusError
 			if errors.As(err, &se) && (se.Code == http.StatusForbidden || se.Code == http.StatusUnauthorized) {
 				// Token expired or rejected: refresh via the proxy.
 				pl.metrics.rebootstrap(ep.id)
 				ep.bootstrap(0, ep.resume)
+			} else if ep.res != nil {
+				ep.reselect(ep.failStreak, ep.resume)
 			} else {
 				ep.failover(ep.failStreak, ep.resume)
 			}
 			return
 		}
 		ep.failStreak = 0
+		if ep.hedging > 0 {
+			pl.metrics.hedgeWon(ep.id)
+			ep.hedging = 0
+		}
 		elapsed := pl.clock.Now().Sub(start)
+		if ep.res != nil {
+			ep.res.observeSuccess(ep.servers[ep.serverIdx], elapsed, span.Size)
+		}
 		pl.cfg.Scheduler.Observe(ep.id, span.Size, elapsed)
 		pl.metrics.chunk(ep.id, span.Size, pl.phase(), pl.clock.Now(), elapsed)
 		pl.cm.completeViews(ep.id, span, views, release, span.Size)

@@ -41,6 +41,22 @@ type PathStats struct {
 	// Rebootstraps counts renewed watch requests (token refresh or
 	// server-list refresh after persistent failures).
 	Rebootstraps int
+	// BreakerOpens counts circuit-breaker opens (including re-opens of
+	// a half-open breaker whose probe failed). Zero unless the path's
+	// Resilience layer is enabled.
+	BreakerOpens int
+	// HalfOpenProbes counts selections of a half-open target — probes
+	// re-admitting a previously broken replica.
+	HalfOpenProbes int
+	// Hedges counts hedged range requests: in-flight fetches cancelled
+	// at the hedge-budget instant and reissued against the best-scored
+	// live source.
+	Hedges int
+	// HedgesWon counts hedges whose reissued fetch succeeded.
+	HedgesWon int
+	// HedgeWastedBytes sums the range sizes of hedges whose reissue
+	// failed anyway — bytes of cancelled work the hedge did not save.
+	HedgeWastedBytes int64
 	// Bytes is the total payload fetched over this path.
 	Bytes int64
 	// PreBytes/ReBytes split Bytes by buffering phase.
@@ -139,6 +155,36 @@ func (r *metricsRecorder) timeout(i int) {
 func (r *metricsRecorder) rebootstrap(i int) {
 	r.mu.Lock()
 	r.paths[i].Rebootstraps++
+	r.mu.Unlock()
+}
+
+func (r *metricsRecorder) breakerOpen(i int) {
+	r.mu.Lock()
+	r.paths[i].BreakerOpens++
+	r.mu.Unlock()
+}
+
+func (r *metricsRecorder) halfOpenProbe(i int) {
+	r.mu.Lock()
+	r.paths[i].HalfOpenProbes++
+	r.mu.Unlock()
+}
+
+func (r *metricsRecorder) hedge(i int) {
+	r.mu.Lock()
+	r.paths[i].Hedges++
+	r.mu.Unlock()
+}
+
+func (r *metricsRecorder) hedgeWon(i int) {
+	r.mu.Lock()
+	r.paths[i].HedgesWon++
+	r.mu.Unlock()
+}
+
+func (r *metricsRecorder) hedgeWasted(i int, n int64) {
+	r.mu.Lock()
+	r.paths[i].HedgeWastedBytes += n
 	r.mu.Unlock()
 }
 

@@ -33,6 +33,10 @@ type PathConfig struct {
 	// into a retryable httpx.ErrRequestTimeout at exactly the deadline
 	// instant instead of parking the path forever. Zero disables it.
 	RequestTimeout time.Duration
+	// Resilience configures circuit breakers, health-scored source
+	// selection and hedged range requests. The zero value disables the
+	// layer and preserves the fixed-rotation failover behavior.
+	Resilience Resilience
 }
 
 // path runs the fetch loop of one MSPlayer path: bootstrap against the
@@ -58,6 +62,14 @@ type path struct {
 	// goroutine draws from it, so the draw order — and therefore every
 	// jittered backoff instant — is deterministic per seed.
 	rng uint64
+
+	// res is the resilience layer's per-target health state; nil when
+	// the layer is disabled.
+	res *sourceSet
+	// hedging is the range size of the most recent hedge whose reissue
+	// has not yet resolved (0 when none): the next success counts a
+	// hedge win, the next genuine failure counts its bytes wasted.
+	hedging int64
 }
 
 func newPath(id int, cfg PathConfig, pl *Player) *path {
@@ -67,7 +79,8 @@ func newPath(id int, cfg PathConfig, pl *Player) *path {
 	tr := httpx.NewTransport(cfg.Iface)
 	tr.SetRequestTimeout(cfg.RequestTimeout)
 	return &path{id: id, cfg: cfg, player: pl, tr: tr, client: &http.Client{Transport: tr},
-		rng: uint64(pl.cfg.Seed)*0x9E3779B97F4A7C15 + uint64(id)*0xBF58476D1CE4E5B9}
+		rng: uint64(pl.cfg.Seed)*0x9E3779B97F4A7C15 + uint64(id)*0xBF58476D1CE4E5B9,
+		res: newSourceSet(cfg.Resilience, pl.cfg.Seed, id)}
 }
 
 // errClockStopped ends retry loops when the emulation is torn down
@@ -162,6 +175,11 @@ func (p *path) fetchInfo(ctx context.Context) (*origin.VideoInfo, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.res != nil {
+		// Watch requests are never hedged; disarm any budget left over
+		// from the preceding range request.
+		p.tr.SetHedge(0)
+	}
 	resp, err := p.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -197,6 +215,97 @@ func (p *path) failover(ctx context.Context, attempt int) error {
 	return p.bootstrap(ctx)
 }
 
+// reselect is the resilient replacement for failover: it picks the
+// best live source by health score, failing fast past breaker-open
+// targets instead of burning a request-deadline budget on each, and
+// admits half-open probes at their jittered re-open instants. Probes
+// are 1 KiB range requests issued outside the chunk manager, so a
+// still-dead target wedges only the probe — never a real chunk span
+// that would sit on the contiguous buffering frontier for a full
+// deadline. When every breaker is open the path sleeps exactly until
+// the earliest half-open instant. Every 2×len(servers) consecutive
+// failures it falls back to backoff + re-bootstrap to refresh the
+// server list.
+func (p *path) reselect(ctx context.Context, attempt int) error {
+	if attempt > 0 && len(p.servers) > 0 && attempt%(2*len(p.servers)) == 0 {
+		if err := p.backoff(ctx, attempt); err != nil {
+			return err
+		}
+		p.player.metrics.rebootstrap(p.id)
+		if err := p.bootstrap(ctx); err != nil {
+			return err
+		}
+	}
+	clock := p.player.clock
+	for {
+		idx, probe, wait, ok := p.res.pick(p.servers, clock.Now())
+		if !ok {
+			p.part.SleepUntil(wait)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if clock.Stopped() {
+				return errClockStopped
+			}
+			if idx, probe, _, ok = p.res.pick(p.servers, clock.Now()); !ok {
+				return p.backoff(ctx, attempt)
+			}
+		}
+		if probe {
+			admitted, err := p.probe(ctx, idx)
+			if err != nil {
+				return err
+			}
+			if !admitted {
+				continue
+			}
+		}
+		if idx != p.serverIdx {
+			p.serverIdx = idx
+			p.player.metrics.failover(p.id)
+			p.url = p.info.PlaybackURL(p.servers[idx], p.player.cfg.Itag)
+		}
+		return nil
+	}
+}
+
+// probe issues the 1 KiB half-open probe against servers[idx] and
+// reports whether the target redeemed itself. Probe outcomes drive the
+// breaker and the robustness metrics but never feed the service
+// window — a 1 KiB probe's latency says nothing about chunk service
+// rates. The probe runs on the deadline-clamped probeBudget rather
+// than the rate prediction, so a healthy target whose prediction has
+// gone stale still gets the full deadline to redeem itself.
+func (p *path) probe(ctx context.Context, idx int) (bool, error) {
+	clock := p.player.clock
+	p.player.metrics.halfOpenProbe(p.id)
+	p.player.metrics.request(p.id)
+	p.tr.SetHedge(p.res.probeBudget(p.cfg.RequestTimeout))
+	u := p.info.PlaybackURL(p.servers[idx], p.player.cfg.Itag)
+	buf := getChunkBuf(probeBytes)
+	_, err := httpx.GetRangeBuf(ctx, p.client, u, 0, probeBytes-1, buf)
+	putChunkBuf(buf)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return false, cerr
+		}
+		if errors.Is(err, httpx.ErrHedged) {
+			p.player.metrics.hedge(p.id)
+		} else {
+			p.player.metrics.failure(p.id)
+			if errors.Is(err, httpx.ErrRequestTimeout) {
+				p.player.metrics.timeout(p.id)
+			}
+		}
+		if p.res.observeFailure(p.servers[idx], clock.Now()) {
+			p.player.metrics.breakerOpen(p.id)
+		}
+		return false, nil
+	}
+	p.res.admit(p.servers[idx])
+	return true, nil
+}
+
 // run is the path's main loop; it returns when the stream is complete,
 // the player stops, or ctx is cancelled. part is the loop goroutine's
 // clock handle: every park the path performs — backoffs, chunk-manager
@@ -219,11 +328,38 @@ func (p *path) run(ctx context.Context, part *netem.Participant) {
 			return
 		}
 		p.player.metrics.request(p.id)
+		if p.res != nil {
+			p.tr.SetHedge(p.res.hedgeBudget(span.Size, p.cfg.RequestTimeout, len(p.servers)))
+		}
 		start := clock.Now()
 		buf := getChunkBuf(span.Size)
 		data, err := httpx.GetRangeBuf(ctx, p.client, p.url, span.Off, span.End()-1, buf)
 		if err != nil {
 			putChunkBuf(buf)
+			if p.res != nil && errors.Is(err, httpx.ErrHedged) {
+				// The hedge budget elapsed: the laggard was cancelled at
+				// exactly that instant, and the range is reissued against
+				// the best-scored live source. Abandoning our own request
+				// is not a failure, but it is a breaker strike — repeated
+				// hedges against a blackholed source open its breaker
+				// long before a deadline-based streak would.
+				p.player.cm.fail(span)
+				if ctx.Err() != nil {
+					return
+				}
+				p.player.metrics.hedge(p.id)
+				if p.hedging > 0 {
+					p.player.metrics.hedgeWasted(p.id, p.hedging)
+				}
+				p.hedging = span.Size
+				if p.res.observeHedge(p.servers[p.serverIdx], clock.Now()) {
+					p.player.metrics.breakerOpen(p.id)
+				}
+				if err := p.reselect(ctx, 0); err != nil {
+					return
+				}
+				continue
+			}
 			p.player.metrics.failure(p.id)
 			p.player.cm.fail(span)
 			if ctx.Err() != nil {
@@ -233,11 +369,24 @@ func (p *path) run(ctx context.Context, part *netem.Participant) {
 			if errors.Is(err, httpx.ErrRequestTimeout) {
 				p.player.metrics.timeout(p.id)
 			}
+			if p.hedging > 0 {
+				p.player.metrics.hedgeWasted(p.id, p.hedging)
+				p.hedging = 0
+			}
+			if p.res != nil {
+				if p.res.observeFailure(p.servers[p.serverIdx], clock.Now()) {
+					p.player.metrics.breakerOpen(p.id)
+				}
+			}
 			var se *httpx.StatusError
 			if errors.As(err, &se) && (se.Code == http.StatusForbidden || se.Code == http.StatusUnauthorized) {
 				// Token expired or rejected: refresh via the proxy.
 				p.player.metrics.rebootstrap(p.id)
 				if err := p.bootstrap(ctx); err != nil {
+					return
+				}
+			} else if p.res != nil {
+				if err := p.reselect(ctx, failStreak); err != nil {
 					return
 				}
 			} else if err := p.failover(ctx, failStreak); err != nil {
@@ -246,11 +395,18 @@ func (p *path) run(ctx context.Context, part *netem.Participant) {
 			continue
 		}
 		failStreak = 0
+		if p.hedging > 0 {
+			p.player.metrics.hedgeWon(p.id)
+			p.hedging = 0
+		}
 		if len(data) == 0 || len(buf) == 0 || &data[0] != &buf[0] {
 			// The response took the allocating fallback; recycle ours.
 			putChunkBuf(buf)
 		}
 		elapsed := clock.Now().Sub(start)
+		if p.res != nil {
+			p.res.observeSuccess(p.servers[p.serverIdx], elapsed, span.Size)
+		}
 		p.player.cfg.Scheduler.Observe(p.id, span.Size, elapsed)
 		p.player.metrics.chunk(p.id, span.Size, p.player.phase(), clock.Now(), elapsed)
 		p.player.cm.complete(p.id, span, data)

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// res2 is the resilience config the breaker tests pin instants under:
+// threshold 2, the 800 ms default cooldown, hedging off.
+var res2 = Resilience{BreakerThreshold: 2}
+
+// TestBreakerFailsFastAtSelection pins the selection-layer instants for
+// a dead target: after the breaker opens, pick skips the target in zero
+// virtual time (no request-deadline budget is ever burned on it again),
+// and when every target is open, pick surfaces the exact earliest
+// half-open instant — base cooldown plus the seeded jitter, both
+// reproducible from the sourceSet's private splitmix64 stream.
+func TestBreakerFailsFastAtSelection(t *testing.T) {
+	s := newSourceSet(res2, 7, 0)
+	servers := []string{"a:443", "b:443"}
+	t0 := time.Unix(0, 0)
+
+	// First strike against a: below threshold, breaker stays closed.
+	if opened := s.observeFailure("a:443", t0); opened {
+		t.Fatal("breaker opened on the first strike (threshold 2)")
+	}
+	// Second strike at t0+100ms opens it.
+	t1 := t0.Add(100 * time.Millisecond)
+	if opened := s.observeFailure("a:443", t1); !opened {
+		t.Fatal("breaker did not open on the second consecutive strike")
+	}
+	openA := s.tgt("a:443").openUntil
+	base := 800 * time.Millisecond
+	if d := openA.Sub(t1); d < base || d >= base+base/2 {
+		t.Fatalf("first open cooldown = %v, want within [%v, %v)", d, base, base+base/2)
+	}
+
+	// Selection at t1 must skip a outright and return b — fail fast,
+	// with no wait instant: wire time burned on the dead target is zero.
+	idx, probe, wait, ok := s.pick(servers, t1)
+	if !ok || idx != 1 || probe || !wait.IsZero() {
+		t.Fatalf("pick with a open = (%d, %v, %v, %v), want (1, false, 0, true)", idx, probe, wait, ok)
+	}
+
+	// Open b too: now nothing is live and pick must report the exact
+	// earliest half-open instant across the open set (each target drew
+	// its own jitter from the seeded stream).
+	s.observeFailure("b:443", t1)
+	s.observeFailure("b:443", t1)
+	openB := s.tgt("b:443").openUntil
+	earliest, early := openA, 0
+	if openB.Before(openA) {
+		earliest, early = openB, 1
+	}
+	_, _, wait, ok = s.pick(servers, t1)
+	if ok {
+		t.Fatal("pick returned a target while every breaker is open")
+	}
+	if !wait.Equal(earliest) {
+		t.Fatalf("all-open wait = %v, want earliest half-open instant %v", wait, earliest)
+	}
+
+	// At the half-open instant the target is offered again — flagged as
+	// a probe, not a clean pick.
+	idx, probe, _, ok = s.pick(servers, earliest)
+	if !ok || idx != early || !probe {
+		t.Fatalf("pick at half-open instant = (%d, %v, %v), want (%d, true, true)", idx, probe, ok, early)
+	}
+}
+
+// TestBreakerReopenEscalatesOnce pins the half-open re-open ladder: a
+// single strike during half-open re-opens at 2× the base cooldown, and
+// the escalation is capped there — the third open draws from the same
+// 2× base, so a long-flapping target keeps being probed at a bounded
+// cadence and a healed one is rediscovered within ~2 cooldowns.
+func TestBreakerReopenEscalatesOnce(t *testing.T) {
+	s := newSourceSet(res2, 7, 0)
+	t0 := time.Unix(0, 0)
+	s.observeFailure("a:443", t0)
+	s.observeFailure("a:443", t0) // opens, streak 1
+
+	base := 800 * time.Millisecond
+	for i, want := range []time.Duration{2 * base, 2 * base, 2 * base} {
+		at := s.tgt("a:443").openUntil // probe exactly at half-open
+		if opened := s.observeFailure("a:443", at); !opened {
+			t.Fatalf("re-open %d: half-open strike did not re-open", i+1)
+		}
+		if d := s.tgt("a:443").openUntil.Sub(at); d < want || d >= want+want/2 {
+			t.Fatalf("re-open %d cooldown = %v, want within [%v, %v)", i+1, d, want, want+want/2)
+		}
+	}
+
+	// admit (a successful tiny probe) resets the ladder completely: the
+	// next open is back at 1× base.
+	s.admit("a:443")
+	if st := s.tgt("a:443"); st.openStreak != 0 || !st.openUntil.IsZero() {
+		t.Fatalf("admit left openStreak=%d openUntil=%v", st.openStreak, st.openUntil)
+	}
+	s.observeFailure("a:443", t0)
+	s.observeFailure("a:443", t0)
+	if d := s.tgt("a:443").openUntil.Sub(t0); d < base || d >= base+base/2 {
+		t.Fatalf("post-admit cooldown = %v, want back at base [%v, %v)", d, base, base+base/2)
+	}
+}
+
+// TestBreakerJitterDeterministicPerSeed: the cooldown jitter must be a
+// pure function of (seed, path id) — two sets with the same identity
+// draw identical half-open instants, a different path id draws a
+// different one, so a correlated fault does not march every session's
+// probes back at the same instant yet every run replays exactly.
+func TestBreakerJitterDeterministicPerSeed(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	open := func(seed int64, id int) time.Time {
+		s := newSourceSet(res2, seed, id)
+		s.observeFailure("a:443", t0)
+		s.observeFailure("a:443", t0)
+		return s.tgt("a:443").openUntil
+	}
+	if a, b := open(7, 0), open(7, 0); !a.Equal(b) {
+		t.Fatalf("same (seed,id) drew different half-open instants: %v vs %v", a, b)
+	}
+	if a, b := open(7, 0), open(7, 1); a.Equal(b) {
+		t.Fatalf("paths 0 and 1 drew the same half-open instant %v — jitter stream aliased", a)
+	}
+}
+
+// TestHealthScorePrefersProvenTarget: a fresh target with a failure
+// history must never outrank a sampled healthy one, whatever the
+// latency EWMA says — the synthetic 10 s scale for unsampled targets
+// guarantees it — while a completely fresh target is explored first.
+func TestHealthScorePrefersProvenTarget(t *testing.T) {
+	s := newSourceSet(res2, 7, 0)
+	t0 := time.Unix(0, 0)
+	servers := []string{"flaky:443", "good:443"}
+
+	// flaky has failed once (below threshold, breaker closed) and has
+	// never completed a request; good is slow but proven.
+	s.observeFailure("flaky:443", t0)
+	s.observeSuccess("good:443", 900*time.Millisecond, 1<<20)
+	if idx, _, _, ok := s.pick(servers, t0); !ok || idx != 1 {
+		t.Fatalf("pick = %d, want proven target 1 over failed-fresh 0", idx)
+	}
+
+	// An untouched third target scores zero and is explored first.
+	servers = append(servers, "fresh:443")
+	if idx, _, _, ok := s.pick(servers, t0); !ok || idx != 2 {
+		t.Fatalf("pick = %d, want never-seen target 2 explored first", idx)
+	}
+}
+
+// TestHedgeBudgetSizeNormalized pins the hedge budget arithmetic: the
+// budget is multiplier × (size ÷ slow-quantile service rate + fixed
+// overhead floor), so a large chunk earns a proportionally larger
+// budget instead of being cancelled by a small-chunk latency quantile.
+func TestHedgeBudgetSizeNormalized(t *testing.T) {
+	cfg := Resilience{BreakerThreshold: 2, HedgeEnabled: true,
+		HedgeMinSamples: 2, HedgeMultiplier: 2, HedgeQuantile: 0.9}
+	s := newSourceSet(cfg, 7, 0)
+
+	// Two 64 KiB samples, 100 ms and 120 ms. The window's overhead
+	// floor is the fastest request (100 ms); past it the 120 ms sample
+	// carries 64 KiB in 20 ms → 3 276 800 B/s, which the slow (p10)
+	// quantile selects as the slow-but-healthy service rate.
+	s.observeSuccess("a:443", 100*time.Millisecond, 64<<10)
+	s.observeSuccess("a:443", 120*time.Millisecond, 64<<10)
+
+	// 128 KiB: 40 ms payload at the slow rate + 100 ms floor, ×2 = 280 ms.
+	got := s.hedgeBudget(128<<10, 0, 2)
+	if want := 280 * time.Millisecond; got != want {
+		t.Fatalf("hedgeBudget(128KiB) = %v, want exactly %v", got, want)
+	}
+
+	// Half the size earns exactly half the payload budget: (20+100)×2.
+	if got, want := s.hedgeBudget(64<<10, 0, 2), 240*time.Millisecond; got != want {
+		t.Fatalf("hedgeBudget(64KiB) = %v, want exactly %v", got, want)
+	}
+
+	// Against a request deadline the budget clamps just below it —
+	// deadline − max(deadline/64, 1ms) — never above.
+	if got, want := s.hedgeBudget(128<<10, 256*time.Millisecond, 2), 252*time.Millisecond; got != want {
+		t.Fatalf("clamped hedgeBudget = %v, want %v", got, want)
+	}
+
+	// A single-source path must never hedge: cancelling the only
+	// in-flight fetch just restarts it against the same laggard.
+	if got := s.hedgeBudget(128<<10, 0, 1); got != 0 {
+		t.Fatalf("single-source hedgeBudget = %v, want disarmed", got)
+	}
+}
+
+// TestHedgeStreakInflatesBudget: consecutive hedges with no intervening
+// success inflate the next budget 1.5× each (regime shift: the window's
+// prediction is stale-tight and nothing completes to correct it), and
+// one success resets the inflation.
+func TestHedgeStreakInflatesBudget(t *testing.T) {
+	cfg := Resilience{BreakerThreshold: 2, HedgeEnabled: true,
+		HedgeMinSamples: 2, HedgeMultiplier: 2, HedgeQuantile: 0.9}
+	s := newSourceSet(cfg, 7, 0)
+	s.observeSuccess("a:443", 100*time.Millisecond, 64<<10)
+	s.observeSuccess("a:443", 120*time.Millisecond, 64<<10)
+	t0 := time.Unix(0, 0)
+
+	base := s.hedgeBudget(64<<10, 0, 2) // 200 ms, pinned above
+	s.observeHedge("a:443", t0)
+	if got, want := s.hedgeBudget(64<<10, 0, 2), base*3/2; got != want {
+		t.Fatalf("budget after 1 hedge = %v, want %v", got, want)
+	}
+	s.observeHedge("a:443", t0)
+	if got, want := s.hedgeBudget(64<<10, 0, 2), base*3/2*3/2; got != want {
+		t.Fatalf("budget after 2 hedges = %v, want %v", got, want)
+	}
+	s.observeSuccess("a:443", 100*time.Millisecond, 64<<10)
+	if got := s.hedgeBudget(64<<10, 0, 2); got != base {
+		t.Fatalf("budget after redeeming success = %v, want back at %v", got, base)
+	}
+}

@@ -210,7 +210,7 @@ func (e *Cache) listen() error {
 			return fmt.Errorf("edge: listen %s: %w", addr, err)
 		}
 		e.addrs[nw.Name] = addr
-		h := &netHandler{e: e, network: nw.Name, upstream: nw.Upstream}
+		h := &netHandler{e: e, network: nw.Name}
 		mux := http.NewServeMux()
 		mux.HandleFunc("/videoplayback", h.handlePlayback)
 		srv := httpx.Serve(e.clock, l, mux, e.cfg.Handshake)
@@ -307,11 +307,12 @@ func (e *Cache) Close() {
 	}
 }
 
-// netHandler serves one access network's playback requests.
+// netHandler serves one access network's playback requests. Fills are
+// not routed through the handler's own network: the upstream replica
+// is a pure function of the page key (see fillSource).
 type netHandler struct {
-	e        *Cache
-	network  string
-	upstream string
+	e       *Cache
+	network string
 }
 
 // handlePlayback answers GET /videoplayback exactly like an origin
@@ -376,7 +377,7 @@ func (h *netHandler) handlePlayback(w http.ResponseWriter, r *http.Request) {
 	sw, _ := w.(stableWriter)
 	cp := httpx.ConnParticipant(w)
 	for off := from; off <= to; {
-		data, err := e.PageView(cp, h, id, itag, size, off/e.pageSize)
+		data, err := e.PageView(cp, id, itag, size, off/e.pageSize)
 		if err != nil {
 			return // fill failed or emulation stopped; the conn is done either way
 		}
@@ -406,31 +407,57 @@ func (h *netHandler) handlePlayback(w http.ResponseWriter, r *http.Request) {
 // over the backhaul on a miss. The result is a borrowed view of an
 // immutable edge-owned buffer: serve it or copy it, never retain it
 // (registered as a detlint borrowck producer).
-func (e *Cache) PageView(p *netem.Participant, h *netHandler, video string, itag int, size, pg int64) ([]byte, error) {
+func (e *Cache) PageView(p *netem.Participant, video string, itag int, size, pg int64) ([]byte, error) {
 	key := pageKey{video: video, itag: itag, page: pg}
 	pstart := pg * e.pageSize
 	plen := min(e.pageSize, size-pstart)
 	return e.store.Load().acquire(p, key, func() ([]byte, error) {
-		return e.fetchPage(p, h, video, itag, pstart, plen)
+		return e.fetchPage(p, key, pstart, plen)
 	})
 }
 
-// fetchPage fetches one page-aligned range from the upstream origin
-// replica over the backhaul: a fresh connection per fill, bound to the
-// filling conn goroutine's clock handle, torn down when the body is
-// read. The bytes come back in an owned, never-recycled buffer.
-func (e *Cache) fetchPage(p *netem.Participant, h *netHandler, video string, itag int, pstart, plen int64) ([]byte, error) {
+// fillSource picks the origin replica one page fills from: an FNV-1a
+// hash of the page key over the fronted networks. The single-flight
+// opener used to fill from its own listener's upstream, which made the
+// per-origin request books depend on which same-instant miss won the
+// store mutex — real multicore scheduler freedom, and the one report
+// surface that could differ between runs (or engines) at populations
+// where misses from different networks tie. Keying the choice to the
+// page makes fill attribution a pure function of content, never of
+// arrival order; the replicas are wire-identical, so the pick spreads
+// backhaul load without biasing it.
+func (e *Cache) fillSource(key pageKey) Network {
+	nws := e.cfg.Networks
+	if len(nws) == 1 {
+		return nws[0]
+	}
+	h := uint64(14695981039346656037)
+	for _, b := range []byte(key.video) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	h = (h ^ uint64(key.itag)) * 1099511628211
+	h = (h ^ uint64(key.page)) * 1099511628211
+	return nws[h%uint64(len(nws))]
+}
+
+// fetchPage fetches one page-aligned range from the page's fill-source
+// origin replica over the backhaul: a fresh connection per fill, bound
+// to the filling conn goroutine's clock handle, torn down when the
+// body is read. The bytes come back in an owned, never-recycled
+// buffer.
+func (e *Cache) fetchPage(p *netem.Participant, key pageKey, pstart, plen int64) ([]byte, error) {
+	nw := e.fillSource(key)
 	tr := httpx.NewTransport(e.backhaul)
 	tr.Bind(p)
 	defer tr.CloseIdleConnections()
 	expire := e.clock.Now().Add(e.tokenTTL)
 	info := origin.VideoInfo{
-		VideoID: video,
-		Network: h.network,
-		Token:   origin.SignToken(e.secret, video, expire, h.network),
+		VideoID: key.video,
+		Network: nw.Name,
+		Token:   origin.SignToken(e.secret, key.video, expire, nw.Name),
 		Expire:  expire.Unix(),
 	}
-	url := info.PlaybackURL(h.upstream, itag)
+	url := info.PlaybackURL(nw.Upstream, key.itag)
 	return httpx.GetRange(context.Background(), &http.Client{Transport: tr}, url, pstart, pstart+plen-1)
 }
 

@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+)
+
+// ChaosPlan is a seeded randomized fault plan: Expand turns it into a
+// concrete []Fault deterministically (a splitmix64 stream over Seed),
+// so a chaos run is exactly as reproducible as a hand-written plan —
+// same seed, same faults, same report bytes. Intensity scales the
+// fault count (≈ Intensity faults per 10 s of horizon); Horizon bounds
+// the plan (every fault starts and recovers inside it).
+type ChaosPlan struct {
+	// Seed drives the expansion. Zero is a valid seed.
+	Seed int64
+	// Intensity is the fault density: n = max(1, Intensity×Horizon/10s).
+	// Defaults to 1.
+	Intensity float64
+	// Horizon is the plan's span. Defaults to 20 s.
+	Horizon time.Duration
+}
+
+func (cp ChaosPlan) withDefaults() ChaosPlan {
+	if cp.Intensity <= 0 {
+		cp.Intensity = 1
+	}
+	if cp.Horizon <= 0 {
+		cp.Horizon = 20 * time.Second
+	}
+	return cp
+}
+
+// chaosRng is a splitmix64 stream: the same generator family as the
+// sub-seed mixer and the paths' jitter streams, with its own increment
+// phase so plans never alias either.
+type chaosRng struct{ s uint64 }
+
+func (r *chaosRng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *chaosRng) below(n int64) int64 { return int64(r.next() % uint64(n)) }
+
+func (r *chaosRng) between(lo, hi time.Duration) time.Duration {
+	return lo + time.Duration(r.below(int64(hi-lo)))
+}
+
+// chaosNetworks are the access networks a chaos plan draws targets
+// from, matching the testbed's two client links.
+var chaosNetworks = []string{"wifi", "lte"}
+
+// Expand generates the plan's faults. replicasPerNetwork and edges
+// describe the deployment the plan fires into: origin faults draw a
+// replica in [1, replicasPerNetwork], and edge faults are only
+// generated when edges > 0. Every generated fault recovers (all
+// durations are positive and end inside the horizon), so an expanded
+// plan always passes the recovered-fault invariant.
+func (cp ChaosPlan) Expand(replicasPerNetwork, edges int) []Fault {
+	cp = cp.withDefaults()
+	if replicasPerNetwork < 1 {
+		replicasPerNetwork = 1
+	}
+	rng := &chaosRng{s: uint64(cp.Seed)*0x9E3779B97F4A7C15 + 0x8AC7230489E7FFD9}
+	n := int(cp.Intensity * cp.Horizon.Seconds() / 10)
+	if n < 1 {
+		n = 1
+	}
+	kinds := []string{FaultOriginKill, FaultOriginBlackhole, FaultPartition, FaultLossStorm, FaultFlap}
+	if edges > 0 {
+		kinds = append(kinds, FaultEdgeOutage, FaultBackhaulDegrade)
+	}
+	faults := make([]Fault, 0, n)
+	for i := 0; i < n; i++ {
+		f := Fault{Kind: kinds[rng.below(int64(len(kinds)))]}
+		f.Duration = rng.between(1500*time.Millisecond, 6*time.Second)
+		if f.Duration > cp.Horizon {
+			f.Duration = cp.Horizon / 2
+		}
+		if maxAt := cp.Horizon - f.Duration; maxAt > 0 {
+			f.At = time.Duration(rng.below(int64(maxAt)))
+		}
+		switch f.Kind {
+		case FaultOriginKill, FaultOriginBlackhole, FaultPartition, FaultFlap:
+			f.Network = chaosNetworks[rng.below(int64(len(chaosNetworks)))]
+			f.Replica = 1 + int(rng.below(int64(replicasPerNetwork)))
+			if f.Kind == FaultFlap {
+				f.Period = rng.between(400*time.Millisecond, 1200*time.Millisecond)
+				if f.Period > f.Duration {
+					f.Period = f.Duration
+				}
+			}
+		case FaultLossStorm:
+			f.Network = chaosNetworks[rng.below(int64(len(chaosNetworks)))]
+			f.Factor = float64(5+rng.below(30)) / 100 // loss prob 5%–34%
+		case FaultEdgeOutage:
+			f.Edge = 1 + int(rng.below(int64(edges)))
+		case FaultBackhaulDegrade:
+			f.Edge = 1 + int(rng.below(int64(edges)))
+			f.Factor = float64(5+rng.below(25)) / 100 // rate ×0.05–×0.29
+		}
+		faults = append(faults, f)
+	}
+	return faults
+}
+
+// expandChaos resolves the scenario's chaos plan (if any) into concrete
+// faults appended to Faults, using the scenario's own deployment shape
+// for targets. The append clips capacity so a shared Faults slice is
+// never mutated in place.
+func (sc *Scenario) expandChaos() {
+	if sc.Chaos == nil {
+		return
+	}
+	replicas := 2 // msplayer.TestbedProfile default
+	if sc.Profile != nil && sc.Profile.ReplicasPerNetwork > 0 {
+		replicas = sc.Profile.ReplicasPerNetwork
+	}
+	edges := 0
+	if sc.EdgeTier != nil {
+		edges = len(sc.EdgeTier.Edges)
+	}
+	base := sc.Faults[:len(sc.Faults):len(sc.Faults)]
+	sc.Faults = append(base, sc.Chaos.Expand(replicas, edges)...)
+	sc.Chaos = nil
+}
+
+// CheckInvariants verifies the structural end-of-run invariants a
+// fault plan must not break, whatever it injected: every session
+// reached a terminal state, the drain barriers settled with no
+// in-flight requests, the per-origin books balance, and every fault
+// with a scheduled recovery actually recovered. It returns the first
+// violation found, or nil.
+func CheckInvariants(rep *Report) error {
+	for ci, cohort := range rep.Results {
+		for i, res := range cohort {
+			if res.Metrics == nil && res.Err == nil {
+				return fmt.Errorf("fleet: session %d of cohort %d never reached a terminal state", i, ci)
+			}
+		}
+	}
+	if !rep.LoadsSettled {
+		return fmt.Errorf("fleet: origin books did not settle (clock stopped mid-drain)")
+	}
+	for _, l := range rep.Loads {
+		if l.InFlight != 0 {
+			return fmt.Errorf("fleet: server %s reports %d in-flight requests after drain", l.Addr, l.InFlight)
+		}
+		if l.Aborted > l.Total {
+			return fmt.Errorf("fleet: server %s books do not balance: %d aborted of %d total", l.Addr, l.Aborted, l.Total)
+		}
+		if l.Bytes < 0 || l.Total < 0 {
+			return fmt.Errorf("fleet: server %s books went negative (total=%d bytes=%d)", l.Addr, l.Total, l.Bytes)
+		}
+	}
+	for i, w := range rep.Faults {
+		if w.End > w.Start && !w.Recovered {
+			return fmt.Errorf("fleet: fault %d (%s on %s) never recovered", i+1, w.Kind, w.Target)
+		}
+	}
+	return nil
+}

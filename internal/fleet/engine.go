@@ -111,7 +111,11 @@ func armFaults(tb *msplayer.Testbed, sc *Scenario, edges []*edge.Cache, start ti
 				clock.NewTimer(func() { _ = cluster.Kill(addr) }).Schedule(start.Add(f.At))
 				if f.Duration > 0 {
 					clock.NewTimer(func() {
-						if cluster.Restart(addr) == nil {
+						// Recovery is goal-state-based: the window counts as
+						// recovered when the replica is alive afterwards, even
+						// if an overlapping fault's restart already revived it
+						// (chaos plans overlap same-target windows freely).
+						if cluster.Restart(addr) == nil || cluster.Alive(addr) {
 							fp.recovered(fi)
 						}
 					}).Schedule(start.Add(f.At + f.Duration))
@@ -119,7 +123,10 @@ func armFaults(tb *msplayer.Testbed, sc *Scenario, edges []*edge.Cache, start ti
 			} else {
 				clock.NewTimer(func() { _ = cluster.Blackhole(addr, true) }).Schedule(start.Add(f.At))
 				clock.NewTimer(func() {
-					if cluster.Blackhole(addr, false) == nil {
+					// A dead replica is not wedged: if an overlapping kill
+					// took the server down, its eventual restart comes back
+					// clean, so the blackhole window has recovered.
+					if cluster.Blackhole(addr, false) == nil || !cluster.Alive(addr) {
 						fp.recovered(fi)
 					}
 				}).Schedule(start.Add(f.At + f.Duration))
@@ -136,6 +143,47 @@ func armFaults(tb *msplayer.Testbed, sc *Scenario, edges []*edge.Cache, start ti
 		case FaultBackhaulDegrade:
 			w.Target = fmt.Sprintf("edge%d-backhaul", f.Edge)
 			w.Recovered = true // compiled into the link's rate profile
+		case FaultPartition:
+			addrs := cluster.VideoServerAddrs(f.Network)
+			if f.Replica > len(addrs) {
+				return nil, fmt.Errorf("fleet: fault %d targets replica %d of %d in network %q",
+					fi, f.Replica, len(addrs), f.Network)
+			}
+			addr := addrs[f.Replica-1]
+			w.Target = addr
+			nw := tb.Network()
+			group := f.Network
+			clock.NewTimer(func() { nw.SetPartitioned(group, addr, true) }).Schedule(start.Add(f.At))
+			clock.NewTimer(func() {
+				nw.SetPartitioned(group, addr, false)
+				fp.recovered(fi)
+			}).Schedule(start.Add(f.At + f.Duration))
+		case FaultFlap:
+			addrs := cluster.VideoServerAddrs(f.Network)
+			if f.Replica > len(addrs) {
+				return nil, fmt.Errorf("fleet: fault %d targets replica %d of %d in network %q",
+					fi, f.Replica, len(addrs), f.Network)
+			}
+			addr := addrs[f.Replica-1]
+			w.Target = addr
+			nw := tb.Network()
+			group := f.Network
+			// Down the first half of each period, up the second; the
+			// final heal lands exactly at the window's end even when the
+			// last cycle is clipped.
+			for off := time.Duration(0); off < f.Duration; off += f.Period {
+				clock.NewTimer(func() { nw.SetPartitioned(group, addr, true) }).Schedule(start.Add(f.At + off))
+				if up := off + f.Period/2; up < f.Duration {
+					clock.NewTimer(func() { nw.SetPartitioned(group, addr, false) }).Schedule(start.Add(f.At + up))
+				}
+			}
+			clock.NewTimer(func() {
+				nw.SetPartitioned(group, addr, false)
+				fp.recovered(fi)
+			}).Schedule(start.Add(f.At + f.Duration))
+		case FaultLossStorm:
+			w.Target = f.Network + "-access"
+			w.Recovered = true // compiled into the access links' loss windows
 		}
 	}
 	return fp, nil
@@ -171,6 +219,10 @@ type SessionResult struct {
 // every random draw derives from Scenario.Seed, so two runs produce
 // byte-identical reports.
 func Run(ctx context.Context, sc Scenario) (*Report, error) {
+	// A chaos plan expands into concrete faults first, so validation,
+	// arming, horizon-riding and the report's fault table all see the
+	// same deterministic plan.
+	sc.expandChaos()
 	if err := sc.validate(); err != nil {
 		return nil, err
 	}
@@ -227,6 +279,22 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 		}
 	}
 
+	// Loss-storm faults compile into the access links of every client
+	// attached during the run: one window list per network name, applied
+	// at session attach in both engines (the windows are anchored at the
+	// scenario epoch, so every client sees the same storm instants).
+	var lossWins map[string][]netem.LossWindow
+	for _, f := range sc.Faults {
+		if f.Kind != FaultLossStorm {
+			continue
+		}
+		if lossWins == nil {
+			lossWins = make(map[string][]netem.LossWindow)
+		}
+		lossWins[f.Network] = append(lossWins[f.Network],
+			netem.LossWindow{From: start.Add(f.At), To: start.Add(f.At + f.Duration), Prob: f.Factor})
+	}
+
 	// The driver registers so virtual time stays pinned at the scenario
 	// epoch until every session goroutine is spawned and parked on its
 	// arrival deadline; otherwise early arrivals could burn virtual time
@@ -277,13 +345,13 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 				// Arrival timers arm in cohort/session order after the
 				// fault timers, so same-instant ties resolve exactly as
 				// the goroutine engine's spawn order does.
-				ev.arm(tb, &profile, co, servers, i, arrivals[i], sessSeed, start, slot)
+				ev.arm(tb, &profile, co, servers, lossWins, i, arrivals[i], sessSeed, start, slot)
 				continue
 			}
 			wg.Add(1)
 			clock.Go(func(sp *netem.Participant) {
 				defer wg.Done()
-				slot.Metrics, slot.Err = runSession(ctx, sp, tb, &profile, co, servers, i, arrivals[i], sessSeed, start)
+				slot.Metrics, slot.Err = runSession(ctx, sp, tb, &profile, co, servers, lossWins, i, arrivals[i], sessSeed, start)
 			})
 		}
 	}
@@ -344,7 +412,8 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 // handle; every park — the arrival wait and the whole session via
 // StreamAs — goes through it.
 func runSession(ctx context.Context, sp *netem.Participant, tb *msplayer.Testbed, profile *msplayer.Profile,
-	co *Cohort, servers map[string][]string, idx int, arrival time.Duration, sessSeed int64, start time.Time) (*msplayer.Metrics, error) {
+	co *Cohort, servers map[string][]string, lossWins map[string][]netem.LossWindow,
+	idx int, arrival time.Duration, sessSeed int64, start time.Time) (*msplayer.Metrics, error) {
 	clock := tb.Clock()
 	sp.SleepUntil(start.Add(arrival))
 
@@ -359,6 +428,8 @@ func runSession(ctx context.Context, sp *netem.Participant, tb *msplayer.Testbed
 	if co.LTE != nil {
 		lteProf = *co.LTE
 	}
+	overlayLossWindows(&wifiProf, lossWins)
+	overlayLossWindows(&lteProf, lossWins)
 
 	var downs []Event
 	for _, ev := range co.Events {
@@ -413,8 +484,20 @@ func runSession(ctx context.Context, sp *netem.Participant, tb *msplayer.Testbed
 		StopAfterPreBuffer: co.StopAfterPreBuffer,
 		StopAfterRefills:   co.StopAfterRefills,
 		RequestTimeout:     co.RequestTimeout,
+		Resilience:         co.Resilience,
 		Seed:               sessSeed,
 	})
+}
+
+// overlayLossWindows appends the scenario's loss-storm windows for lp's
+// network onto the profile. The append clips capacity first, so the
+// shared profile's own window slice is never mutated in place.
+func overlayLossWindows(lp *msplayer.LinkProfile, wins map[string][]netem.LossWindow) {
+	extra := wins[lp.Name]
+	if len(extra) == 0 {
+		return
+	}
+	lp.LossWindows = append(lp.LossWindows[:len(lp.LossWindows):len(lp.LossWindows)], extra...)
 }
 
 // eventedRun drives a scenario's sessions as event-loop state machines:
@@ -442,7 +525,8 @@ var errClockStopped = fmt.Errorf("fleet: emulation clock stopped mid-scenario")
 // after its arrival sleep (participation draws, client attachment, down
 // events, scheduler build) and starts the session machines.
 func (ev *eventedRun) arm(tb *msplayer.Testbed, profile *msplayer.Profile, co *Cohort,
-	servers map[string][]string, idx int, arrival time.Duration, sessSeed int64, start time.Time, slot *SessionResult) {
+	servers map[string][]string, lossWins map[string][]netem.LossWindow,
+	idx int, arrival time.Duration, sessSeed int64, start time.Time, slot *SessionResult) {
 	ev.remaining++
 	ev.slots = append(ev.slots, slot)
 	clock := tb.Clock()
@@ -466,6 +550,8 @@ func (ev *eventedRun) arm(tb *msplayer.Testbed, profile *msplayer.Profile, co *C
 		if co.LTE != nil {
 			lteProf = *co.LTE
 		}
+		overlayLossWindows(&wifiProf, lossWins)
+		overlayLossWindows(&lteProf, lossWins)
 		var downs []Event
 		for _, ev := range co.Events {
 			affected := ev.Fraction == 0 || ev.Fraction >= 1 || rng.Float64() < ev.Fraction
@@ -512,6 +598,7 @@ func (ev *eventedRun) arm(tb *msplayer.Testbed, profile *msplayer.Profile, co *C
 			StopAfterPreBuffer: co.StopAfterPreBuffer,
 			StopAfterRefills:   co.StopAfterRefills,
 			RequestTimeout:     co.RequestTimeout,
+			Resilience:         co.Resilience,
 			Seed:               sessSeed,
 		}, finish)
 		if err != nil {

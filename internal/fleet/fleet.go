@@ -208,6 +208,22 @@ const (
 	// inside [At, At+Duration), compiled into the backhaul link's rate
 	// profile at deploy time.
 	FaultBackhaulDegrade = "backhaul-degrade"
+	// FaultPartition cuts reachability between one access network's
+	// clients and one origin replica for Duration — both sides stay
+	// alive, but dials fail instantly and established connections across
+	// the cut abort at the onset (netem.Network.SetPartitioned).
+	FaultPartition = "partition"
+	// FaultLossStorm overlays a packet-loss storm on one access
+	// network's links inside [At, At+Duration): the per-segment loss
+	// probability is raised to Factor, compiled into the links at
+	// session attach (netem.LinkParams.LossWindows).
+	FaultLossStorm = "loss-storm"
+	// FaultFlap cycles a partition between one access network and one
+	// origin replica: down for Period/2, up for Period/2, repeating
+	// through [At, At+Duration) with a final heal at the end. Fast
+	// cycles punish naive breakers that re-trust a flapping replica at
+	// full strength.
+	FaultFlap = "flap"
 )
 
 // Fault is one entry of a scenario's fault plan: a declarative,
@@ -230,8 +246,12 @@ type Fault struct {
 	// Edge picks the edge cache (1-based index into EdgeTierSpec.Edges)
 	// for edge faults.
 	Edge int
-	// Factor is the backhaul rate multiplier for FaultBackhaulDegrade.
+	// Factor is the backhaul rate multiplier for FaultBackhaulDegrade,
+	// or the per-segment loss probability for FaultLossStorm.
 	Factor float64
+	// Period is the down/up cycle length for FaultFlap (down the first
+	// half, up the second).
+	Period time.Duration
 }
 
 func (f Fault) validate(sc *Scenario) error {
@@ -245,6 +265,29 @@ func (f Fault) validate(sc *Scenario) error {
 		}
 		if f.Kind == FaultOriginBlackhole && f.Duration <= 0 {
 			return fmt.Errorf("fleet: fault %q has no duration", f.Kind)
+		}
+	case FaultPartition, FaultFlap:
+		if f.Network == "" {
+			return fmt.Errorf("fleet: fault %q names no network", f.Kind)
+		}
+		if f.Replica < 1 {
+			return fmt.Errorf("fleet: fault %q replica %d (want 1-based)", f.Kind, f.Replica)
+		}
+		if f.Duration <= 0 {
+			return fmt.Errorf("fleet: fault %q has no duration", f.Kind)
+		}
+		if f.Kind == FaultFlap && f.Period <= 0 {
+			return fmt.Errorf("fleet: fault %q has no period", f.Kind)
+		}
+	case FaultLossStorm:
+		if f.Network == "" {
+			return fmt.Errorf("fleet: fault %q names no network", f.Kind)
+		}
+		if f.Duration <= 0 {
+			return fmt.Errorf("fleet: fault %q has no duration", f.Kind)
+		}
+		if f.Factor <= 0 || f.Factor > 1 {
+			return fmt.Errorf("fleet: fault %q loss probability %v outside (0,1]", f.Kind, f.Factor)
 		}
 	case FaultEdgeOutage, FaultBackhaulDegrade:
 		if sc.EdgeTier == nil {
@@ -302,6 +345,10 @@ type Cohort struct {
 	// Scenarios with blackhole faults need it: a wedged server fails
 	// only through the deadline.
 	RequestTimeout time.Duration
+	// Resilience enables per-target circuit breakers, health-scored
+	// source selection and hedged requests on the cohort's paths (see
+	// msplayer.Resilience). The zero value disables all of it.
+	Resilience msplayer.Resilience
 	// Events are mid-session disturbances applied to this cohort.
 	Events []Event
 	// Edge pins the cohort to one edge cache (1-based index into
@@ -379,6 +426,11 @@ type Scenario struct {
 	// without one (nil) render byte-identically to runs before the
 	// fault engine existed.
 	Faults []Fault
+	// Chaos, when non-nil, appends a seeded randomized fault plan to
+	// Faults at Run time. The expansion is a pure function of the plan
+	// (splitmix64 over ChaosPlan.Seed), so two runs of the same
+	// scenario still produce byte-identical reports.
+	Chaos *ChaosPlan
 	// Engine selects the session engine: EngineGoroutine (also the
 	// empty default) or EngineEventLoop. The engines are wire-identical
 	// — same report bytes per seed — and differ only in resource

@@ -42,6 +42,17 @@ type Aggregate struct {
 	Failovers    int
 	Timeouts     int
 	Rebootstraps int
+	// BreakerOpens, HalfOpenProbes, Hedges, HedgesWon and
+	// HedgeWastedBytes total the resilience layer's actions across
+	// paths: circuit-breaker trips, half-open probe requests, hedged
+	// (budget-exceeded, reissued) fetches, hedges whose reissue beat the
+	// abandoned attempt, and bytes of work discarded by hedging.
+	// Rendered with the robustness block; zero when resilience is off.
+	BreakerOpens     int
+	HalfOpenProbes   int
+	Hedges           int
+	HedgesWon        int
+	HedgeWastedBytes int64
 
 	// Jain's index needs only Σx and Σx² over per-session goodput, so
 	// the aggregate stays bounded no matter the fleet size.
@@ -75,6 +86,11 @@ func (a *Aggregate) add(r SessionResult) {
 		a.Failovers += p.Failovers
 		a.Timeouts += p.Timeouts
 		a.Rebootstraps += p.Rebootstraps
+		a.BreakerOpens += p.BreakerOpens
+		a.HalfOpenProbes += p.HalfOpenProbes
+		a.Hedges += p.Hedges
+		a.HedgesWon += p.HedgesWon
+		a.HedgeWastedBytes += p.HedgeWastedBytes
 	}
 	if m.Elapsed > 0 {
 		gp := float64(m.TotalBytes) * 8 / 1e6 / m.Elapsed.Seconds()
@@ -101,6 +117,11 @@ func (a *Aggregate) merge(o *Aggregate) {
 	a.Failovers += o.Failovers
 	a.Timeouts += o.Timeouts
 	a.Rebootstraps += o.Rebootstraps
+	a.BreakerOpens += o.BreakerOpens
+	a.HalfOpenProbes += o.HalfOpenProbes
+	a.Hedges += o.Hedges
+	a.HedgesWon += o.HedgesWon
+	a.HedgeWastedBytes += o.HedgeWastedBytes
 	a.gpSum += o.gpSum
 	a.gpSumSq += o.gpSumSq
 	a.gpN += o.gpN
@@ -285,8 +306,13 @@ func (r *Report) String() string {
 				recovered++
 			}
 		}
-		fmt.Fprintf(&b, "fault plan: %d faults, %d recovered; stall-seconds inside fault windows: %.3f\n",
-			len(r.Faults), recovered, r.FaultStallSeconds())
+		// Downtime (how long the infrastructure was impaired) and
+		// client-observed outage (how much playback stall landed inside
+		// those windows) are distinct quantities: breakers and hedging
+		// exist precisely to keep the second near zero while the first
+		// is unchanged.
+		fmt.Fprintf(&b, "fault plan: %d faults, %d recovered; fault downtime %.3fs, client-observed outage %.3fs\n",
+			len(r.Faults), recovered, r.FaultDowntimeSeconds(), r.FaultStallSeconds())
 		for i, w := range r.Faults {
 			fmt.Fprintf(&b, "  [%d] %-17s %-32s t=%.3fs", i+1, w.Kind, w.Target, w.Start.Seconds())
 			if w.End > w.Start {
@@ -295,40 +321,46 @@ func (r *Report) String() string {
 				fmt.Fprintf(&b, " dur=forever")
 			}
 			if w.Recovered {
-				fmt.Fprintf(&b, " recovered ttr=%.3fs\n", (w.End - w.Start).Seconds())
+				fmt.Fprintf(&b, " recovered ttr=%.3fs", (w.End - w.Start).Seconds())
 			} else {
-				fmt.Fprintf(&b, " not recovered\n")
+				fmt.Fprintf(&b, " not recovered")
 			}
+			fmt.Fprintf(&b, " outage=%.3fs\n", r.windowOutageSeconds(w))
 		}
-		fmt.Fprintf(&b, "robustness: failovers=%d timeouts=%d rebootstraps=%d\n",
-			r.Fleet.Failovers, r.Fleet.Timeouts, r.Fleet.Rebootstraps)
+		writeRobustness(&b, "robustness:", &r.Fleet)
 		for i := range r.Cohorts {
-			a := &r.Cohorts[i].Agg
-			fmt.Fprintf(&b, "  cohort %-12q failovers=%d timeouts=%d rebootstraps=%d\n",
-				r.Cohorts[i].Name, a.Failovers, a.Timeouts, a.Rebootstraps)
+			writeRobustness(&b, fmt.Sprintf("  cohort %-12q", r.Cohorts[i].Name), &r.Cohorts[i].Agg)
 		}
 	}
 	return b.String()
 }
 
-// FaultStallSeconds sums, across all sessions, the playback stall time
-// that fell inside the (merged) fault windows — the QoE damage directly
-// attributable to the injected failures. Forever-faults extend to the
-// end of the run.
-func (r *Report) FaultStallSeconds() float64 {
-	type span struct{ s, e time.Duration }
-	var ivs []span
+// writeRobustness renders one aggregate's recovery and resilience
+// counters as a single fixed-format line.
+func writeRobustness(b *strings.Builder, prefix string, a *Aggregate) {
+	fmt.Fprintf(b, "%s failovers=%d timeouts=%d rebootstraps=%d breaker-opens=%d half-open-probes=%d hedges=%d hedges-won=%d hedge-wasted=%dB\n",
+		prefix, a.Failovers, a.Timeouts, a.Rebootstraps,
+		a.BreakerOpens, a.HalfOpenProbes, a.Hedges, a.HedgesWon, a.HedgeWastedBytes)
+}
+
+// faultSpan is one half-open [s, e) interval of the fault timeline.
+type faultSpan struct{ s, e time.Duration }
+
+// mergedFaultSpans returns the fault windows as sorted, merged spans.
+// Forever-faults extend to the end of the run.
+func (r *Report) mergedFaultSpans() []faultSpan {
+	var ivs []faultSpan
 	for _, w := range r.Faults {
 		end := w.End
 		if end <= w.Start {
 			end = r.Elapsed
 		}
 		if end > w.Start {
-			ivs = append(ivs, span{w.Start, end})
+			ivs = append(ivs, faultSpan{w.Start, end})
 		}
 	}
 	if len(ivs) == 0 {
-		return 0
+		return nil
 	}
 	sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
 	merged := ivs[:1]
@@ -341,6 +373,15 @@ func (r *Report) FaultStallSeconds() float64 {
 			merged = append(merged, v)
 		}
 	}
+	return merged
+}
+
+// stallOverlapSeconds sums, across all sessions, the playback stall
+// time that fell inside the given spans.
+func (r *Report) stallOverlapSeconds(spans []faultSpan) float64 {
+	if len(spans) == 0 {
+		return 0
+	}
 	var total time.Duration
 	for _, cohort := range r.Results {
 		for _, res := range cohort {
@@ -350,7 +391,7 @@ func (r *Report) FaultStallSeconds() float64 {
 			for _, st := range res.Metrics.Stalls {
 				ss := st.Start.Sub(r.epoch)
 				se := ss + st.Duration
-				for _, v := range merged {
+				for _, v := range spans {
 					lo, hi := ss, se
 					if v.s > lo {
 						lo = v.s
@@ -366,6 +407,40 @@ func (r *Report) FaultStallSeconds() float64 {
 		}
 	}
 	return total.Seconds()
+}
+
+// FaultStallSeconds is the client-observed outage: the total playback
+// stall time that fell inside the (merged) fault windows — the QoE
+// damage directly attributable to the injected failures. Distinct from
+// FaultDowntimeSeconds, which measures how long the infrastructure was
+// impaired regardless of whether any client noticed.
+func (r *Report) FaultStallSeconds() float64 {
+	return r.stallOverlapSeconds(r.mergedFaultSpans())
+}
+
+// FaultDowntimeSeconds is the total impaired-infrastructure time: the
+// union (merged span length) of all fault windows, with forever-faults
+// extending to the end of the run.
+func (r *Report) FaultDowntimeSeconds() float64 {
+	var total time.Duration
+	for _, v := range r.mergedFaultSpans() {
+		total += v.e - v.s
+	}
+	return total.Seconds()
+}
+
+// windowOutageSeconds is the client-observed outage attributable to one
+// fault window alone (overlapping windows may double-charge a stall;
+// the headline FaultStallSeconds never does, it merges first).
+func (r *Report) windowOutageSeconds(w FaultWindow) float64 {
+	end := w.End
+	if end <= w.Start {
+		end = r.Elapsed
+	}
+	if end <= w.Start {
+		return 0
+	}
+	return r.stallOverlapSeconds([]faultSpan{{w.Start, end}})
 }
 
 func writeAggregate(b *strings.Builder, title string, a *Aggregate) {

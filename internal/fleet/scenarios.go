@@ -39,6 +39,31 @@ var builtins = map[string]func(int, int64) Scenario{
 	"edgemesh":    EdgeMesh,
 	"originstorm": OriginStorm,
 	"edgeflap":    EdgeFlap,
+	"chaosfleet":  ChaosFleet,
+}
+
+// stormResilience is the resilience configuration the fault-plan
+// builtins run with: breakers trip after two consecutive strikes and
+// hedging reissues fetches that exceed the learned latency budget, so
+// sessions stop burning full request deadlines on known-dead replicas.
+var stormResilience = msplayer.Resilience{
+	BreakerThreshold: 2,
+	// Half the 800 ms default: half-open probes are 1 KiB ranges, so
+	// re-probing a still-dead target is nearly free, while every extra
+	// cooldown tick a session sleeps past a replica's recovery instant
+	// is pure heal-discovery latency on the pre-buffer tail. 400 ms
+	// erases the storm timeouts without inflating the tail (250 ms adds
+	// probe churn and buys nothing further).
+	BreakerCooldown: 400 * time.Millisecond,
+	HedgeEnabled:    true,
+	// Two samples arm hedging as early as the rate quantile is
+	// meaningful, so paths have a budget before the first fault lands.
+	// The 1500 ms request deadline is only ~1.5× the typical chunk
+	// latency on the congested access links, so the default 2×
+	// multiplier would always clamp to the deadline; 1.25×p90 hedges
+	// the true laggards while leaving the healthy tail alone.
+	HedgeMinSamples: 2,
+	HedgeMultiplier: 1.25,
 }
 
 // shortPlayBuffer is the playout configuration for full plays of the
@@ -281,6 +306,7 @@ func OriginStorm(sessions int, seed int64) Scenario {
 			Arrival:            ArrivalSpec{Kind: ArrivalPoisson, Window: 2 * time.Second},
 			StopAfterPreBuffer: true,
 			RequestTimeout:     1500 * time.Millisecond,
+			Resilience:         stormResilience,
 		}},
 		Faults: []Fault{
 			{Kind: FaultOriginKill, At: 3 * time.Second, Duration: 10 * time.Second, Network: "wifi", Replica: 1},
@@ -316,6 +342,7 @@ func EdgeFlap(sessions int, seed int64) Scenario {
 			Arrival:            ArrivalSpec{Kind: ArrivalPoisson, Window: 2 * time.Second},
 			StopAfterPreBuffer: true,
 			RequestTimeout:     2 * time.Second,
+			Resilience:         stormResilience,
 			Edge:               edge,
 		}
 	}
@@ -338,6 +365,35 @@ func EdgeFlap(sessions int, seed int64) Scenario {
 			{Kind: FaultEdgeOutage, At: 3 * time.Second, Duration: 1500 * time.Millisecond, Edge: 2},
 			{Kind: FaultBackhaulDegrade, At: 6 * time.Second, Duration: 4 * time.Second, Edge: 2, Factor: 0.02},
 		},
+	}
+}
+
+// ChaosFleet is the seeded chaos study: a Poisson burst of resilient
+// pre-buffering sessions while a randomized fault plan — replica kills
+// and blackholes, network partitions, packet-loss storms and flapping
+// partitions — fires at splitmix64-drawn instants. The plan expands
+// deterministically from the scenario seed, so every seed is a distinct
+// but exactly reproducible storm; CheckInvariants verifies the run's
+// structural invariants afterwards whatever the plan injected.
+func ChaosFleet(sessions int, seed int64) Scenario {
+	if sessions <= 0 {
+		sessions = 150
+	}
+	return Scenario{
+		Name:        "chaosfleet",
+		Description: "seeded randomized fault storm under a resilient pre-buffering crowd",
+		Seed:        seed,
+		Cohorts: []Cohort{{
+			Name:               "chaos",
+			Sessions:           sessions,
+			Paths:              msplayer.BothPaths,
+			Scheduler:          SchedulerSpec{Kind: "harmonic"},
+			Arrival:            ArrivalSpec{Kind: ArrivalPoisson, Window: 2 * time.Second},
+			StopAfterPreBuffer: true,
+			RequestTimeout:     1500 * time.Millisecond,
+			Resilience:         stormResilience,
+		}},
+		Chaos: &ChaosPlan{Seed: mix(seed, 777), Intensity: 2, Horizon: 20 * time.Second},
 	}
 }
 

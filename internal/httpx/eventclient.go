@@ -1,6 +1,7 @@
 package httpx
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	neturl "net/url"
@@ -42,6 +43,7 @@ type EventTransport struct {
 	loop  *netem.Loop
 
 	reqTimeout time.Duration
+	hedge      time.Duration
 
 	idle   map[string][]*evClientConn
 	live   map[*evClientConn]struct{}
@@ -68,6 +70,11 @@ func (t *EventTransport) Loop() *netem.Loop { return t.loop }
 // within d of starting is aborted with ErrRequestTimeout at exactly
 // that virtual instant. Zero disables the deadline.
 func (t *EventTransport) SetRequestTimeout(d time.Duration) { t.reqTimeout = d }
+
+// SetHedge mirrors Transport.SetHedge: every subsequent attempt still
+// in flight d after starting is aborted with ErrHedged at exactly that
+// virtual instant. Zero disables the hedge budget.
+func (t *EventTransport) SetHedge(d time.Duration) { t.hedge = d }
 
 // Shutdown mirrors Transport.Shutdown at the caller's instant: new
 // requests fail with err, idle connections close gracefully, and
@@ -313,8 +320,10 @@ type evReq struct {
 	pc      *evClientConn
 	state   evcState
 
-	dl      *netem.Timer
+	dl      *netem.Timer // request deadline
+	hdl     *netem.Timer // hedge budget
 	dlFired bool
+	dlErr   error // which budget fired: ErrRequestTimeout or ErrHedged
 
 	script  [3]handshake.ClientStep
 	flight  int
@@ -372,18 +381,41 @@ func (t *EventTransport) startRequest(rq *evReq) {
 	rq.getConn()
 }
 
-// armDeadline starts the per-attempt deadline, the evented
-// deadlineGuard: each attempt — including the retry — gets the full
-// budget, and firing aborts whatever conn the attempt holds.
+// armDeadline starts the per-attempt deadline and hedge budget, the
+// evented deadlineGuard: each attempt — including the retry — gets the
+// full budgets, and firing aborts whatever conn the attempt holds. The
+// deadline timer is created before the hedge timer, matching the
+// blocking guard's creation order.
 func (rq *evReq) armDeadline() {
-	if rq.t.reqTimeout <= 0 {
+	t := rq.t
+	if t.reqTimeout <= 0 && t.hedge <= 0 {
 		return
 	}
 	rq.dlFired = false
-	if rq.dl == nil {
-		rq.dl = rq.t.clock.NewTimer(func() { rq.t.loop.Do(rq.onDeadline) })
+	rq.dlErr = nil
+	now := t.clock.Now()
+	if t.reqTimeout > 0 {
+		if rq.dl == nil {
+			rq.dl = t.clock.NewTimer(func() { t.loop.Do(rq.onDeadline) })
+		}
+		rq.dl.Schedule(now.Add(t.reqTimeout))
 	}
-	rq.dl.Schedule(rq.t.clock.Now().Add(rq.t.reqTimeout))
+	if t.hedge > 0 {
+		if rq.hdl == nil {
+			rq.hdl = t.clock.NewTimer(func() { t.loop.Do(rq.onHedge) })
+		}
+		rq.hdl.Schedule(now.Add(t.hedge))
+	}
+}
+
+// stopTimers cancels both pending budgets.
+func (rq *evReq) stopTimers() {
+	if rq.dl != nil {
+		rq.dl.Stop()
+	}
+	if rq.hdl != nil {
+		rq.hdl.Stop()
+	}
 }
 
 func (rq *evReq) onDeadline() {
@@ -391,10 +423,22 @@ func (rq *evReq) onDeadline() {
 		return
 	}
 	rq.dlFired = true
+	rq.dlErr = ErrRequestTimeout
 	if rq.pc != nil {
 		// The machine's next read or write observes ErrRequestTimeout
 		// once queued data drains, exactly as the blocking reader does.
 		rq.pc.c.Abort(ErrRequestTimeout)
+	}
+}
+
+func (rq *evReq) onHedge() {
+	if rq.state == evcDone || rq.dlFired {
+		return
+	}
+	rq.dlFired = true
+	rq.dlErr = ErrHedged
+	if rq.pc != nil {
+		rq.pc.c.Abort(ErrHedged)
 	}
 }
 
@@ -410,7 +454,7 @@ func (rq *evReq) getConn() {
 		rq.reused = true
 		rq.bind(pc)
 		if rq.dlFired {
-			pc.c.Abort(ErrRequestTimeout)
+			pc.c.Abort(rq.dlErr)
 		}
 		rq.beginSend()
 		rq.advance()
@@ -438,11 +482,11 @@ func (rq *evReq) onDial(c *netem.Conn, err error) {
 	c.OnWritable(wake)
 	rq.bind(pc)
 	if rq.dlFired {
-		// The deadline elapsed while the dial was in flight: abort the
+		// A budget elapsed while the dial was in flight: abort the
 		// conn the moment it materialises (deadlineGuard.setConn). The
 		// handshake still runs and fails on the aborted conn, wrapping
 		// the timeout exactly as the blocking handshake error does.
-		c.Abort(ErrRequestTimeout)
+		c.Abort(rq.dlErr)
 	}
 	rq.flight = 0
 	rq.beginHsSend()
@@ -1042,9 +1086,7 @@ func (rq *evReq) feedChunked(b []byte) int {
 // retires it.
 func (rq *evReq) complete() {
 	rq.state = evcDone
-	if rq.dl != nil {
-		rq.dl.Stop()
-	}
+	rq.stopTimers()
 	pc := rq.pc
 	pc.rq = nil
 	res := &evResult{status: rq.status, body: rq.body, bodyN: rq.bodyN}
@@ -1079,7 +1121,11 @@ func (rq *evReq) fail(err error, retryStage bool) {
 		rq.t.retire(pc)
 		rq.pc = nil
 	}
-	if retryStage && rq.reused && rq.attempt == 0 && rq.t.closed == nil {
+	// A hedged-out attempt is never retried here: the caller cancelled
+	// it on purpose and will reissue elsewhere (Transport.RoundTrip
+	// suppresses its retry-once identically).
+	if retryStage && rq.reused && rq.attempt == 0 && rq.t.closed == nil &&
+		!errors.Is(err, ErrHedged) {
 		rq.t.dropIdle(rq.addr)
 		rq.attempt = 1
 		rq.reused = false
@@ -1087,16 +1133,12 @@ func (rq *evReq) fail(err error, retryStage bool) {
 		rq.state = evcDial
 		rq.acc = rq.acc[:0]
 		rq.scan = 0
-		if rq.dl != nil {
-			rq.dl.Stop()
-		}
+		rq.stopTimers()
 		rq.armDeadline()
 		rq.getConn()
 		return
 	}
-	if rq.dl != nil {
-		rq.dl.Stop()
-	}
+	rq.stopTimers()
 	rq.putAcc()
 	rq.done(nil, err)
 }

@@ -18,6 +18,11 @@ var (
 	// ErrServerDown is surfaced on connections whose remote endpoint was
 	// killed (server failure injection).
 	ErrServerDown = errors.New("netem: server down")
+
+	// ErrPartitioned is surfaced on connections and dials cut by a
+	// network partition (Network.SetPartitioned): both endpoints stay
+	// alive but cannot reach each other.
+	ErrPartitioned = errors.New("netem: network partitioned")
 )
 
 // Addr is a trivial net.Addr for emulated endpoints.

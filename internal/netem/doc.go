@@ -180,6 +180,16 @@
 //     Clock.Go, same as everywhere else (detlint/baredgo enforces it),
 //     or the spawned work would be invisible to the accounting and the
 //     clock could jump past it.
+//  5. Resilience state (core's circuit breakers, health scores, hedge
+//     service windows) is never read or written from a timer callback.
+//     The hedge timer's callback only aborts the in-flight conn at the
+//     budget instant — mechanism, not policy; the resulting error is
+//     observed by the path's driving context (its fetch goroutine or
+//     its event-loop step), which alone advances breaker/hedge state
+//     at selection and completion instants. Callbacks mutating that
+//     state would make the outcome depend on where a jump happened to
+//     run a timer, and the two engines — whose callbacks fire on
+//     different goroutines — could then diverge byte-wise.
 //
 // # Timer-driven state machines
 //

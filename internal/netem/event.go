@@ -298,9 +298,14 @@ func (i *Interface) DialEvent(addr string, cb func(*Conn, error)) error {
 	n := i.network
 	n.mu.Lock()
 	l, ok := n.listeners[addr]
+	parted := n.partitioned(i.name, addr)
 	n.mu.Unlock()
 	if !ok {
 		return &net.OpError{Op: "dial", Net: "netem", Addr: Addr(addr), Err: fmt.Errorf("connection refused")}
+	}
+	if parted {
+		// Mirrors Dial: the partition drops the SYN instantly.
+		return &net.OpError{Op: "dial", Net: "netem", Addr: Addr(addr), Err: ErrPartitioned}
 	}
 
 	up, down := i.up, i.down

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 )
@@ -16,6 +17,12 @@ type Network struct {
 	mu        sync.Mutex
 	listeners map[string]*Listener
 	conns     map[*Conn]struct{} // live conns for teardown
+	// partitions maps an interface-group name ("wifi", "lte") to the set
+	// of listener addresses its clients cannot currently reach. Both
+	// sides stay alive — unlike a kill or an interface-down event — but
+	// dials fail instantly with ErrPartitioned and established
+	// connections across the cut are aborted at the onset instant.
+	partitions map[string]map[string]bool
 }
 
 // NewNetwork creates an empty emulated network driven by clock.
@@ -47,6 +54,43 @@ func (n *Network) Listen(addr string, extraDelay time.Duration) (*Listener, erro
 	l.cond = NewCond(n.clock, &l.mu)
 	n.listeners[addr] = l
 	return l, nil
+}
+
+// SetPartitioned cuts (or heals) reachability from the interface group
+// named group — every Interface whose name is group — to the listener
+// at addr, while both sides stay up. While partitioned, dials from the
+// group to addr fail instantly with ErrPartitioned (no handshake time
+// is burned), and at the onset instant every established connection
+// between the group and addr is aborted with ErrPartitioned. Healing
+// restores dials only; aborted connections stay dead, as after a real
+// partition.
+func (n *Network) SetPartitioned(group, addr string, on bool) {
+	n.mu.Lock()
+	if n.partitions == nil {
+		n.partitions = make(map[string]map[string]bool)
+	}
+	set := n.partitions[group]
+	if on {
+		if set == nil {
+			set = make(map[string]bool)
+			n.partitions[group] = set
+		}
+		set[addr] = true
+	} else if set != nil {
+		delete(set, addr)
+	}
+	l := n.listeners[addr]
+	n.mu.Unlock()
+	if on && l != nil {
+		// Client local addresses are rendered "<group>:<port>", so the
+		// peer-address prefix identifies the cut side.
+		l.abortFrom(group+":", ErrPartitioned)
+	}
+}
+
+// partitioned reports whether dials from group to addr are cut.
+func (n *Network) partitioned(group, addr string) bool {
+	return n.partitions[group][addr]
 }
 
 // Interface models a client network attachment (WiFi or LTE): its access
@@ -140,9 +184,15 @@ func (i *Interface) Dial(ctx context.Context, addr string, p *Participant) (*Con
 	n := i.network
 	n.mu.Lock()
 	l, ok := n.listeners[addr]
+	parted := n.partitioned(i.name, addr)
 	n.mu.Unlock()
 	if !ok {
 		return nil, &net.OpError{Op: "dial", Net: "netem", Addr: Addr(addr), Err: fmt.Errorf("connection refused")}
+	}
+	if parted {
+		// The partition drops the SYN: fail instantly, before any
+		// handshake round trip is charged.
+		return nil, &net.OpError{Op: "dial", Net: "netem", Addr: Addr(addr), Err: ErrPartitioned}
 	}
 
 	up, down := i.up, i.down
@@ -218,6 +268,23 @@ func (l *Listener) deliver(c *Conn) error {
 	l.cond.Signal()
 	l.mu.Unlock()
 	return nil
+}
+
+// abortFrom aborts every established connection on this listener whose
+// peer address begins with prefix, all at the caller's current virtual
+// instant (the partition-onset sweep).
+func (l *Listener) abortFrom(prefix string, err error) {
+	l.mu.Lock()
+	var toAbort []*Conn
+	for c := range l.conns { //detlint:allow maprange -- conn aborts commute: all land at the same pinned virtual instant
+		if strings.HasPrefix(string(c.remote), prefix) {
+			toAbort = append(toAbort, c)
+		}
+	}
+	l.mu.Unlock()
+	for _, c := range toAbort {
+		c.Abort(err)
+	}
 }
 
 // Accept implements net.Listener. The caller parks as a transient

@@ -49,6 +49,13 @@ type LinkParams struct {
 	// modelled as a head-of-line retransmission penalty of RTOPenalty.
 	LossProb float64
 
+	// LossWindows overlay time-bounded loss storms on the direction: a
+	// segment departing inside a window is lossed with the window's
+	// probability when it exceeds LossProb. The effective probability
+	// is a pure function of the departure instant, so storm runs stay
+	// deterministic per seed.
+	LossWindows []LossWindow
+
 	// RTOPenalty is the extra delay charged per lost segment. If zero,
 	// 4*Delay is used (two extra round trips).
 	RTOPenalty time.Duration
@@ -95,6 +102,26 @@ func (p LinkParams) withDefaults() LinkParams {
 		p.Quantum = DefaultQuantum
 	}
 	return p
+}
+
+// LossWindow is one time-bounded loss storm: segments departing in
+// [From, To) suffer at least Prob per-MSS-segment loss.
+type LossWindow struct {
+	From, To time.Time
+	Prob     float64
+}
+
+// lossAt returns the effective per-segment loss probability for a
+// segment departing at t: the base LossProb raised to any active
+// window's probability.
+func (p *LinkParams) lossAt(t time.Time) float64 {
+	prob := p.LossProb
+	for _, w := range p.LossWindows {
+		if w.Prob > prob && !t.Before(w.From) && t.Before(w.To) {
+			prob = w.Prob
+		}
+	}
+	return prob
 }
 
 // rateAt returns the instantaneous rate, floored at one byte/sec so the

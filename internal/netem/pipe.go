@@ -325,10 +325,14 @@ func (d *direction) pushSegmentLocked(p []byte, stable bool) int {
 	if d.params.Jitter > 0 {
 		arr = arr.Add(time.Duration(d.draws().Int63n(int64(d.params.Jitter))))
 	}
-	if d.params.LossProb > 0 {
+	if prob := d.params.lossAt(dep); prob > 0 {
+		// Loss draws happen only when the effective probability at the
+		// departure instant is positive, so links whose storms never
+		// activate — and all loss-free links — keep a byte-identical
+		// draw sequence with and without LossWindows configured.
 		nseg := (segBytes + DefaultMSS - 1) / DefaultMSS
 		for i := 0; i < nseg; i++ {
-			if d.draws().Float64() < d.params.LossProb {
+			if d.draws().Float64() < prob {
 				arr = arr.Add(d.params.RTOPenalty)
 			}
 		}

@@ -421,6 +421,17 @@ func (c *Cluster) Restart(addr string) error {
 	return c.start(addr, network, h, evented)
 }
 
+// Alive reports whether the server at addr is currently live (deployed
+// and not killed). Safe to call from a netem.Timer callback: it never
+// parks.
+func (c *Cluster) Alive(addr string) bool {
+	sh := c.shardFor(addr)
+	sh.mu.Lock()
+	_, live := sh.servers[addr]
+	sh.mu.Unlock()
+	return live
+}
+
 // Blackhole switches the wedged-process fault of the live server at
 // addr: on, it keeps accepting connections and reading requests but
 // never responds (see httpx.Server.SetBlackhole). Unlike Kill the

@@ -70,6 +70,9 @@ type (
 	// EventedSession is the handle of a session started with
 	// Client.StreamEvented (the event-loop engine).
 	EventedSession = core.EventedSession
+	// Resilience configures circuit breakers, health-scored source
+	// selection and hedged requests per path (SessionConfig.Resilience).
+	Resilience = core.Resilience
 )
 
 // Buffering phases for Metrics.Share.

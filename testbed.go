@@ -31,6 +31,11 @@ type LinkProfile struct {
 	Jitter time.Duration
 	// LossProb is the per-segment loss probability.
 	LossProb float64
+	// LossWindows overlays time-bounded loss storms on the link: inside a
+	// window the per-segment loss probability is raised to the window's
+	// value (see netem.LossWindow). Fleet scenarios compile packet-loss
+	// storm faults into these.
+	LossWindows []netem.LossWindow
 	// Shape optionally post-processes the link's rate profile (after the
 	// base rate and lognormal variation are applied), e.g. to overlay a
 	// deterministic degradation window or outage. Fleet scenarios use it
@@ -202,12 +207,13 @@ func (tb *Testbed) NewClient(wifi, lte LinkProfile, seed int64) *Client {
 func (tb *Testbed) makeInterface(lp LinkProfile, seed int64) *netem.Interface {
 	mk := func(dirSeed int64) netem.LinkParams {
 		params := netem.LinkParams{
-			Rate:      netem.Mbps(lp.RateMbps),
-			Delay:     lp.RTT / 2,
-			Jitter:    lp.Jitter,
-			LossProb:  lp.LossProb,
-			SlowStart: true,
-			Seed:      dirSeed,
+			Rate:        netem.Mbps(lp.RateMbps),
+			Delay:       lp.RTT / 2,
+			Jitter:      lp.Jitter,
+			LossProb:    lp.LossProb,
+			LossWindows: lp.LossWindows,
+			SlowStart:   true,
+			Seed:        dirSeed,
 		}
 		if lp.Sigma > 0 {
 			params.Trace = trace.Lognormal(trace.Constant(netem.Mbps(lp.RateMbps)),
@@ -343,6 +349,11 @@ type SessionConfig struct {
 	// virtual-time deadline (see core.PathConfig.RequestTimeout). Zero
 	// disables deadlines, the legacy behavior.
 	RequestTimeout time.Duration
+	// Resilience configures per-target circuit breakers, health-scored
+	// source selection and hedged range requests on every path (see
+	// core.Resilience). The zero value disables all of it, the legacy
+	// behavior.
+	Resilience Resilience
 	// Seed decorrelates the session's backoff jitter streams from other
 	// sessions'; fleet runs derive it from the scenario seed and session
 	// index. Zero is a valid seed.
@@ -386,9 +397,11 @@ func (c *Client) NewSession(cfg SessionConfig) (*core.Player, error) {
 		return nil, err
 	}
 	wifiPath := core.PathConfig{Iface: c.wifi, ProxyAddr: wifiProxy,
-		VideoServers: cfg.VideoServers[c.wifi.Name()], RequestTimeout: cfg.RequestTimeout}
+		VideoServers: cfg.VideoServers[c.wifi.Name()], RequestTimeout: cfg.RequestTimeout,
+		Resilience: cfg.Resilience}
 	ltePath := core.PathConfig{Iface: c.lte, ProxyAddr: lteProxy,
-		VideoServers: cfg.VideoServers[c.lte.Name()], RequestTimeout: cfg.RequestTimeout}
+		VideoServers: cfg.VideoServers[c.lte.Name()], RequestTimeout: cfg.RequestTimeout,
+		Resilience: cfg.Resilience}
 	var paths []core.PathConfig
 	switch cfg.Paths {
 	case BothPaths:
